@@ -1,0 +1,131 @@
+// Command qpinn-bench regenerates individual tables and figures from the
+// paper's evaluation. Run with -list to see every registered experiment.
+//
+// Usage:
+//
+//	qpinn-bench -exp table1
+//	qpinn-bench -exp fig10 -preset smoke -seeds 2 -epochs 300
+//	qpinn-bench -exp fig5 -figdir out/figs
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"repro/internal/experiments"
+	"repro/internal/qsim"
+)
+
+func main() {
+	var (
+		exp    = flag.String("exp", "", "experiment name (see -list)")
+		list   = flag.Bool("list", false, "list experiments and exit")
+		preset = flag.String("preset", "smoke", "smoke | paper")
+		seeds  = flag.Int("seeds", 0, "replicate count (0 = preset default)")
+		epochs = flag.Int("epochs", 0, "training epochs (0 = preset default)")
+		figdir = flag.String("figdir", "", "directory for PGM/CSV artifacts")
+		ansatz = flag.String("ansatz", "", "restrict sweep to comma-separated ansätze (basic|strongly|crossmesh|crossmesh2|crossmeshcnot|noent)")
+		scale  = flag.String("scale", "", "restrict sweep to comma-separated scalings (none|pi|bias|asin|acos)")
+	)
+	flag.Parse()
+
+	if *list || *exp == "" {
+		fmt.Println("Registered experiments:")
+		for _, r := range experiments.Registry {
+			fmt.Printf("  %-8s %s\n", r.Name, r.Doc)
+		}
+		if *exp == "" && !*list {
+			os.Exit(2)
+		}
+		return
+	}
+
+	r, ok := experiments.Lookup(*exp)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "unknown experiment %q (use -list)\n", *exp)
+		os.Exit(2)
+	}
+	o := experiments.Options{
+		Preset: experiments.Smoke,
+		Seeds:  *seeds,
+		Epochs: *epochs,
+		Out:    os.Stdout,
+		FigDir: *figdir,
+	}
+	if *preset == "paper" {
+		o.Preset = experiments.Paper
+	}
+	for _, name := range splitList(*ansatz) {
+		if a, ok := parseAnsatz(name); ok {
+			o.Ansatze = append(o.Ansatze, a)
+		} else {
+			fmt.Fprintf(os.Stderr, "unknown ansatz %q\n", name)
+			os.Exit(2)
+		}
+	}
+	for _, name := range splitList(*scale) {
+		if sc, ok := parseScale(name); ok {
+			o.Scalings = append(o.Scalings, sc)
+		} else {
+			fmt.Fprintf(os.Stderr, "unknown scale %q\n", name)
+			os.Exit(2)
+		}
+	}
+
+	start := time.Now()
+	if err := r.Run(o); err != nil {
+		fmt.Fprintf(os.Stderr, "experiment failed: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Printf("\n[%s completed in %s, preset=%s]\n", r.Name, time.Since(start).Round(time.Millisecond), *preset)
+}
+
+func splitList(s string) []string {
+	if s == "" {
+		return nil
+	}
+	var out []string
+	for _, part := range strings.Split(s, ",") {
+		if p := strings.TrimSpace(part); p != "" {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+func parseAnsatz(s string) (qsim.AnsatzKind, bool) {
+	switch s {
+	case "basic":
+		return qsim.BasicEntangling, true
+	case "strongly":
+		return qsim.StronglyEntangling, true
+	case "crossmesh":
+		return qsim.CrossMesh, true
+	case "crossmesh2":
+		return qsim.CrossMesh2Rot, true
+	case "crossmeshcnot":
+		return qsim.CrossMeshCNOT, true
+	case "noent":
+		return qsim.NoEntanglement, true
+	}
+	return 0, false
+}
+
+func parseScale(s string) (qsim.ScalingKind, bool) {
+	switch s {
+	case "none":
+		return qsim.ScaleNone, true
+	case "pi":
+		return qsim.ScalePi, true
+	case "bias":
+		return qsim.ScaleBias, true
+	case "asin":
+		return qsim.ScaleAsin, true
+	case "acos":
+		return qsim.ScaleAcos, true
+	}
+	return 0, false
+}

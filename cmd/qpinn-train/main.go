@@ -1,0 +1,139 @@
+// Command qpinn-train trains a single PINN/QPINN configuration and reports
+// the training history, the final L2 error against the high-fidelity
+// reference, and the black-hole index.
+//
+// Usage:
+//
+//	qpinn-train -case vacuum -arch qpinn -ansatz strongly -scale acos -energy
+//	qpinn-train -case dielectric -arch regular -epochs 500
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math"
+	"os"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/maxwell"
+	"repro/internal/qsim"
+)
+
+func main() {
+	var (
+		caseName   = flag.String("case", "vacuum", "vacuum | dielectric | asymmetric")
+		archName   = flag.String("arch", "qpinn", "qpinn | regular | reduced | extra")
+		ansatz     = flag.String("ansatz", "strongly", "basic|strongly|crossmesh|crossmesh2|crossmeshcnot|noent")
+		scale      = flag.String("scale", "acos", "none|pi|bias|asin|acos")
+		energy     = flag.Bool("energy", true, "include the energy-conservation loss")
+		symmetry   = flag.Bool("symmetry", true, "include the symmetry loss (ignored for the asymmetric case)")
+		epochs     = flag.Int("epochs", 300, "training epochs")
+		grid       = flag.Int("grid", 10, "collocation points per coordinate")
+		hidden     = flag.Int("hidden", 24, "hidden width (paper: 128)")
+		rff        = flag.Int("rff", 12, "random Fourier features (paper: 128)")
+		qubits     = flag.Int("qubits", 4, "qubits (paper: 7)")
+		qlayers    = flag.Int("qlayers", 2, "ansatz layers (paper: 4)")
+		seed       = flag.Int64("seed", 1, "random seed")
+		logEvery   = flag.Int("log", 0, "epochs between log lines (0 = 10 lines total)")
+		paperPulse = flag.Bool("paperpulse", false, "use the paper's narrow pulse instead of the smoke-scale widened one")
+		savePath   = flag.String("save", "", "write a model checkpoint here after training")
+		loadPath   = flag.String("load", "", "warm-start from a checkpoint (overrides architecture flags)")
+	)
+	flag.Parse()
+
+	var c maxwell.Case
+	switch *caseName {
+	case "vacuum":
+		c = maxwell.VacuumCase
+	case "dielectric":
+		c = maxwell.DielectricCase
+	case "asymmetric":
+		c = maxwell.AsymmetricCase
+	default:
+		fmt.Fprintln(os.Stderr, "unknown case")
+		os.Exit(2)
+	}
+	p := maxwell.NewSmokeProblem(c)
+	if *paperPulse {
+		p = maxwell.NewProblem(c)
+	}
+
+	archMap := map[string]core.Arch{
+		"qpinn": core.QPINN, "regular": core.ClassicalRegular,
+		"reduced": core.ClassicalReduced, "extra": core.ClassicalExtra,
+	}
+	arch, ok := archMap[*archName]
+	if !ok {
+		fmt.Fprintln(os.Stderr, "unknown arch")
+		os.Exit(2)
+	}
+	ansatzMap := map[string]qsim.AnsatzKind{
+		"basic": qsim.BasicEntangling, "strongly": qsim.StronglyEntangling,
+		"crossmesh": qsim.CrossMesh, "crossmesh2": qsim.CrossMesh2Rot,
+		"crossmeshcnot": qsim.CrossMeshCNOT, "noent": qsim.NoEntanglement,
+	}
+	scaleMap := map[string]qsim.ScalingKind{
+		"none": qsim.ScaleNone, "pi": qsim.ScalePi, "bias": qsim.ScaleBias,
+		"asin": qsim.ScaleAsin, "acos": qsim.ScaleAcos,
+	}
+
+	mcfg := core.ModelConfig{
+		Arch: arch, Hidden: *hidden, RFFFeatures: *rff, RFFSigma: 1,
+		NumQubits: *qubits, QLayers: *qlayers,
+		Ansatz: ansatzMap[*ansatz], Scaling: scaleMap[*scale],
+		Init: qsim.InitRegular, TimePeriod: 4, Seed: *seed,
+	}
+	useSym := *symmetry && c != maxwell.AsymmetricCase
+	tcfg := core.SmokeTrain(*epochs, maxwell.PaperConfig(*energy, useSym))
+	tcfg.Grid = *grid
+	tcfg.QuantumDiagnostics = arch == core.QPINN
+
+	var model *core.Model
+	if *loadPath != "" {
+		var err error
+		model, err = core.LoadFile(*loadPath)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "load checkpoint: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("warm start from %s (%v)\n", *loadPath, model.Cfg.Arch)
+	} else {
+		model = core.NewModel(mcfg)
+	}
+	cl, qu, tot := model.ParamCounts()
+	fmt.Printf("case=%s arch=%v ansatz=%v scale=%v energy=%v\n", c, arch, mcfg.Ansatz, mcfg.Scaling, *energy)
+	fmt.Printf("parameters: %d classical + %d quantum = %d total\n", cl, qu, tot)
+
+	ref := core.NewReference(p, 16, []float64{0, p.TMax / 3, 2 * p.TMax / 3, p.TMax}, 64)
+	every := *logEvery
+	if every <= 0 {
+		every = (*epochs + 9) / 10
+	}
+
+	start := time.Now()
+	res := core.TrainModel(model, p, tcfg, ref)
+	elapsed := time.Since(start)
+
+	for i, h := range res.History {
+		if i%every == 0 || i == len(res.History)-1 {
+			l2 := "—"
+			if !math.IsNaN(h.L2) {
+				l2 = fmt.Sprintf("%.4f", h.L2)
+			}
+			fmt.Printf("epoch %5d  loss %10.3e  phys %9.3e  ic %9.3e  |grad| %9.3e  L2 %s\n",
+				h.Epoch, h.Total, h.Phys, h.IC, h.GradNorm, l2)
+		}
+	}
+	fmt.Printf("\ntrained %d epochs in %s (%.1f ms/epoch)\n", *epochs, elapsed.Round(time.Millisecond),
+		elapsed.Seconds()*1000/float64(*epochs))
+	fmt.Printf("final L2 error (eq. 32): %.5f\n", res.FinalL2)
+	fmt.Printf("black-hole index I_BH (eq. 35): %.3f  collapsed=%v\n", res.FinalIBH, res.Collapsed)
+	if *savePath != "" {
+		if err := model.SaveFile(*savePath); err != nil {
+			fmt.Fprintf(os.Stderr, "save checkpoint: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("checkpoint written to %s\n", *savePath)
+	}
+}

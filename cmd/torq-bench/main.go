@@ -1,0 +1,26 @@
+// Command torq-bench runs the Table 2 simulator comparison: the batched
+// adjoint simulator (the TorQ analogue) against the naive per-sample and
+// full-unitary baselines that stand in for PennyLane's default.qubit and
+// operator-composition pipelines.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	preset := flag.String("preset", "smoke", "smoke | paper")
+	flag.Parse()
+	o := experiments.Options{Preset: experiments.Smoke, Out: os.Stdout}
+	if *preset == "paper" {
+		o.Preset = experiments.Paper
+	}
+	if err := experiments.Table2(o); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}

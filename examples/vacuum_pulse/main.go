@@ -1,0 +1,56 @@
+// Vacuum pulse: the paper's case 1 head-to-head — a QPINN trained with and
+// without the Poynting energy-conservation loss, against the classical
+// PINN baseline. Demonstrates the "black hole" failure mode (§5) and its
+// mitigation: without the energy term the quantum model slides toward the
+// trivial solution (fields ≈ 0 for t > 0, I_BH → 1); with it, training
+// converges to the physical solution.
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"repro/internal/core"
+	"repro/internal/maxwell"
+	"repro/internal/qsim"
+	"repro/internal/report"
+)
+
+func main() {
+	problem := maxwell.NewSmokeProblem(maxwell.VacuumCase)
+	ref := core.NewReference(problem, 16, []float64{0, 0.375, 0.75, 1.125, 1.5}, 64)
+
+	const epochs = 500
+	run := func(name string, arch core.Arch, energy bool) *core.RunResult {
+		m := core.SmokeModel(arch, qsim.StronglyEntangling, qsim.ScaleAcos)
+		m.Seed = 17
+		t := core.SmokeTrain(epochs, maxwell.PaperConfig(energy, true))
+		t.Grid = 10
+		fmt.Printf("training %s ...\n", name)
+		return core.Train(problem, m, t, ref)
+	}
+
+	qe := run("QPINN + energy loss", core.QPINN, true)
+	qn := run("QPINN without energy loss", core.QPINN, false)
+	cl := run("classical PINN (regular depth)", core.ClassicalRegular, false)
+
+	t := report.NewTable("Vacuum case summary (eq. 32 L2, eq. 35 I_BH)",
+		"Model", "Energy loss", "L2", "I_BH", "Collapsed")
+	t.Row("QPINN (Strongly Entangling + acos)", true, qe.FinalL2, qe.FinalIBH, qe.Collapsed)
+	t.Row("QPINN (Strongly Entangling + acos)", false, qn.FinalL2, qn.FinalIBH, qn.Collapsed)
+	t.Row("Classical PINN (regular)", false, cl.FinalL2, cl.FinalIBH, cl.Collapsed)
+	t.Render(os.Stdout)
+
+	curves := map[string][]float64{}
+	for name, r := range map[string]*core.RunResult{
+		"QPINN+energy": qe, "QPINN no-energy": qn, "classical": cl,
+	} {
+		c := make([]float64, len(r.History))
+		for i, h := range r.History {
+			c[i] = h.Total
+		}
+		curves[name] = c
+	}
+	fmt.Println()
+	report.LinePlot(os.Stdout, "Training loss (log scale)", 72, 16, true, curves)
+}

@@ -1,0 +1,104 @@
+package ad
+
+import (
+	"fmt"
+
+	"repro/internal/par"
+)
+
+// mmAcc computes C += A(n×k)·B(k×m) in row-major order, parallel over rows
+// of A. The ikj loop order keeps the inner loop streaming over contiguous
+// memory in both B and C.
+func mmAcc(c, a, b []float64, n, k, m int) {
+	par.ForGrain(n, k*m, func(s, e int) {
+		for i := s; i < e; i++ {
+			ci := c[i*m : (i+1)*m]
+			ai := a[i*k : (i+1)*k]
+			for l, av := range ai {
+				if av == 0 {
+					continue
+				}
+				bl := b[l*m : (l+1)*m]
+				for j, bv := range bl {
+					ci[j] += av * bv
+				}
+			}
+		}
+	})
+}
+
+// mmNTAcc computes C += A(n×m)·Bᵀ where B is k×m, giving C of shape n×k.
+// This is the dA = dC·Wᵀ step of the MatMul backward. Dot-product form,
+// parallel over rows of A.
+func mmNTAcc(c, a, b []float64, n, m, k int) {
+	par.ForGrain(n, k*m, func(s, e int) {
+		for i := s; i < e; i++ {
+			ai := a[i*m : (i+1)*m]
+			ci := c[i*k : (i+1)*k]
+			for j := 0; j < k; j++ {
+				bj := b[j*m : (j+1)*m]
+				var sum float64
+				for l, av := range ai {
+					sum += av * bj[l]
+				}
+				ci[j] += sum
+			}
+		}
+	})
+}
+
+// mmTNAcc computes C += Aᵀ·B where A is n×k and B is n×m, giving C of shape
+// k×m. This is the dW = Xᵀ·dC step. Parallelizing over rows of A would race
+// on C, so the loop splits over the k dimension instead.
+func mmTNAcc(c, a, b []float64, n, k, m int) {
+	par.ForGrain(k, n*m/maxInt(k, 1), func(s, e int) {
+		for l := s; l < e; l++ {
+			cl := c[l*m : (l+1)*m]
+			for i := 0; i < n; i++ {
+				av := a[i*k+l]
+				if av == 0 {
+					continue
+				}
+				bi := b[i*m : (i+1)*m]
+				for j, bv := range bi {
+					cl[j] += av * bv
+				}
+			}
+		}
+	})
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// MatMul returns a·b for a[n×k] and b[k×m]; both operands participate in
+// gradient flow. b is typically a weight matrix leaf.
+func (t *Tape) MatMul(a, b Value) Value {
+	na, nb := &t.nodes[a.i], &t.nodes[b.i]
+	if na.cols != nb.rows {
+		panic(fmt.Sprintf("ad: MatMul %d×%d · %d×%d", na.rows, na.cols, nb.rows, nb.cols))
+	}
+	ng := t.needsGrad(a.i) || t.needsGrad(b.i)
+	v, n := t.newNode(OpMatMul, a.i, b.i, int(na.rows), int(nb.cols), ng)
+	mmAcc(n.val, na.val, nb.val, int(na.rows), int(na.cols), int(nb.cols))
+	return v
+}
+
+// MatMulC returns a·M for a constant matrix M (k×m, row-major). The constant
+// never receives gradients; only dA = dC·Mᵀ flows back.
+func (t *Tape) MatMulC(a Value, m []float64, mCols int) Value {
+	na := &t.nodes[a.i]
+	k := int(na.cols)
+	if len(m) != k*mCols {
+		panic(fmt.Sprintf("ad: MatMulC const %d ≠ %d×%d", len(m), k, mCols))
+	}
+	v, n := t.newNode(OpMatMulC, a.i, -1, int(na.rows), mCols, t.needsGrad(a.i))
+	n.cm = m
+	n.cmCols = int32(mCols)
+	mmAcc(n.val, na.val, m, int(na.rows), k, mCols)
+	return v
+}

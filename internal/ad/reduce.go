@@ -1,0 +1,57 @@
+package ad
+
+// SumAll reduces a to its scalar sum, returned as a 1×1 node.
+func (t *Tape) SumAll(a Value) Value {
+	na := &t.nodes[a.i]
+	v, n := t.newNode(OpSumAll, a.i, -1, 1, 1, t.needsGrad(a.i))
+	var s float64
+	for _, x := range na.val {
+		s += x
+	}
+	n.val[0] = s
+	return v
+}
+
+// MeanAll reduces a to its scalar mean, returned as a 1×1 node.
+func (t *Tape) MeanAll(a Value) Value {
+	na := &t.nodes[a.i]
+	v, n := t.newNode(OpMeanAll, a.i, -1, 1, 1, t.needsGrad(a.i))
+	var s float64
+	for _, x := range na.val {
+		s += x
+	}
+	n.val[0] = s / float64(len(na.val))
+	return v
+}
+
+// SumSq reduces a to Σ a², returned as a 1×1 node. MSE(a) is
+// Scale(SumSq(a), 1/len); the fused op halves the buffers on the residual
+// hot path.
+func (t *Tape) SumSq(a Value) Value {
+	na := &t.nodes[a.i]
+	v, n := t.newNode(OpSumSq, a.i, -1, 1, 1, t.needsGrad(a.i))
+	var s float64
+	for _, x := range na.val {
+		s += x * x
+	}
+	n.val[0] = s
+	return v
+}
+
+// MSE returns mean(a²) as a 1×1 node — the paper's MSE functional (eq. 15).
+func (t *Tape) MSE(a Value) Value {
+	na := &t.nodes[a.i]
+	return t.Scale(t.SumSq(a), 1/float64(len(na.val)))
+}
+
+// AddScalars sums a list of 1×1 nodes (loss aggregation).
+func (t *Tape) AddScalars(vals ...Value) Value {
+	if len(vals) == 0 {
+		panic("ad: AddScalars with no operands")
+	}
+	acc := vals[0]
+	for _, v := range vals[1:] {
+		acc = t.Add(acc, v)
+	}
+	return acc
+}

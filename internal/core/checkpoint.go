@@ -1,0 +1,68 @@
+package core
+
+import (
+	"encoding/gob"
+	"fmt"
+	"io"
+	"os"
+)
+
+// checkpoint is the serialized form of a trained model: the configuration
+// (architecture is reconstructed from it) and every parameter buffer by
+// name. The fixed RFF projection is regenerated from the seed, so the
+// config seed fully determines the non-trainable state.
+type checkpoint struct {
+	Cfg    ModelConfig
+	Params map[string][]float64
+}
+
+// Save writes the model's configuration and parameters.
+func (m *Model) Save(w io.Writer) error {
+	ck := checkpoint{Cfg: m.Cfg, Params: make(map[string][]float64, len(m.Reg.Params))}
+	for _, p := range m.Reg.Params {
+		ck.Params[p.Name] = append([]float64(nil), p.W...)
+	}
+	return gob.NewEncoder(w).Encode(ck)
+}
+
+// SaveFile writes a checkpoint to path.
+func (m *Model) SaveFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return m.Save(f)
+}
+
+// Load reconstructs a model from a checkpoint: the architecture is rebuilt
+// from the stored configuration, then parameters are restored by name.
+func Load(r io.Reader) (*Model, error) {
+	var ck checkpoint
+	if err := gob.NewDecoder(r).Decode(&ck); err != nil {
+		return nil, err
+	}
+	m := NewModel(ck.Cfg)
+	for _, p := range m.Reg.Params {
+		saved, ok := ck.Params[p.Name]
+		if !ok {
+			return nil, fmt.Errorf("core: checkpoint missing parameter %q", p.Name)
+		}
+		if len(saved) != len(p.W) {
+			return nil, fmt.Errorf("core: parameter %q has %d values, model expects %d",
+				p.Name, len(saved), len(p.W))
+		}
+		copy(p.W, saved)
+	}
+	return m, nil
+}
+
+// LoadFile reads a checkpoint from path.
+func LoadFile(path string) (*Model, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return Load(f)
+}

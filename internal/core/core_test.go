@@ -1,0 +1,286 @@
+package core
+
+import (
+	"bytes"
+	"math"
+	"testing"
+
+	"repro/internal/maxwell"
+	"repro/internal/qsim"
+	"repro/internal/refsol"
+)
+
+// TestTable1ParameterCounts reproduces the paper's Table 1 digit-for-digit
+// at paper scale (Hidden=128, RFF=128, 7 qubits, 4 layers).
+func TestTable1ParameterCounts(t *testing.T) {
+	cases := []struct {
+		arch               Arch
+		ansatz             qsim.AnsatzKind
+		classical, quantum int
+	}{
+		{ClassicalRegular, qsim.BasicEntangling, 82820, 0},
+		{ClassicalReduced, qsim.BasicEntangling, 66308, 0},
+		{ClassicalExtra, qsim.BasicEntangling, 99332, 0},
+		{QPINN, qsim.CrossMesh, 66848, 196},
+		{QPINN, qsim.CrossMesh2Rot, 66848, 224},
+		{QPINN, qsim.CrossMeshCNOT, 66848, 84},
+		{QPINN, qsim.NoEntanglement, 66848, 84},
+		{QPINN, qsim.BasicEntangling, 66848, 84},
+		{QPINN, qsim.StronglyEntangling, 66848, 84},
+	}
+	for _, c := range cases {
+		m := NewModel(PaperModel(c.arch, c.ansatz, qsim.ScaleAsin))
+		cl, qu, tot := m.ParamCounts()
+		if cl != c.classical || qu != c.quantum {
+			t.Errorf("%v/%v: got %d classical + %d quantum, want %d + %d",
+				c.arch, c.ansatz, cl, qu, c.classical, c.quantum)
+		}
+		if tot != c.classical+c.quantum {
+			t.Errorf("%v: total %d inconsistent", c.arch, tot)
+		}
+	}
+}
+
+// TestClassicalTrainingReducesLoss: a short classical run must cut the total
+// loss substantially and beat an untrained model on L2.
+func TestClassicalTrainingReducesLoss(t *testing.T) {
+	p := maxwell.NewProblem(maxwell.VacuumCase)
+	mcfg := SmokeModel(ClassicalRegular, qsim.BasicEntangling, qsim.ScaleNone)
+	mcfg.Seed = 7
+	tcfg := SmokeTrain(60, maxwell.PaperConfig(false, true))
+	tcfg.Grid = 8
+	ref := NewReference(p, 12, []float64{0, 0.5, 1.0, 1.5}, 32)
+
+	before := NewModel(mcfg)
+	l2Before, _ := Evaluate(before, ref)
+
+	res := Train(p, mcfg, tcfg, ref)
+	first := res.History[0].Total
+	last := res.History[len(res.History)-1].Total
+	if last >= first*0.5 {
+		t.Fatalf("loss did not halve: %v → %v", first, last)
+	}
+	if res.FinalL2 >= l2Before {
+		t.Fatalf("L2 did not improve: %v → %v", l2Before, res.FinalL2)
+	}
+}
+
+// TestQuantumTrainingRuns: the QPINN path must train end-to-end (loss drops)
+// with every tangent channel flowing through the PQC.
+func TestQuantumTrainingRuns(t *testing.T) {
+	p := maxwell.NewProblem(maxwell.VacuumCase)
+	mcfg := SmokeModel(QPINN, qsim.StronglyEntangling, qsim.ScaleAcos)
+	mcfg.Seed = 3
+	tcfg := SmokeTrain(25, maxwell.PaperConfig(true, true))
+	tcfg.Grid = 6
+	tcfg.QuantumDiagnostics = true
+	ref := NewReference(p, 8, []float64{0, 0.75, 1.5}, 32)
+
+	res := Train(p, mcfg, tcfg, ref)
+	first := res.History[0].Total
+	last := res.History[len(res.History)-1].Total
+	if !(last < first) {
+		t.Fatalf("QPINN loss did not decrease: %v → %v", first, last)
+	}
+	if math.IsNaN(res.FinalL2) || math.IsInf(res.FinalL2, 0) {
+		t.Fatalf("bad final L2 %v", res.FinalL2)
+	}
+	// Meyer–Wallach was tracked and lies in [0, 1].
+	foundMW := false
+	for _, st := range res.History {
+		if !math.IsNaN(st.MW) {
+			foundMW = true
+			if st.MW < -1e-9 || st.MW > 1+1e-9 {
+				t.Fatalf("MW out of range: %v", st.MW)
+			}
+		}
+	}
+	if !foundMW {
+		t.Fatal("quantum diagnostics never recorded")
+	}
+}
+
+// TestDielectricTrainingRuns: region-weighted loss path end-to-end.
+func TestDielectricTrainingRuns(t *testing.T) {
+	p := maxwell.NewProblem(maxwell.DielectricCase)
+	mcfg := SmokeModel(ClassicalRegular, qsim.BasicEntangling, qsim.ScaleNone)
+	tcfg := SmokeTrain(30, maxwell.PaperConfig(false, true))
+	tcfg.Grid = 6
+	ref := NewReference(p, 8, []float64{0, 0.35, 0.7}, 32)
+	res := Train(p, mcfg, tcfg, ref)
+	if !(res.History[len(res.History)-1].Total < res.History[0].Total) {
+		t.Fatal("dielectric training did not reduce loss")
+	}
+}
+
+// TestEvaluateOnExactReference: a hypothetical perfect model (the reference
+// itself) has L2 = 0 and I_BH ≈ 0 — anchor for the metrics.
+func TestEvaluateOnExactReference(t *testing.T) {
+	p := maxwell.NewProblem(maxwell.VacuumCase)
+	ref := NewReference(p, 10, []float64{0, 0.4, 0.8}, 32)
+	if l2 := ref.L2Of(ref.Ez); l2 != 0 {
+		t.Fatalf("reference self-L2 = %v", l2)
+	}
+	// Reference energy is conserved: I_BH on the reference series ≈ 0.
+	if len(ref.RefEnergy) > 0 {
+		min := ref.RefEnergy[0]
+		for _, u := range ref.RefEnergy {
+			if u < min {
+				min = u
+			}
+		}
+		if 1-min/ref.RefEnergy[0] > 0.05 {
+			t.Fatalf("reference energy not conserved: %v", ref.RefEnergy)
+		}
+	}
+}
+
+// TestSeedDeterminism: identical seeds give identical models and training.
+func TestSeedDeterminism(t *testing.T) {
+	mcfg := SmokeModel(QPINN, qsim.CrossMesh, qsim.ScaleNone)
+	mcfg.Seed = 11
+	a := NewModel(mcfg)
+	b := NewModel(mcfg)
+	for i := range a.Reg.Params {
+		pa, pb := a.Reg.Params[i], b.Reg.Params[i]
+		for j := range pa.W {
+			if pa.W[j] != pb.W[j] {
+				t.Fatalf("seeded init differs at %s[%d]", pa.Name, j)
+			}
+		}
+	}
+	mcfg.Seed = 12
+	c := NewModel(mcfg)
+	same := true
+	for i := range a.Reg.Params {
+		pa, pc := a.Reg.Params[i], c.Reg.Params[i]
+		for j := range pa.W {
+			if pa.W[j] != pc.W[j] {
+				same = false
+			}
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical parameters")
+	}
+}
+
+// TestPenultimateActivations: classical nets expose tanh outputs in [−1,1];
+// QPINNs expose Pauli-Z expectations in [−1,1].
+func TestPenultimateActivations(t *testing.T) {
+	coords := []float64{0.1, -0.2, 0.3, -0.4, 0.5, 0.6}
+	for _, arch := range []Arch{ClassicalRegular, QPINN} {
+		m := NewModel(SmokeModel(arch, qsim.StronglyEntangling, qsim.ScaleNone))
+		acts := m.PenultimateActivations(coords, 2)
+		for i, a := range acts {
+			if a < -1-1e-9 || a > 1+1e-9 {
+				t.Fatalf("%v activation[%d] = %v out of [−1,1]", arch, i, a)
+			}
+		}
+	}
+}
+
+// TestCheckpointRoundTrip: a trained model restored from its checkpoint
+// produces bit-identical predictions.
+func TestCheckpointRoundTrip(t *testing.T) {
+	p := maxwell.NewSmokeProblem(maxwell.VacuumCase)
+	mcfg := SmokeModel(QPINN, qsim.CrossMesh2Rot, qsim.ScaleAsin)
+	mcfg.Seed = 99
+	tcfg := SmokeTrain(5, maxwell.PaperConfig(true, true))
+	tcfg.Grid = 5
+	res := Train(p, mcfg, tcfg, nil)
+
+	var buf bytes.Buffer
+	if err := res.Model.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	restored, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	coords := []float64{0.1, -0.4, 0.7, -0.6, 0.2, 1.1}
+	a := res.Model.EvalEz(coords, 2)
+	b := restored.EvalEz(coords, 2)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("prediction %d differs after reload: %v vs %v", i, a[i], b[i])
+		}
+	}
+	// Truncated stream must fail loudly, not load garbage.
+	if _, err := Load(bytes.NewReader(buf.Bytes()[:10])); err == nil {
+		t.Fatal("truncated checkpoint loaded without error")
+	}
+}
+
+// TestTrigControlArchitecture: the §6.2(b) control has the QPINN's
+// classical parameter count exactly (PQC params replaced by zero).
+func TestTrigControlArchitecture(t *testing.T) {
+	m := NewModel(PaperModel(ClassicalTrig, qsim.StronglyEntangling, qsim.ScaleAcos))
+	cl, qu, _ := m.ParamCounts()
+	if cl != 66848 || qu != 0 {
+		t.Fatalf("trig control params %d/%d, want 66848/0", cl, qu)
+	}
+	// It must also train (loss decreases).
+	p := maxwell.NewSmokeProblem(maxwell.VacuumCase)
+	mcfg := SmokeModel(ClassicalTrig, qsim.StronglyEntangling, qsim.ScaleAcos)
+	tcfg := SmokeTrain(20, maxwell.PaperConfig(false, true))
+	tcfg.Grid = 5
+	res := Train(p, mcfg, tcfg, nil)
+	if !(res.History[len(res.History)-1].Total < res.History[0].Total) {
+		t.Fatal("trig control did not train")
+	}
+}
+
+// TestBilinearSamplerAnchors: sampling exactly at grid nodes returns grid
+// values; sampling respects periodic wrap at the domain edge.
+func TestBilinearSamplerAnchors(t *testing.T) {
+	n := 8
+	f := refsol.NewFields(n)
+	for iy := 0; iy < n; iy++ {
+		for ix := 0; ix < n; ix++ {
+			f.Ez[iy*n+ix] = float64(iy*n + ix)
+		}
+	}
+	for _, probe := range [][2]int{{0, 0}, {3, 5}, {7, 7}} {
+		iy, ix := probe[0], probe[1]
+		got := sampleBilinear(f, refsol.Coord(ix, n), refsol.Coord(iy, n))
+		want := f.Ez[iy*n+ix]
+		if math.Abs(got-want) > 1e-12 {
+			t.Fatalf("node (%d,%d): %v want %v", iy, ix, got, want)
+		}
+	}
+	// A point beyond the last node interpolates toward the periodic image.
+	x := refsol.Coord(n-1, n) + 0.5*refsol.L/float64(n)
+	got := sampleBilinear(f, x, refsol.Coord(0, n))
+	want := 0.5*f.Ez[n-1] + 0.5*f.Ez[0]
+	if math.Abs(got-want) > 1e-12 {
+		t.Fatalf("periodic wrap: %v want %v", got, want)
+	}
+}
+
+// TestReferenceCoordsLayout: the probe set enumerates each time slice as a
+// full spatial grid, matching EnergySeries' slice bookkeeping.
+func TestReferenceCoordsLayout(t *testing.T) {
+	p := maxwell.NewSmokeProblem(maxwell.VacuumCase)
+	times := []float64{0, 0.5, 1.0}
+	g := 6
+	ref := NewReference(p, g, times, 32)
+	if ref.PerSlice != g*g || len(ref.Ez) != g*g*len(times) {
+		t.Fatalf("layout: PerSlice=%d len=%d", ref.PerSlice, len(ref.Ez))
+	}
+	for s, tt := range times {
+		for j := 0; j < ref.PerSlice; j++ {
+			if ref.Coords[(s*ref.PerSlice+j)*3+2] != tt {
+				t.Fatalf("slice %d point %d has t=%v want %v", s, j,
+					ref.Coords[(s*ref.PerSlice+j)*3+2], tt)
+			}
+		}
+	}
+	// The t=0 slice of the reference is the initial condition.
+	for j := 0; j < ref.PerSlice; j++ {
+		x, y := ref.Coords[j*3], ref.Coords[j*3+1]
+		if math.Abs(ref.Ez[j]-p.Pulse.At(x, y)) > 0.02 {
+			t.Fatalf("IC slice mismatch at %d: %v vs %v", j, ref.Ez[j], p.Pulse.At(x, y))
+		}
+	}
+}

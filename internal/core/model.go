@@ -1,0 +1,214 @@
+// Package core assembles the paper's networks — the classical PINN baseline
+// in its three depths and the hybrid QPINN with its six ansätze and five
+// input scalings — and provides the training loop that ties together the
+// physics losses, the Adam optimizer, the temporal curriculum, and the
+// black-hole diagnostics. This is the paper's primary contribution layer.
+package core
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/ad"
+	"repro/internal/dual"
+	"repro/internal/maxwell"
+	"repro/internal/nn"
+	"repro/internal/qsim"
+)
+
+// Arch selects a network architecture from Table 1.
+type Arch int
+
+const (
+	ClassicalRegular Arch = iota // 4 hidden layers
+	ClassicalReduced             // 3 hidden layers
+	ClassicalExtra               // 5 hidden layers
+	QPINN                        // 3 hidden layers + adapter + PQC
+	ClassicalTrig                // QPINN topology with a fixed trig basis instead of the PQC (§6.2 control)
+)
+
+func (a Arch) String() string {
+	switch a {
+	case ClassicalRegular:
+		return "Classical - regular"
+	case ClassicalReduced:
+		return "Classical - reduced layer"
+	case ClassicalExtra:
+		return "Classical - extra layer"
+	case QPINN:
+		return "QPINN"
+	case ClassicalTrig:
+		return "Classical - trig control"
+	}
+	return "unknown"
+}
+
+// ModelConfig sizes a model. The paper's scale is Hidden=128, RFFFeatures=128,
+// NumQubits=7, QLayers=4; smoke presets shrink Hidden/RFFFeatures only, which
+// preserves every architectural relationship of Table 1.
+type ModelConfig struct {
+	Arch        Arch
+	Hidden      int
+	RFFFeatures int
+	RFFSigma    float64
+	NumQubits   int
+	QLayers     int
+	Ansatz      qsim.AnsatzKind
+	Scaling     qsim.ScalingKind
+	Init        qsim.InitStrategy
+	Reupload    bool    // §6.2(c): repeat the angle embedding before every ansatz layer
+	TimePeriod  float64 // initial learned period
+	Seed        int64
+}
+
+// PaperModel returns the paper-scale configuration.
+func PaperModel(arch Arch, ansatz qsim.AnsatzKind, scaling qsim.ScalingKind) ModelConfig {
+	return ModelConfig{
+		Arch: arch, Hidden: 128, RFFFeatures: 128, RFFSigma: 1,
+		NumQubits: 7, QLayers: 4, Ansatz: ansatz, Scaling: scaling,
+		Init: qsim.InitRegular, TimePeriod: 4, Seed: 1,
+	}
+}
+
+// SmokeModel returns a laptop-scale configuration with the same topology.
+func SmokeModel(arch Arch, ansatz qsim.AnsatzKind, scaling qsim.ScalingKind) ModelConfig {
+	m := PaperModel(arch, ansatz, scaling)
+	m.Hidden = 32
+	m.RFFFeatures = 24
+	m.RFFSigma = 2
+	m.NumQubits = 4
+	m.QLayers = 2
+	return m
+}
+
+// Model is an assembled network implementing maxwell.Forward.
+type Model struct {
+	Cfg     ModelConfig
+	Reg     *nn.Registry
+	Layers  []nn.Layer
+	Quantum *nn.Quantum // nil for classical architectures
+	Circ    *qsim.Circuit
+}
+
+// NewModel builds the network. Layer sizes follow §2.2/§2.3: input (x,y,t) →
+// periodic embedding (6 features, one learned period parameter) → RFF
+// (2·RFFFeatures sinusoidal features, fixed) → hidden tanh layers of width
+// Hidden → output (Ez, Hx, Hy). The QPINN replaces the last hidden layer
+// with an adapter to NumQubits activations, the PQC, and a NumQubits→3
+// output layer — reproducing Table 1's parameter counts exactly at paper
+// scale.
+func NewModel(cfg ModelConfig) *Model {
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	reg := &nn.Registry{}
+	m := &Model{Cfg: cfg, Reg: reg}
+
+	m.Layers = append(m.Layers, nn.NewPeriodic(reg, 2, 2, cfg.TimePeriod))
+	m.Layers = append(m.Layers, nn.NewRFF(rng, 6, cfg.RFFFeatures, cfg.RFFSigma))
+	in := 2 * cfg.RFFFeatures
+	h := cfg.Hidden
+
+	hidden := map[Arch]int{ClassicalRegular: 4, ClassicalReduced: 3, ClassicalExtra: 5, QPINN: 3, ClassicalTrig: 3}[cfg.Arch]
+	for i := 0; i < hidden; i++ {
+		m.Layers = append(m.Layers, nn.NewDense(reg, rng, fmt.Sprintf("h%d", i+1), in, h, true))
+		in = h
+	}
+
+	switch cfg.Arch {
+	case QPINN:
+		m.Layers = append(m.Layers, nn.NewDense(reg, rng, "adapter", in, cfg.NumQubits, true))
+		m.Circ = cfg.Ansatz.Build(cfg.NumQubits, cfg.QLayers)
+		if cfg.Reupload {
+			m.Circ = m.Circ.WithReupload()
+		}
+		m.Quantum = nn.NewQuantum(reg, rng, m.Circ, cfg.Scaling, cfg.Init)
+		m.Layers = append(m.Layers, m.Quantum)
+		in = cfg.NumQubits
+	case ClassicalTrig:
+		m.Layers = append(m.Layers, nn.NewDense(reg, rng, "adapter", in, cfg.NumQubits, true))
+		m.Layers = append(m.Layers, nn.NewTrig(cfg.Scaling))
+		in = cfg.NumQubits
+	}
+	m.Layers = append(m.Layers, nn.NewDense(reg, rng, "out", in, 3, false))
+	return m
+}
+
+// ParamCounts returns (classical, quantum, total) trainable parameters.
+func (m *Model) ParamCounts() (classical, quantum, total int) {
+	for _, p := range m.Reg.Params {
+		if p.Name == "quantum.theta" {
+			quantum += len(p.W)
+		} else {
+			classical += len(p.W)
+		}
+	}
+	return classical, quantum, classical + quantum
+}
+
+// Forward implements maxwell.Forward: it binds nothing (the caller binds the
+// registry once per tape) and evaluates the network on a coordinate batch.
+func (m *Model) Forward(tp *ad.Tape, coords []float64, n int, withTangents bool) maxwell.FieldsDual {
+	x := dual.FromValue(tp.Leaf(n, 3, coords, false))
+	if withTangents {
+		for k := 0; k < 3; k++ {
+			tan := make([]float64, n*3)
+			for i := 0; i < n; i++ {
+				tan[i*3+k] = 1
+			}
+			x.T[k] = tp.Const(n, 3, tan)
+		}
+	}
+	for _, l := range m.Layers {
+		x = l.Forward(tp, x)
+	}
+	return maxwell.Split(tp, x)
+}
+
+// EvalEz evaluates only the Ez component (no gradients, no tangents) over a
+// coordinate batch — the L2-metric path.
+func (m *Model) EvalEz(coords []float64, n int) []float64 {
+	tp := ad.NewTape()
+	m.Reg.Bind(tp, false)
+	f := m.Forward(tp, coords, n, false)
+	return append([]float64(nil), f.Ez.V.Data()...)
+}
+
+// EvalFields evaluates all three components without gradients.
+func (m *Model) EvalFields(coords []float64, n int) (ez, hx, hy []float64) {
+	tp := ad.NewTape()
+	m.Reg.Bind(tp, false)
+	f := m.Forward(tp, coords, n, false)
+	return append([]float64(nil), f.Ez.V.Data()...),
+		append([]float64(nil), f.Hx.V.Data()...),
+		append([]float64(nil), f.Hy.V.Data()...)
+}
+
+// PenultimateActivations returns the outputs of the second-to-last layer
+// (the quantum layer for QPINNs, the last tanh for classical nets) at the
+// given points — the Fig. 12 initialization study's observable.
+func (m *Model) PenultimateActivations(coords []float64, n int) []float64 {
+	tp := ad.NewTape()
+	m.Reg.Bind(tp, false)
+	x := dual.FromValue(tp.Leaf(n, 3, coords, false))
+	for _, l := range m.Layers[:len(m.Layers)-1] {
+		x = l.Forward(tp, x)
+	}
+	return append([]float64(nil), x.V.Data()...)
+}
+
+// PenultimateQuantumAngles evaluates the network up to the quantum layer's
+// scaled embedding angles (QPINN only). The registry must already be bound
+// to tp.
+func (m *Model) PenultimateQuantumAngles(tp *ad.Tape, coords []float64, n int) []float64 {
+	if m.Quantum == nil {
+		panic("core: PenultimateQuantumAngles on a classical model")
+	}
+	x := dual.FromValue(tp.Leaf(n, 3, coords, false))
+	for _, l := range m.Layers {
+		if l == nn.Layer(m.Quantum) {
+			break
+		}
+		x = l.Forward(tp, x)
+	}
+	angles := m.Quantum.ScaleOnly(tp, x)
+	return append([]float64(nil), angles.V.Data()...)
+}

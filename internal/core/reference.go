@@ -1,0 +1,112 @@
+package core
+
+import (
+	"math"
+
+	"repro/internal/maxwell"
+	"repro/internal/refsol"
+)
+
+// Reference is a precomputed ground-truth evaluation set: Ez (and the full
+// fields, for energy diagnostics) at a space–time probe grid. Vacuum cases
+// use the exact spectral solution; the dielectric case uses the 4th-order
+// Padé compact scheme, matching the paper's choice of reference.
+type Reference struct {
+	Coords    []float64 // M×3
+	Ez        []float64
+	Times     []float64
+	PerSlice  int // points per time slice
+	SliceEps  []float64
+	RefEnergy []float64 // reference total energy per slice (vacuum: constant)
+}
+
+// NewReference builds the probe set: a g×g spatial grid at each of the
+// requested times. solverGrid controls the reference solver resolution.
+func NewReference(p maxwell.Problem, g int, times []float64, solverGrid int) *Reference {
+	r := &Reference{Times: times, PerSlice: g * g}
+	m := r.PerSlice * len(times)
+	r.Coords = make([]float64, m*3)
+	r.Ez = make([]float64, m)
+	r.SliceEps = make([]float64, r.PerSlice)
+
+	for iy := 0; iy < g; iy++ {
+		y := refsol.Coord(iy, g)
+		for ix := 0; ix < g; ix++ {
+			r.SliceEps[iy*g+ix] = p.Medium.EpsAt(refsol.Coord(ix, g), y)
+		}
+	}
+
+	init := p.Pulse.InitFields(solverGrid)
+	var snaps []*refsol.Fields
+	if p.Case == maxwell.DielectricCase {
+		med := refsol.SmoothSlab(2 * refsol.L / float64(solverGrid))
+		snaps = refsol.NewPade(solverGrid, med).Solve(init, times)
+	} else {
+		snaps = refsol.NewSpectral(init).Series(times)
+	}
+
+	i := 0
+	for s, t := range times {
+		f := snaps[s]
+		for iy := 0; iy < g; iy++ {
+			y := refsol.Coord(iy, g)
+			for ix := 0; ix < g; ix++ {
+				x := refsol.Coord(ix, g)
+				r.Coords[i*3+0] = x
+				r.Coords[i*3+1] = y
+				r.Coords[i*3+2] = t
+				r.Ez[i] = sampleBilinear(f, x, y)
+				i++
+			}
+		}
+	}
+	for _, f := range snaps {
+		r.RefEnergy = append(r.RefEnergy, refsol.TotalEnergy(f, p.Medium))
+	}
+	return r
+}
+
+// sampleBilinear interpolates a field grid at a physical point (periodic).
+func sampleBilinear(f *refsol.Fields, x, y float64) float64 {
+	n := f.N
+	fx := (x - refsol.XMin) / refsol.L * float64(n)
+	fy := (y - refsol.XMin) / refsol.L * float64(n)
+	ix, iy := int(math.Floor(fx)), int(math.Floor(fy))
+	ax, ay := fx-float64(ix), fy-float64(iy)
+	wrap := func(i int) int { return ((i % n) + n) % n }
+	v00 := f.Ez[wrap(iy)*n+wrap(ix)]
+	v01 := f.Ez[wrap(iy)*n+wrap(ix+1)]
+	v10 := f.Ez[wrap(iy+1)*n+wrap(ix)]
+	v11 := f.Ez[wrap(iy+1)*n+wrap(ix+1)]
+	return (1-ay)*((1-ax)*v00+ax*v01) + ay*((1-ax)*v10+ax*v11)
+}
+
+// L2Of computes the paper's eq. 32 metric for a model prediction over the
+// probe set.
+func (r *Reference) L2Of(predEz []float64) float64 {
+	var num, den float64
+	for i, ref := range r.Ez {
+		d := predEz[i] - ref
+		num += d * d
+		den += ref * ref
+	}
+	if den == 0 {
+		return math.Inf(1)
+	}
+	return math.Sqrt(num / den)
+}
+
+// EnergySeries computes the model's total energy per probe time slice
+// (eq. 33 discretized on the probe grid) from full field predictions.
+func (r *Reference) EnergySeries(ez, hx, hy []float64) []float64 {
+	out := make([]float64, len(r.Times))
+	for s := range r.Times {
+		var u float64
+		for j := 0; j < r.PerSlice; j++ {
+			i := s*r.PerSlice + j
+			u += 0.5 * (r.SliceEps[j]*ez[i]*ez[i] + hx[i]*hx[i] + hy[i]*hy[i])
+		}
+		out[s] = u
+	}
+	return out
+}

@@ -1,0 +1,171 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+
+	"repro/internal/ad"
+	"repro/internal/diag"
+	"repro/internal/maxwell"
+	"repro/internal/opt"
+	"repro/internal/qsim"
+)
+
+// TrainConfig controls one training run.
+type TrainConfig struct {
+	Epochs   int
+	Schedule opt.ExpDecay
+	Grid     int // collocation points per coordinate (paper: 64)
+	TimeBins int // temporal curriculum bins (paper: 5)
+	Kappa    float64
+
+	Loss maxwell.Config
+
+	EvalEvery          int  // epochs between L2/energy evaluations
+	QuantumDiagnostics bool // track Meyer–Wallach during training
+}
+
+// SmokeTrain returns a laptop-scale training configuration.
+func SmokeTrain(epochs int, loss maxwell.Config) TrainConfig {
+	return TrainConfig{
+		Epochs: epochs, Schedule: opt.PaperSchedule(), Grid: 10, TimeBins: 5,
+		Kappa: 2, Loss: loss, EvalEvery: max(1, epochs/40),
+	}
+}
+
+// PaperTrain returns the paper-scale configuration (§2.2): 64³ grid,
+// 25 000 epochs.
+func PaperTrain(loss maxwell.Config) TrainConfig {
+	return TrainConfig{
+		Epochs: 25000, Schedule: opt.PaperSchedule(), Grid: 64, TimeBins: 5,
+		Kappa: 8, Loss: loss, EvalEvery: 250,
+	}
+}
+
+// EpochStats is one row of the training history.
+type EpochStats struct {
+	Epoch    int
+	Total    float64
+	Phys     float64
+	IC       float64
+	Sym      float64
+	Energy   float64
+	GradNorm float64
+	GradVar  float64
+	L2       float64 // NaN when not evaluated this epoch
+	IBH      float64 // NaN when not evaluated
+	MW       float64 // Meyer–Wallach; NaN unless quantum diagnostics enabled
+}
+
+// RunResult is the outcome of one training run.
+type RunResult struct {
+	History   []EpochStats
+	FinalL2   float64
+	FinalIBH  float64
+	Collapsed bool
+	Model     *Model
+}
+
+// Train runs the full loop: build collocation, iterate epochs (bind params,
+// assemble the eq. 26 loss, backprop, Adam step, curriculum update), and
+// evaluate the L2 error and black-hole index against the reference.
+func Train(p maxwell.Problem, mcfg ModelConfig, tcfg TrainConfig, ref *Reference) *RunResult {
+	model := NewModel(mcfg)
+	return TrainModel(model, p, tcfg, ref)
+}
+
+// TrainModel trains an existing model (exposed for warm starts and tests).
+func TrainModel(model *Model, p maxwell.Problem, tcfg TrainConfig, ref *Reference) *RunResult {
+	coll := maxwell.NewCollocation(p, tcfg.Grid, tcfg.TimeBins)
+	curriculum := maxwell.NewTimeCurriculum(tcfg.TimeBins, tcfg.Kappa)
+	adam := opt.NewAdam(tcfg.Schedule.LR0, model.Reg.Buffers(), model.Reg.Grads)
+
+	res := &RunResult{Model: model}
+	tp := ad.NewTape()
+
+	// Fixed probe set for Meyer–Wallach tracking.
+	var mwProbe []float64
+	if tcfg.QuantumDiagnostics && model.Quantum != nil {
+		rng := rand.New(rand.NewSource(977))
+		mwProbe = make([]float64, 64*3)
+		for i := range mwProbe {
+			mwProbe[i] = rng.Float64()*2 - 1
+		}
+	}
+
+	for epoch := 0; epoch < tcfg.Epochs; epoch++ {
+		adam.LR = tcfg.Schedule.At(epoch)
+
+		cfg := tcfg.Loss
+		if !curriculum.Converged(1e-3) {
+			cfg.TimeWeights = curriculum.Weights()
+		}
+
+		tp.Reset()
+		model.Reg.Bind(tp, true)
+		terms := maxwell.Build(tp, model.Forward, p, coll, cfg)
+		tp.Backward(terms.Total)
+		model.Reg.PullGrads()
+		adam.Step()
+		curriculum.Update(terms.BinResiduals)
+
+		st := EpochStats{
+			Epoch: epoch,
+			Total: terms.Total.Scalar(),
+			Phys:  terms.Phys.Scalar(),
+			IC:    terms.IC.Scalar(),
+			L2:    math.NaN(), IBH: math.NaN(), MW: math.NaN(),
+		}
+		if terms.Sym.Valid() {
+			st.Sym = terms.Sym.Scalar()
+		}
+		if terms.Energy.Valid() {
+			st.Energy = terms.Energy.Scalar()
+		}
+		st.GradNorm, st.GradVar = model.Reg.GradNormAndVar()
+
+		if ref != nil && (epoch%tcfg.EvalEvery == 0 || epoch == tcfg.Epochs-1) {
+			st.L2, st.IBH = Evaluate(model, ref)
+		}
+		if mwProbe != nil && epoch%tcfg.EvalEvery == 0 {
+			st.MW = modelMeyerWallach(model, mwProbe, 64)
+		}
+		res.History = append(res.History, st)
+	}
+
+	if ref != nil {
+		res.FinalL2, res.FinalIBH = Evaluate(model, ref)
+		res.Collapsed = diag.Collapsed(res.FinalIBH)
+	}
+	return res
+}
+
+// Evaluate computes the L2 error (eq. 32) and the black-hole index I_BH
+// (eq. 35) of the model against the reference probe set.
+func Evaluate(model *Model, ref *Reference) (l2, ibh float64) {
+	n := len(ref.Ez)
+	ez, hx, hy := model.EvalFields(ref.Coords, n)
+	l2 = ref.L2Of(ez)
+	energy := ref.EnergySeries(ez, hx, hy)
+	ibh = diag.IBH(energy, 1)
+	return
+}
+
+// modelMeyerWallach runs the quantum layer's circuit on the activations the
+// network currently feeds it at a fixed probe batch.
+func modelMeyerWallach(model *Model, probe []float64, n int) float64 {
+	// Forward up to (and including) the adapter, then scale and run the
+	// circuit directly.
+	tp := ad.NewTape()
+	model.Reg.Bind(tp, false)
+	acts := model.PenultimateQuantumAngles(tp, probe, n)
+	st := qsim.FinalState(model.Circ, acts, model.Quantum.Theta.W, n)
+	return qsim.MeyerWallach(st)
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,76 @@
+// Package diag implements the paper's training diagnostics: the "black
+// hole" collapse index I_BH (eqs. 33–35), the operational collapse
+// criterion, and the per-point derivative cost model of §2.2.
+package diag
+
+import "math"
+
+// IBH computes the black-hole index of eq. 35 from a total-energy series
+// U(t_s): 1 − min_{t ≥ δ} U(t)/U(0). Values near 1 mean the fields have
+// faded to the trivial solution everywhere after the initial slice. The
+// first sample is taken as t = 0; slices before delta (in index space) are
+// excluded from the minimum.
+func IBH(energy []float64, skip int) float64 {
+	if len(energy) == 0 || energy[0] <= 0 {
+		return math.NaN()
+	}
+	if skip < 1 {
+		skip = 1
+	}
+	minRatio := math.Inf(1)
+	for _, u := range energy[skip:] {
+		if r := u / energy[0]; r < minRatio {
+			minRatio = r
+		}
+	}
+	if math.IsInf(minRatio, 1) {
+		return math.NaN()
+	}
+	return 1 - minRatio
+}
+
+// Collapsed applies the operational criterion of §5: the run collapsed to
+// the trivial solution when I_BH exceeds the threshold (the paper requires
+// Ũ ≪ 1; we use 0.9 as "≪").
+func Collapsed(ibh float64) bool { return ibh > 0.9 }
+
+// BHOccurred applies the population-level definition: a BH phenomenon is
+// declared when more than 95% of seeds collapse.
+func BHOccurred(ibhPerSeed []float64) bool {
+	if len(ibhPerSeed) == 0 {
+		return false
+	}
+	collapsed := 0
+	for _, v := range ibhPerSeed {
+		if Collapsed(v) {
+			collapsed++
+		}
+	}
+	return float64(collapsed) > 0.95*float64(len(ibhPerSeed))
+}
+
+// CostModel evaluates the paper's per-point loss-evaluation cost estimate
+// (the unnumbered C_loss equation in §2.1):
+//
+//	C_loss ≈ 1 + Σ_d 2^order(d) · occurrences(d)
+//
+// over the derivative terms d needed by the loss.
+type DerivTerm struct {
+	Order       int
+	Occurrences int
+}
+
+// CostModel sums the estimate for a set of derivative terms.
+func CostModel(terms []DerivTerm) float64 {
+	c := 1.0
+	for _, t := range terms {
+		c += math.Pow(2, float64(t.Order)) * float64(t.Occurrences)
+	}
+	return c
+}
+
+// MaxwellLossCost returns the cost-model estimate for the TEz physics loss:
+// nine first-order derivative dependences (three per residual equation).
+func MaxwellLossCost() float64 {
+	return CostModel([]DerivTerm{{Order: 1, Occurrences: 9}})
+}

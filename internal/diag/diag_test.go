@@ -1,0 +1,89 @@
+package diag
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestIBH(t *testing.T) {
+	// Conserved energy ⇒ I_BH = 0.
+	if got := IBH([]float64{1, 1, 1, 1}, 1); math.Abs(got) > 1e-15 {
+		t.Fatalf("conserved energy I_BH = %v", got)
+	}
+	// Full fade after the initial slice ⇒ I_BH = 1.
+	if got := IBH([]float64{1, 0, 0, 0}, 1); math.Abs(got-1) > 1e-15 {
+		t.Fatalf("fade I_BH = %v", got)
+	}
+	// 40% dip ⇒ I_BH = 0.4.
+	if got := IBH([]float64{1, 0.9, 0.6, 0.8}, 1); math.Abs(got-0.4) > 1e-12 {
+		t.Fatalf("dip I_BH = %v", got)
+	}
+	// The skip excludes early slices from the minimum.
+	if got := IBH([]float64{1, 0.1, 0.95, 0.95}, 2); math.Abs(got-0.05) > 1e-12 {
+		t.Fatalf("skip I_BH = %v", got)
+	}
+	// Degenerate inputs → NaN.
+	if got := IBH(nil, 1); !math.IsNaN(got) {
+		t.Fatalf("nil energy I_BH = %v", got)
+	}
+	if got := IBH([]float64{0, 1}, 1); !math.IsNaN(got) {
+		t.Fatalf("zero initial energy I_BH = %v", got)
+	}
+}
+
+// Property: I_BH ≤ 1 for nonnegative energies, and monotone in the dip.
+func TestIBHBoundsProperty(t *testing.T) {
+	f := func(raw [6]float64) bool {
+		e := make([]float64, 6)
+		e[0] = 1
+		for i := 1; i < 6; i++ {
+			e[i] = math.Abs(math.Mod(raw[i], 3))
+			if math.IsNaN(e[i]) {
+				e[i] = 0.5
+			}
+		}
+		v := IBH(e, 1)
+		return v <= 1+1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCollapseCriteria(t *testing.T) {
+	if Collapsed(0.5) || !Collapsed(0.95) {
+		t.Fatal("collapse threshold wrong")
+	}
+	// BH phenomenon: >95% of seeds must collapse.
+	all := []float64{0.99, 0.97, 0.98, 0.99, 0.95000001}
+	if !BHOccurred(all) {
+		t.Fatal("all-collapsed population must be a BH phenomenon")
+	}
+	mixed := []float64{0.99, 0.97, 0.5, 0.99, 0.99}
+	if BHOccurred(mixed) {
+		t.Fatal("4/5 collapsed is not >95%")
+	}
+	if BHOccurred(nil) {
+		t.Fatal("empty population")
+	}
+}
+
+func TestCostModel(t *testing.T) {
+	// No derivatives: cost 1.
+	if got := CostModel(nil); got != 1 {
+		t.Fatalf("base cost %v", got)
+	}
+	// One first-order term: 1 + 2·1 = 3.
+	if got := CostModel([]DerivTerm{{1, 1}}); got != 3 {
+		t.Fatalf("first-order cost %v", got)
+	}
+	// Second-order term: 1 + 4·2 = 9.
+	if got := CostModel([]DerivTerm{{2, 2}}); got != 9 {
+		t.Fatalf("second-order cost %v", got)
+	}
+	// The TEz loss: nine first-order dependences → 1 + 2·9 = 19.
+	if got := MaxwellLossCost(); got != 19 {
+		t.Fatalf("Maxwell loss cost %v", got)
+	}
+}

@@ -1,0 +1,221 @@
+package dual
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/ad"
+)
+
+// buildNet is a tiny smooth network f: R³ → R² exercising every dual op used
+// on the PINN forward path: periodic features, a fixed projection, tanh
+// layers, column select/concat, and a learned scalar.
+func buildNet(tp *ad.Tape, coords []float64, n int, w1, b1, w2, b2, sParam []float64, omega []float64, withTangents bool) D {
+	x := FromValue(tp.Leaf(n, 3, coords, false))
+	if withTangents {
+		for k := 0; k < 3; k++ {
+			tan := make([]float64, n*3)
+			for i := 0; i < n; i++ {
+				tan[i*3+k] = 1
+			}
+			x.T[k] = tp.Const(n, 3, tan)
+		}
+	}
+	s := tp.Leaf(1, 1, sParam, true)
+	// Periodic-style features with a learned frequency on the last column.
+	xc := Col(tp, x, 0)
+	yc := Col(tp, x, 1)
+	tc := ScaleVar(tp, Col(tp, x, 2), s)
+	feats := ConcatCols(tp, ConcatCols(tp, Sin(tp, xc), Cos(tp, yc)), Sin(tp, tc))
+	proj := MatMulC(tp, feats, omega, 4)
+	w1v := tp.Leaf(4, 5, w1, true)
+	b1v := tp.Leaf(1, 5, b1, true)
+	h := Tanh(tp, Linear(tp, proj, w1v, b1v))
+	w2v := tp.Leaf(5, 2, w2, true)
+	b2v := tp.Leaf(1, 2, b2, true)
+	return Linear(tp, h, w2v, b2v)
+}
+
+func TestTangentsMatchFiniteDifferences(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	n := 6
+	coords := make([]float64, n*3)
+	for i := range coords {
+		coords[i] = rng.Float64()*2 - 1
+	}
+	w1 := randn(rng, 3*4*5/3) // 4×5
+	b1 := randn(rng, 5)
+	w2 := randn(rng, 5*2)
+	b2 := randn(rng, 2)
+	sp := []float64{1.7}
+	omega := randn(rng, 3*4)
+
+	eval := func(c []float64) []float64 {
+		tp := ad.NewTape()
+		out := buildNet(tp, c, n, w1, b1, w2, b2, sp, omega, false)
+		return append([]float64(nil), out.V.Data()...)
+	}
+
+	tp := ad.NewTape()
+	out := buildNet(tp, coords, n, w1, b1, w2, b2, sp, omega, true)
+
+	const h = 1e-6
+	for k := 0; k < 3; k++ {
+		tanData := out.T[k].Data()
+		for i := 0; i < n; i++ {
+			cp := append([]float64(nil), coords...)
+			cp[i*3+k] += h
+			fp := eval(cp)
+			cp[i*3+k] -= 2 * h
+			fm := eval(cp)
+			for j := 0; j < 2; j++ {
+				num := (fp[i*2+j] - fm[i*2+j]) / (2 * h)
+				got := tanData[i*2+j]
+				if math.Abs(got-num) > 1e-5*(1+math.Abs(num)) {
+					t.Errorf("tangent[%d] sample %d out %d: %v vs fd %v", k, i, j, got, num)
+				}
+			}
+		}
+	}
+}
+
+// TestTangentLossParamGradients is the load-bearing check for PINN training:
+// a loss built from *tangent* nodes (a PDE-residual stand-in) must have exact
+// parameter gradients. This validates the forward-over-reverse composition.
+func TestTangentLossParamGradients(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	n := 5
+	coords := make([]float64, n*3)
+	for i := range coords {
+		coords[i] = rng.Float64()*2 - 1
+	}
+	w1 := randn(rng, 4*5)
+	b1 := randn(rng, 5)
+	w2 := randn(rng, 5*2)
+	b2 := randn(rng, 2)
+	sp := []float64{1.3}
+	omega := randn(rng, 3*4)
+
+	params := [][]float64{w1, b1, w2, b2, sp}
+
+	// Build once with handles retained for gradient readout.
+	tp := ad.NewTape()
+	x := FromValue(tp.Leaf(n, 3, coords, false))
+	for k := 0; k < 3; k++ {
+		tan := make([]float64, n*3)
+		for i := 0; i < n; i++ {
+			tan[i*3+k] = 1
+		}
+		x.T[k] = tp.Const(n, 3, tan)
+	}
+	sV := tp.Leaf(1, 1, sp, true)
+	xc := Col(tp, x, 0)
+	yc := Col(tp, x, 1)
+	tc := ScaleVar(tp, Col(tp, x, 2), sV)
+	feats := ConcatCols(tp, ConcatCols(tp, Sin(tp, xc), Cos(tp, yc)), Sin(tp, tc))
+	proj := MatMulC(tp, feats, omega, 4)
+	w1V := tp.Leaf(4, 5, w1, true)
+	b1V := tp.Leaf(1, 5, b1, true)
+	hid := Tanh(tp, Linear(tp, proj, w1V, b1V))
+	w2V := tp.Leaf(5, 2, w2, true)
+	b2V := tp.Leaf(1, 2, b2, true)
+	out := Linear(tp, hid, w2V, b2V)
+	f0 := Col(tp, out, 0)
+	f1 := Col(tp, out, 1)
+	res := tp.Add(tp.Sub(f0.T[2], f1.T[0]), tp.Mul(f0.V, f1.T[1]))
+	loss := tp.MSE(res)
+	tp.Backward(loss)
+	grads := [][]float64{w1V.Grad(), b1V.Grad(), w2V.Grad(), b2V.Grad(), sV.Grad()}
+
+	evalLoss := func() float64 {
+		tp2 := ad.NewTape()
+		out2 := buildNet(tp2, coords, n, w1, b1, w2, b2, sp, omega, true)
+		f0 := Col(tp2, out2, 0)
+		f1 := Col(tp2, out2, 1)
+		res := tp2.Add(tp2.Sub(f0.T[2], f1.T[0]), tp2.Mul(f0.V, f1.T[1]))
+		return tp2.MSE(res).Scalar()
+	}
+
+	const h = 1e-6
+	for pi, p := range params {
+		for j := range p {
+			orig := p[j]
+			p[j] = orig + h
+			fp := evalLoss()
+			p[j] = orig - h
+			fm := evalLoss()
+			p[j] = orig
+			num := (fp - fm) / (2 * h)
+			got := grads[pi][j]
+			if math.Abs(got-num) > 2e-4*(1+math.Abs(num)) {
+				t.Errorf("param %d[%d]: grad %v vs fd %v", pi, j, got, num)
+			}
+		}
+	}
+}
+
+func TestDualArithmeticIdentities(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	n := 4
+	tp := ad.NewTape()
+	a := dualWithTangents(tp, rng, n)
+	b := dualWithTangents(tp, rng, n)
+
+	// (a+b) − b has the same value and tangents as a.
+	c := Sub(tp, Add(tp, a, b), b)
+	assertClose(t, "add/sub value", c.V.Data(), a.V.Data(), 1e-12)
+	for k := 0; k < K; k++ {
+		assertClose(t, "add/sub tangent", c.T[k].Data(), a.T[k].Data(), 1e-12)
+	}
+
+	// Product rule consistency: d(a²) = 2 a da.
+	sq := Mul(tp, a, a)
+	sq2 := Square(tp, a)
+	assertClose(t, "square value", sq.V.Data(), sq2.V.Data(), 1e-12)
+	for k := 0; k < K; k++ {
+		assertClose(t, "square tangent", sq.T[k].Data(), sq2.T[k].Data(), 1e-12)
+	}
+
+	// sin² + cos² = 1 with zero tangent.
+	s, c2 := Sin(tp, a), Cos(tp, a)
+	one := Add(tp, Square(tp, s), Square(tp, c2))
+	for _, v := range one.V.Data() {
+		if math.Abs(v-1) > 1e-12 {
+			t.Errorf("sin²+cos² = %v", v)
+		}
+	}
+	for k := 0; k < K; k++ {
+		for _, v := range one.T[k].Data() {
+			if math.Abs(v) > 1e-12 {
+				t.Errorf("d(sin²+cos²) = %v, want 0", v)
+			}
+		}
+	}
+}
+
+func dualWithTangents(tp *ad.Tape, rng *rand.Rand, n int) D {
+	d := FromValue(tp.Const(n, 1, randn(rng, n)))
+	for k := 0; k < K; k++ {
+		d.T[k] = tp.Const(n, 1, randn(rng, n))
+	}
+	return d
+}
+
+func randn(rng *rand.Rand, n int) []float64 {
+	s := make([]float64, n)
+	for i := range s {
+		s[i] = rng.NormFloat64() * 0.5
+	}
+	return s
+}
+
+func assertClose(t *testing.T, name string, got, want []float64, tol float64) {
+	t.Helper()
+	for i := range got {
+		if math.Abs(got[i]-want[i]) > tol {
+			t.Errorf("%s[%d]: %v vs %v", name, i, got[i], want[i])
+			return
+		}
+	}
+}

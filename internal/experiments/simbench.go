@@ -1,0 +1,156 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/qsim"
+	"repro/internal/report"
+)
+
+// Table1 reproduces the parameter-count table exactly (it is resolution
+// independent: counts are computed at paper scale regardless of preset).
+func Table1(o Options) error {
+	t := report.NewTable("Table 1: learnable parameters per architecture (paper scale)",
+		"Ansatz / network", "# Classical", "# Quantum", "# Total")
+	rows := []struct {
+		name   string
+		arch   core.Arch
+		ansatz qsim.AnsatzKind
+	}{
+		{"Classical - regular", core.ClassicalRegular, qsim.BasicEntangling},
+		{"Classical - reduced layer", core.ClassicalReduced, qsim.BasicEntangling},
+		{"Classical - extra layer", core.ClassicalExtra, qsim.BasicEntangling},
+		{"Cross-Mesh", core.QPINN, qsim.CrossMesh},
+		{"Cross-Mesh-2-Rotations", core.QPINN, qsim.CrossMesh2Rot},
+		{"Cross-Mesh-CNOT", core.QPINN, qsim.CrossMeshCNOT},
+		{"No Entanglement Ansatz", core.QPINN, qsim.NoEntanglement},
+		{"Basic Entangling Layers", core.QPINN, qsim.BasicEntangling},
+		{"Strongly Entangling Layers", core.QPINN, qsim.StronglyEntangling},
+	}
+	for _, r := range rows {
+		m := core.NewModel(core.PaperModel(r.arch, r.ansatz, qsim.ScaleAsin))
+		cl, qu, tot := m.ParamCounts()
+		t.Row(r.name, cl, qu, tot)
+	}
+	t.Render(o.Out)
+	fmt.Fprintln(o.Out, "\nPaper values: 82820/66308/99332 classical-only; 66848 classical in every")
+	fmt.Fprintln(o.Out, "QPINN; 196/224/84/84/84/84 quantum — reproduced exactly (see unit tests).")
+	return nil
+}
+
+// Table2 reproduces the simulator comparison. The paper measured TorQ
+// against PennyLane's default.qubit (per-sample dense gate expansion) and
+// lightning (adjoint on GPU); our substitutes implement the same
+// architectures in-repo (see DESIGN.md). Reported: seconds per epoch
+// (forward + adjoint backward for the batched simulator; forward-only for
+// the naive baselines, which is already slower) and statevector memory per
+// collocation point.
+func Table2(o Options) error {
+	nq, layers := 7, 4
+	circ := qsim.StronglyEntangling.Build(nq, layers)
+	theta := make([]float64, circ.NumParams)
+	rng := rand.New(rand.NewSource(5))
+	for i := range theta {
+		theta[i] = rng.Float64() * 6.28
+	}
+
+	grids := []int{8, 12, 16}
+	naiveGrid, kronGrid := 4, 3
+	if o.Preset == Paper {
+		grids = []int{20, 32, 40}
+		naiveGrid, kronGrid = 8, 5
+	}
+
+	t := report.NewTable("Table 2: simulator comparison (7 qubits, 4 Strongly-Entangling layers)",
+		"Simulator", "Diff. method", "Grid", "Points", "Sec/epoch", "µs/point", "State bytes/point")
+	adjBytes, naiveBytes, kronBytes := qsim.MemoryPerPoint(nq, 4)
+
+	timeBatched := func(g int) (float64, int) {
+		n := g * g * g
+		angles := make([]float64, n*nq)
+		tans := make([][]float64, 3)
+		for k := range tans {
+			tans[k] = make([]float64, n*nq)
+		}
+		for i := range angles {
+			angles[i] = rng.Float64()*2 - 1
+			for k := range tans {
+				tans[k][i] = rng.Float64()*2 - 1
+			}
+		}
+		ws := qsim.NewWorkspace(n, nq)
+		pqc := &qsim.PQC{Circ: circ}
+		gz := make([]float64, n*nq)
+		for i := range gz {
+			gz[i] = 1
+		}
+		dA := make([]float64, n*nq)
+		dT := [][]float64{make([]float64, n*nq), make([]float64, n*nq), make([]float64, n*nq)}
+		dTheta := make([]float64, circ.NumParams)
+		start := time.Now()
+		_, ztans := pqc.Forward(ws, angles, tans, theta)
+		gzt := [][]float64{gz, gz, gz}
+		_ = ztans
+		pqc.Backward(ws, gz, gzt, dA, dT, dTheta)
+		return time.Since(start).Seconds(), n
+	}
+
+	for _, g := range grids {
+		sec, n := timeBatched(g)
+		t.Row("TorQ-analogue (batched adjoint)", "adjoint+tangents", fmt.Sprintf("%d^3", g), n,
+			sec, sec/float64(n)*1e6, adjBytes)
+	}
+
+	// Naive per-sample dense-gate simulator (PennyLane default.qubit-style).
+	{
+		n := naiveGrid * naiveGrid * naiveGrid
+		angles := make([]float64, n*nq)
+		for i := range angles {
+			angles[i] = rng.Float64()*2 - 1
+		}
+		start := time.Now()
+		(&qsim.NaiveSimulator{Circ: circ}).Run(angles, theta, n)
+		sec := time.Since(start).Seconds()
+		t.Row("Naive per-sample (default.qubit-like)", "forward only", fmt.Sprintf("%d^3", naiveGrid), n,
+			sec, sec/float64(n)*1e6, naiveBytes)
+	}
+	// Full-unitary composition (operator-pipeline style).
+	{
+		n := kronGrid * kronGrid * kronGrid
+		angles := make([]float64, n*nq)
+		for i := range angles {
+			angles[i] = rng.Float64()*2 - 1
+		}
+		start := time.Now()
+		(&qsim.KronSimulator{Circ: circ}).Run(angles, theta, n)
+		sec := time.Since(start).Seconds()
+		t.Row("Full-unitary composition (kron)", "forward only", fmt.Sprintf("%d^3", kronGrid), n,
+			sec, sec/float64(n)*1e6, kronBytes)
+	}
+	t.Render(o.Out)
+	fmt.Fprintf(o.Out, "\nMemory headroom: naive/adjoint = %.1f×, kron/adjoint = %.1f× per point —\n",
+		float64(naiveBytes)/float64(adjBytes), float64(kronBytes)/float64(adjBytes))
+	fmt.Fprintln(o.Out, "the architectural gap behind the paper's 87^3-vs-43^3 largest-grid result.")
+
+	// Largest-grid projection at the paper's GPU memory budget (48 GB L40s):
+	// grid³ · bytes-per-point ≤ budget, the paper's 87³-vs-43³ comparison.
+	const budget = 48 << 30
+	side := func(bytesPerPoint int) int {
+		return int(math.Cbrt(float64(budget) / float64(bytesPerPoint)))
+	}
+	lg := report.NewTable("Largest collocation grid within a 48 GB statevector budget",
+		"Simulator", "Bytes/point", "Max grid")
+	lg.Row("Batched adjoint (TorQ analogue)", adjBytes, fmt.Sprintf("%d^3", side(adjBytes)))
+	lg.Row("Naive per-sample (default.qubit-like)", naiveBytes, fmt.Sprintf("%d^3", side(naiveBytes)))
+	lg.Row("Full-unitary composition", kronBytes, fmt.Sprintf("%d^3", side(kronBytes)))
+	lg.Render(o.Out)
+	fmt.Fprintln(o.Out, "Paper: TorQ 87^3 vs default.qubit 43^3 (ratio ≈ 2.0 per side, ≈ 8× points);")
+	fmt.Fprintf(o.Out, "measured ratio per side: %.2f.\n",
+		float64(side(adjBytes))/float64(side(naiveBytes)))
+	fmt.Fprintln(o.Out, "Paper shape to verify: batched ≫ per-sample in µs/point (>50× at paper scale).")
+	return nil
+}

@@ -1,0 +1,118 @@
+// Package fft provides the radix-2 complex FFT underlying the exact
+// spectral reference solution of the vacuum Maxwell case. Stdlib-only: the
+// transform is an iterative in-place Cooley–Tukey with precomputed twiddles.
+package fft
+
+import (
+	"fmt"
+	"math"
+	"math/bits"
+)
+
+// Plan caches bit-reversal and twiddle tables for a fixed power-of-two size.
+type Plan struct {
+	n       int
+	rev     []int
+	twiddle []complex128 // forward twiddles e^{-2πik/n}, k < n/2
+}
+
+// NewPlan creates a plan for size n (must be a power of two ≥ 1).
+func NewPlan(n int) *Plan {
+	if n <= 0 || n&(n-1) != 0 {
+		panic(fmt.Sprintf("fft: size %d is not a power of two", n))
+	}
+	p := &Plan{n: n}
+	logN := bits.TrailingZeros(uint(n))
+	p.rev = make([]int, n)
+	for i := 0; i < n; i++ {
+		p.rev[i] = int(bits.Reverse(uint(i)) >> (bits.UintSize - logN))
+	}
+	p.twiddle = make([]complex128, n/2)
+	for k := range p.twiddle {
+		ang := -2 * math.Pi * float64(k) / float64(n)
+		p.twiddle[k] = complex(math.Cos(ang), math.Sin(ang))
+	}
+	return p
+}
+
+// Forward transforms a in place (DFT with e^{-2πi jk/n} kernel).
+func (p *Plan) Forward(a []complex128) { p.transform(a, false) }
+
+// Inverse transforms a in place, including the 1/n normalization.
+func (p *Plan) Inverse(a []complex128) {
+	p.transform(a, true)
+	inv := complex(1/float64(p.n), 0)
+	for i := range a {
+		a[i] *= inv
+	}
+}
+
+func (p *Plan) transform(a []complex128, inverse bool) {
+	n := p.n
+	if len(a) != n {
+		panic(fmt.Sprintf("fft: input length %d ≠ plan size %d", len(a), n))
+	}
+	for i, j := range p.rev {
+		if i < j {
+			a[i], a[j] = a[j], a[i]
+		}
+	}
+	for size := 2; size <= n; size <<= 1 {
+		half := size >> 1
+		step := n / size
+		for start := 0; start < n; start += size {
+			for k := 0; k < half; k++ {
+				w := p.twiddle[k*step]
+				if inverse {
+					w = complex(real(w), -imag(w))
+				}
+				u := a[start+k]
+				v := a[start+k+half] * w
+				a[start+k] = u + v
+				a[start+k+half] = u - v
+			}
+		}
+	}
+}
+
+// Forward2D transforms an n×n grid (row-major) in place: rows then columns.
+func Forward2D(a []complex128, n int) { transform2D(a, n, false) }
+
+// Inverse2D inverts Forward2D, including normalization.
+func Inverse2D(a []complex128, n int) { transform2D(a, n, true) }
+
+func transform2D(a []complex128, n int, inverse bool) {
+	p := NewPlan(n)
+	// Rows.
+	for r := 0; r < n; r++ {
+		row := a[r*n : (r+1)*n]
+		if inverse {
+			p.Inverse(row)
+		} else {
+			p.Forward(row)
+		}
+	}
+	// Columns via strided copy.
+	col := make([]complex128, n)
+	for c := 0; c < n; c++ {
+		for r := 0; r < n; r++ {
+			col[r] = a[r*n+c]
+		}
+		if inverse {
+			p.Inverse(col)
+		} else {
+			p.Forward(col)
+		}
+		for r := 0; r < n; r++ {
+			a[r*n+c] = col[r]
+		}
+	}
+}
+
+// FreqIndex maps a DFT bin to its signed frequency index (−n/2 < k ≤ n/2).
+func FreqIndex(bin, n int) int {
+	if bin <= n/2 {
+		return bin
+	}
+	return bin - n
+}

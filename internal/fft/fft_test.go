@@ -1,0 +1,133 @@
+package fft
+
+import (
+	"math"
+	"math/cmplx"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// naiveDFT is the O(n²) reference.
+func naiveDFT(a []complex128) []complex128 {
+	n := len(a)
+	out := make([]complex128, n)
+	for k := 0; k < n; k++ {
+		for j := 0; j < n; j++ {
+			ang := -2 * math.Pi * float64(j*k) / float64(n)
+			out[k] += a[j] * cmplx.Exp(complex(0, ang))
+		}
+	}
+	return out
+}
+
+func TestForwardMatchesNaiveDFT(t *testing.T) {
+	rng := rand.New(rand.NewSource(51))
+	for _, n := range []int{1, 2, 4, 8, 32, 128} {
+		a := make([]complex128, n)
+		for i := range a {
+			a[i] = complex(rng.NormFloat64(), rng.NormFloat64())
+		}
+		want := naiveDFT(a)
+		got := append([]complex128(nil), a...)
+		NewPlan(n).Forward(got)
+		for i := range got {
+			if cmplx.Abs(got[i]-want[i]) > 1e-9*(1+cmplx.Abs(want[i])) {
+				t.Fatalf("n=%d bin %d: %v vs %v", n, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+func TestRoundTripProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 << (1 + rng.Intn(7))
+		a := make([]complex128, n)
+		for i := range a {
+			a[i] = complex(rng.NormFloat64(), rng.NormFloat64())
+		}
+		orig := append([]complex128(nil), a...)
+		p := NewPlan(n)
+		p.Forward(a)
+		p.Inverse(a)
+		for i := range a {
+			if cmplx.Abs(a[i]-orig[i]) > 1e-10 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestParseval: energy is preserved up to the 1/n normalization.
+func TestParseval(t *testing.T) {
+	rng := rand.New(rand.NewSource(52))
+	n := 64
+	a := make([]complex128, n)
+	var timeE float64
+	for i := range a {
+		a[i] = complex(rng.NormFloat64(), 0)
+		timeE += real(a[i]) * real(a[i])
+	}
+	NewPlan(n).Forward(a)
+	var freqE float64
+	for _, v := range a {
+		freqE += real(v)*real(v) + imag(v)*imag(v)
+	}
+	if math.Abs(freqE/float64(n)-timeE) > 1e-9*timeE {
+		t.Fatalf("Parseval: %v vs %v", freqE/float64(n), timeE)
+	}
+}
+
+func Test2DRoundTripAndSeparability(t *testing.T) {
+	rng := rand.New(rand.NewSource(53))
+	n := 16
+	a := make([]complex128, n*n)
+	for i := range a {
+		a[i] = complex(rng.NormFloat64(), rng.NormFloat64())
+	}
+	orig := append([]complex128(nil), a...)
+	Forward2D(a, n)
+	Inverse2D(a, n)
+	for i := range a {
+		if cmplx.Abs(a[i]-orig[i]) > 1e-10 {
+			t.Fatalf("2D round trip failed at %d", i)
+		}
+	}
+}
+
+// TestSingleModeSpectrum: a pure complex exponential lands in exactly one bin.
+func TestSingleModeSpectrum(t *testing.T) {
+	n := 32
+	k := 5
+	a := make([]complex128, n)
+	for j := range a {
+		ang := 2 * math.Pi * float64(k*j) / float64(n)
+		a[j] = cmplx.Exp(complex(0, ang))
+	}
+	NewPlan(n).Forward(a)
+	for b := range a {
+		want := 0.0
+		if b == k {
+			want = float64(n)
+		}
+		if cmplx.Abs(a[b]-complex(want, 0)) > 1e-9 {
+			t.Fatalf("bin %d = %v, want %v", b, a[b], want)
+		}
+	}
+}
+
+func TestFreqIndex(t *testing.T) {
+	cases := []struct{ bin, n, want int }{
+		{0, 8, 0}, {1, 8, 1}, {4, 8, 4}, {5, 8, -3}, {7, 8, -1},
+	}
+	for _, c := range cases {
+		if got := FreqIndex(c.bin, c.n); got != c.want {
+			t.Errorf("FreqIndex(%d,%d) = %d, want %d", c.bin, c.n, got, c.want)
+		}
+	}
+}

@@ -1,0 +1,229 @@
+package maxwell
+
+import (
+	"repro/internal/ad"
+	"repro/internal/dual"
+)
+
+// FieldsDual is the model output at a batch of points, split into the three
+// TEz components, each an N×1 dual (value + ∂/∂x, ∂/∂y, ∂/∂t tangents).
+type FieldsDual struct {
+	Ez, Hx, Hy dual.D
+}
+
+// Split converts a raw N×3 model output into named components.
+func Split(tp *ad.Tape, out dual.D) FieldsDual {
+	return FieldsDual{
+		Ez: dual.Col(tp, out, 0),
+		Hx: dual.Col(tp, out, 1),
+		Hy: dual.Col(tp, out, 2),
+	}
+}
+
+// Forward evaluates the model on a coordinate batch. withTangents requests
+// the input-derivative channels (needed for PDE and energy losses; the IC
+// and symmetry losses use values only). The maxwell package is agnostic to
+// the architecture behind this closure.
+type Forward func(tp *ad.Tape, coords []float64, n int, withTangents bool) FieldsDual
+
+// Config selects the loss composition of one training run.
+type Config struct {
+	UseEnergy    bool
+	UseSymmetry  bool
+	UseIntuitive bool // §5.1: eq. 37 instead of eq. 14 in the dielectric case
+
+	WIC, WSym, WEnergy float64 // eq. 26 weights (10 each in the paper)
+
+	TimeWeights []float64 // per-bin curriculum weights; nil = uniform
+}
+
+// PaperConfig returns the eq. 26 weighting.
+func PaperConfig(energy bool, symmetry bool) Config {
+	return Config{UseEnergy: energy, UseSymmetry: symmetry, WIC: 10, WSym: 10, WEnergy: 10}
+}
+
+// Terms are the scalar loss components of one step (tape values), plus
+// plain-float diagnostics.
+type Terms struct {
+	Phys, IC, Sym, Energy, Total ad.Value
+	// BinResiduals are the unweighted mean squared PDE residuals per time
+	// bin, used by the adaptive temporal weighting curriculum.
+	BinResiduals []float64
+}
+
+// residuals computes the three PDE residuals (N×1 tape values) for the
+// normalized TEz system:
+//
+//	res1 = ∂Ez/∂t − s·(∂Hy/∂x − ∂Hx/∂y)   (s = 1 or 1/ε_r depending on variant)
+//	res2 = ∂Hx/∂t + ∂Ez/∂y
+//	res3 = ∂Hy/∂t − ∂Ez/∂x
+func residuals(tp *ad.Tape, f FieldsDual) (curlPart, res2, res3 ad.Value) {
+	curlPart = tp.Sub(f.Hy.T[0], f.Hx.T[1]) // ∂Hy/∂x − ∂Hx/∂y
+	res2 = tp.Add(f.Hx.T[2], f.Ez.T[1])
+	res3 = tp.Sub(f.Hy.T[2], f.Ez.T[0])
+	return
+}
+
+// Build assembles the complete training loss for one step. It runs the
+// model over the collocation set (with tangents), the IC set, and — when the
+// symmetry loss is enabled — the two mirrored batches (values only).
+func Build(tp *ad.Tape, model Forward, p Problem, c *Collocation, cfg Config) Terms {
+	var t Terms
+	f := model(tp, c.Coords, c.N, true)
+
+	curl, res2, res3 := residuals(tp, f)
+	res1vac := tp.Sub(f.Ez.T[2], curl)
+
+	w := cfg.TimeWeights
+	var weightVec []float64
+	if w != nil {
+		weightVec = make([]float64, c.N)
+		for i := 0; i < c.N; i++ {
+			weightVec[i] = w[c.BinOf[i]]
+		}
+	}
+
+	switch {
+	case p.Case != DielectricCase:
+		// Eq. 13: three plain MSE residual terms.
+		t.Phys = tp.AddScalars(
+			weightedMSE(tp, res1vac, weightVec),
+			weightedMSE(tp, res2, weightVec),
+			weightedMSE(tp, res3, weightVec),
+		)
+	case cfg.UseIntuitive:
+		// Eq. 37: one residual with pointwise 1/ε(x), all points weighted equally.
+		invEps := make([]float64, c.N)
+		for i, e := range c.Eps {
+			invEps[i] = 1 / e
+		}
+		scaledCurl := tp.Mul(curl, tp.Const(c.N, 1, invEps))
+		res1 := tp.Sub(f.Ez.T[2], scaledCurl)
+		t.Phys = tp.AddScalars(
+			weightedMSE(tp, res1, weightVec),
+			weightedMSE(tp, res2, weightVec),
+			weightedMSE(tp, res3, weightVec),
+		)
+	default:
+		// Eq. 14: separate MSEs over the vacuum and dielectric partitions,
+		// weighting both regions equally regardless of point counts — the
+		// non-homogeneous loss that §5.1 credits with preventing the BH
+		// collapse in the dielectric case.
+		epsR := epsOfDielectric(c)
+		res1d := tp.Sub(f.Ez.T[2], tp.Scale(curl, 1/epsR))
+		t.Phys = tp.AddScalars(
+			weightedMSESubset(tp, res1vac, c.VacIdx, weightVec),
+			weightedMSESubset(tp, res1d, c.DielIdx, weightVec),
+			weightedMSE(tp, res2, weightVec),
+			weightedMSE(tp, res3, weightVec),
+		)
+	}
+
+	t.BinResiduals = binResiduals(c, res1vac, res2, res3)
+
+	// Initial-condition loss (eq. 19), values only.
+	fic := model(tp, c.ICCoords, c.ICN, false)
+	ez0 := tp.Const(c.ICN, 1, c.ICEz0)
+	t.IC = tp.AddScalars(
+		tp.MSE(tp.Sub(fic.Ez.V, ez0)),
+		tp.MSE(fic.Hx.V),
+		tp.MSE(fic.Hy.V),
+	)
+
+	terms := []ad.Value{t.Phys, tp.Scale(t.IC, cfg.WIC)}
+
+	// Symmetry loss (eq. 20): mirror batches share the collocation points.
+	if cfg.UseSymmetry && (p.UseSymX || p.UseSymY) {
+		var symTerms []ad.Value
+		if p.UseSymX {
+			fm := model(tp, c.MirrorX, c.N, false)
+			symTerms = append(symTerms,
+				tp.MSE(tp.Sub(f.Ez.V, fm.Ez.V)), // Ez even in x
+				tp.MSE(tp.Sub(f.Hx.V, fm.Hx.V)), // Hx even in x
+				tp.MSE(tp.Add(f.Hy.V, fm.Hy.V)), // Hy odd in x
+			)
+		}
+		if p.UseSymY {
+			fm := model(tp, c.MirrorY, c.N, false)
+			symTerms = append(symTerms,
+				tp.MSE(tp.Sub(f.Ez.V, fm.Ez.V)), // Ez even in y
+				tp.MSE(tp.Add(f.Hx.V, fm.Hx.V)), // Hx odd in y
+				tp.MSE(tp.Sub(f.Hy.V, fm.Hy.V)), // Hy even in y
+			)
+		}
+		t.Sym = tp.AddScalars(symTerms...)
+		terms = append(terms, tp.Scale(t.Sym, cfg.WSym))
+	}
+
+	// Energy-conservation loss (eq. 25): the Poynting residual
+	// ∂u/∂t + ∇·S with u = ½(ε Ez² + Hx² + Hy²), S = (−Ez·Hy, Ez·Hx).
+	if cfg.UseEnergy {
+		epsVec := tp.Const(c.N, 1, c.Eps)
+		dudt := tp.Add(
+			tp.Add(
+				tp.Mul(tp.Mul(epsVec, f.Ez.V), f.Ez.T[2]),
+				tp.Mul(f.Hx.V, f.Hx.T[2]),
+			),
+			tp.Mul(f.Hy.V, f.Hy.T[2]),
+		)
+		divSx := tp.Add(tp.Mul(f.Ez.T[0], f.Hy.V), tp.Mul(f.Ez.V, f.Hy.T[0]))
+		divSy := tp.Add(tp.Mul(f.Ez.T[1], f.Hx.V), tp.Mul(f.Ez.V, f.Hx.T[1]))
+		res := tp.Add(tp.Sub(dudt, divSx), divSy)
+		t.Energy = tp.MSE(res)
+		terms = append(terms, tp.Scale(t.Energy, cfg.WEnergy))
+	}
+
+	t.Total = tp.AddScalars(terms...)
+	return t
+}
+
+// epsOfDielectric returns the (constant) ε_r of the dielectric partition.
+func epsOfDielectric(c *Collocation) float64 {
+	if len(c.DielIdx) == 0 {
+		return 1
+	}
+	return c.Eps[c.DielIdx[0]]
+}
+
+// weightedMSE is MSE(res) or, with a weight vector, mean(w ⊙ res²).
+func weightedMSE(tp *ad.Tape, res ad.Value, w []float64) ad.Value {
+	if w == nil {
+		return tp.MSE(res)
+	}
+	n := res.Rows()
+	return tp.MeanAll(tp.RowScale(tp.Square(res), tp.Const(n, 1, w)))
+}
+
+// weightedMSESubset restricts the (weighted) MSE to a row subset.
+func weightedMSESubset(tp *ad.Tape, res ad.Value, idx []int, w []float64) ad.Value {
+	if len(idx) == 0 {
+		return tp.ConstScalar(0)
+	}
+	sub := tp.SelectRows(res, idx)
+	if w == nil {
+		return tp.MSE(sub)
+	}
+	ws := make([]float64, len(idx))
+	for j, i := range idx {
+		ws[j] = w[i]
+	}
+	return tp.MeanAll(tp.RowScale(tp.Square(sub), tp.Const(len(idx), 1, ws)))
+}
+
+// binResiduals averages the unweighted squared residuals per time bin
+// (plain floats; feeds the curriculum update, not the gradient).
+func binResiduals(c *Collocation, rs ...ad.Value) []float64 {
+	out := make([]float64, c.Bins)
+	for _, r := range rs {
+		d := r.Data()
+		for i, v := range d {
+			out[c.BinOf[i]] += v * v
+		}
+	}
+	for b := range out {
+		if cnt := len(c.BinIdx[b]); cnt > 0 {
+			out[b] /= float64(cnt)
+		}
+	}
+	return out
+}

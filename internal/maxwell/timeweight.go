@@ -1,0 +1,51 @@
+package maxwell
+
+import "math"
+
+// TimeCurriculum implements the adaptive temporal weighting of §2.2: the
+// collocation points are split into M time bins; later bins start with low
+// residual weights that grow as the earlier bins converge, so the network
+// learns the dynamics in a causality-respecting order (Wang et al.).
+//
+// The weight of bin m is exp(−κ·Σ_{k<m} L_k) where L_k is the current mean
+// squared PDE residual of bin k — small early-time residuals "unlock" the
+// later bins. Bin 0 always has weight 1.
+type TimeCurriculum struct {
+	Bins    int
+	Kappa   float64
+	weights []float64
+}
+
+// NewTimeCurriculum creates the paper's 5-bin curriculum with gain κ.
+func NewTimeCurriculum(bins int, kappa float64) *TimeCurriculum {
+	tc := &TimeCurriculum{Bins: bins, Kappa: kappa, weights: make([]float64, bins)}
+	tc.weights[0] = 1
+	for i := 1; i < bins; i++ {
+		tc.weights[i] = 0 // later bins start effectively off
+	}
+	return tc
+}
+
+// Weights returns the current per-bin weights (live slice; do not mutate).
+func (tc *TimeCurriculum) Weights() []float64 { return tc.weights }
+
+// Update recomputes the weights from the latest per-bin residuals.
+func (tc *TimeCurriculum) Update(binResiduals []float64) {
+	var cum float64
+	tc.weights[0] = 1
+	for m := 1; m < tc.Bins; m++ {
+		cum += binResiduals[m-1]
+		tc.weights[m] = math.Exp(-tc.Kappa * cum)
+	}
+}
+
+// Converged reports whether every bin is fully active (all weights ≈ 1),
+// i.e. the curriculum has handed over to plain uniform training.
+func (tc *TimeCurriculum) Converged(tol float64) bool {
+	for _, w := range tc.weights {
+		if w < 1-tol {
+			return false
+		}
+	}
+	return true
+}

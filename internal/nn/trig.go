@@ -1,0 +1,29 @@
+package nn
+
+import (
+	"repro/internal/ad"
+	"repro/internal/dual"
+	"repro/internal/qsim"
+)
+
+// Trig is the classical control the paper proposes in §6.2 (follow-up b):
+// a layer that replaces the PQC with an equal-size *fixed* trigonometric
+// basis — each activation is scaled exactly like a quantum embedding angle
+// and read out as cos(θ), which is the single-qubit ⟨Z⟩ = cos(RX-angle)
+// transfer with no trainable circuit behind it. Comparing this control
+// against the QPINN isolates how much of the quantum layer's benefit is
+// "just periodic features" versus the trainable entangling circuit.
+type Trig struct {
+	Scaling qsim.ScalingKind
+	q       Quantum // reused only for the scaling implementation
+}
+
+// NewTrig creates the control layer (no trainable parameters).
+func NewTrig(scaling qsim.ScalingKind) *Trig {
+	return &Trig{Scaling: scaling, q: Quantum{Scaling: scaling}}
+}
+
+// Forward maps activations a ↦ cos(scale(a)) with full tangent propagation.
+func (t *Trig) Forward(tp *ad.Tape, x dual.D) dual.D {
+	return dual.Cos(tp, t.q.scale(tp, x))
+}

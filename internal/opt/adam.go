@@ -1,0 +1,72 @@
+// Package opt provides the optimizers used for PINN/QPINN training: Adam
+// with bias correction (Kingma & Ba) and the paper's exponential
+// learning-rate schedule (decay ×0.85 every 2000 epochs).
+package opt
+
+import "math"
+
+// Adam holds first/second-moment state for a set of parameter buffers.
+type Adam struct {
+	LR      float64
+	Beta1   float64
+	Beta2   float64
+	Eps     float64
+	step    int
+	m, v    [][]float64
+	banks   [][]float64 // parameter buffers, aliased
+	gradsOf func(i int) []float64
+}
+
+// NewAdam creates an optimizer over the given parameter buffers. grads(i)
+// must return the current gradient buffer for params[i] at step time.
+func NewAdam(lr float64, params [][]float64, grads func(i int) []float64) *Adam {
+	a := &Adam{LR: lr, Beta1: 0.9, Beta2: 0.999, Eps: 1e-8, banks: params, gradsOf: grads}
+	a.m = make([][]float64, len(params))
+	a.v = make([][]float64, len(params))
+	for i, p := range params {
+		a.m[i] = make([]float64, len(p))
+		a.v[i] = make([]float64, len(p))
+	}
+	return a
+}
+
+// Step applies one Adam update using the gradients currently exposed by the
+// grads accessor.
+func (a *Adam) Step() {
+	a.step++
+	b1c := 1 - math.Pow(a.Beta1, float64(a.step))
+	b2c := 1 - math.Pow(a.Beta2, float64(a.step))
+	for i, p := range a.banks {
+		g := a.gradsOf(i)
+		m, v := a.m[i], a.v[i]
+		for j := range p {
+			gj := g[j]
+			m[j] = a.Beta1*m[j] + (1-a.Beta1)*gj
+			v[j] = a.Beta2*v[j] + (1-a.Beta2)*gj*gj
+			mh := m[j] / b1c
+			vh := v[j] / b2c
+			p[j] -= a.LR * mh / (math.Sqrt(vh) + a.Eps)
+		}
+	}
+}
+
+// StepCount reports the number of updates applied.
+func (a *Adam) StepCount() int { return a.step }
+
+// ExpDecay is the paper's LR schedule: lr0 · factor^⌊epoch/every⌋.
+type ExpDecay struct {
+	LR0    float64
+	Factor float64
+	Every  int
+}
+
+// At returns the learning rate for the given epoch.
+func (d ExpDecay) At(epoch int) float64 {
+	if d.Every <= 0 {
+		return d.LR0
+	}
+	return d.LR0 * math.Pow(d.Factor, float64(epoch/d.Every))
+}
+
+// PaperSchedule is the schedule used in §2.2: 1e-3 decayed ×0.85 / 2000.
+func PaperSchedule() ExpDecay { return ExpDecay{LR0: 1e-3, Factor: 0.85, Every: 2000} }

@@ -1,0 +1,80 @@
+package opt
+
+import (
+	"math"
+	"testing"
+)
+
+// TestAdamConvergesOnQuadratic: minimize ‖x − c‖² — Adam must reach the
+// optimum on a smooth convex problem.
+func TestAdamConvergesOnQuadratic(t *testing.T) {
+	x := []float64{5, -3, 2}
+	c := []float64{1, 2, -0.5}
+	g := make([]float64, 3)
+	a := NewAdam(0.05, [][]float64{x}, func(i int) []float64 { return g })
+	for it := 0; it < 2000; it++ {
+		for j := range x {
+			g[j] = 2 * (x[j] - c[j])
+		}
+		a.Step()
+	}
+	for j := range x {
+		if math.Abs(x[j]-c[j]) > 1e-3 {
+			t.Fatalf("x[%d] = %v, want %v", j, x[j], c[j])
+		}
+	}
+	if a.StepCount() != 2000 {
+		t.Fatalf("step count %d", a.StepCount())
+	}
+}
+
+// TestAdamBiasCorrection: the very first step moves by ≈ lr in the gradient
+// direction regardless of gradient magnitude (the m̂/√v̂ ≈ sign property).
+func TestAdamBiasCorrection(t *testing.T) {
+	for _, scale := range []float64{1e-4, 1, 1e4} {
+		x := []float64{0}
+		g := []float64{scale}
+		a := NewAdam(0.01, [][]float64{x}, func(i int) []float64 { return g })
+		a.Step()
+		if math.Abs(x[0]+0.01) > 1e-6 {
+			t.Fatalf("scale %g: first step %v, want ≈ −0.01", scale, x[0])
+		}
+	}
+}
+
+// TestAdamMultipleBanks: each parameter bank keeps independent moments.
+func TestAdamMultipleBanks(t *testing.T) {
+	x1 := []float64{1}
+	x2 := []float64{1, 1}
+	g1 := []float64{1}
+	g2 := []float64{0, 0}
+	grads := [][]float64{g1, g2}
+	a := NewAdam(0.1, [][]float64{x1, x2}, func(i int) []float64 { return grads[i] })
+	a.Step()
+	if x1[0] >= 1 {
+		t.Fatal("bank 1 did not move against its gradient")
+	}
+	if x2[0] != 1 || x2[1] != 1 {
+		t.Fatal("zero-gradient bank must not move")
+	}
+}
+
+func TestExpDecaySchedule(t *testing.T) {
+	d := PaperSchedule()
+	if got := d.At(0); got != 1e-3 {
+		t.Fatalf("lr(0) = %v", got)
+	}
+	if got := d.At(1999); got != 1e-3 {
+		t.Fatalf("lr(1999) = %v, want no decay yet", got)
+	}
+	if got := d.At(2000); math.Abs(got-0.85e-3) > 1e-12 {
+		t.Fatalf("lr(2000) = %v, want 0.85e-3", got)
+	}
+	if got := d.At(4000); math.Abs(got-0.85*0.85e-3) > 1e-12 {
+		t.Fatalf("lr(4000) = %v", got)
+	}
+	// Zero Every means constant.
+	if got := (ExpDecay{LR0: 0.5}).At(12345); got != 0.5 {
+		t.Fatalf("constant schedule broken: %v", got)
+	}
+}

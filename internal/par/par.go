@@ -1,0 +1,93 @@
+// Package par provides the parallel-execution substrate used throughout the
+// repository. It is the CPU stand-in for the GPU parallelism of the paper's
+// TorQ simulator: batched tensor kernels are expressed as parallel loops over
+// contiguous row blocks, which the runtime fans out across cores.
+package par
+
+import (
+	"runtime"
+	"sync"
+)
+
+// grain is the minimum number of items a goroutine must receive before the
+// loop is worth splitting. Below this, scheduling overhead dominates.
+const grain = 2048
+
+// maxWorkers bounds concurrency to the number of usable CPUs.
+var maxWorkers = runtime.GOMAXPROCS(0)
+
+// SetMaxWorkers overrides the worker bound (primarily for tests and
+// benchmarks that measure serial baselines). n < 1 resets to GOMAXPROCS.
+func SetMaxWorkers(n int) {
+	if n < 1 {
+		n = runtime.GOMAXPROCS(0)
+	}
+	maxWorkers = n
+}
+
+// MaxWorkers reports the current worker bound.
+func MaxWorkers() int { return maxWorkers }
+
+// For runs fn over [0,n) split into contiguous blocks, one block per worker.
+// fn must be safe to run concurrently on disjoint index ranges. For small n
+// the loop runs inline on the calling goroutine.
+func For(n int, fn func(start, end int)) {
+	if n <= 0 {
+		return
+	}
+	workers := maxWorkers
+	if w := n / grain; w < workers {
+		workers = w
+	}
+	if workers <= 1 {
+		fn(0, n)
+		return
+	}
+	block := (n + workers - 1) / workers
+	var wg sync.WaitGroup
+	for start := 0; start < n; start += block {
+		end := start + block
+		if end > n {
+			end = n
+		}
+		wg.Add(1)
+		go func(s, e int) {
+			defer wg.Done()
+			fn(s, e)
+		}(start, end)
+	}
+	wg.Wait()
+}
+
+// ForGrain is For with a caller-chosen grain, for kernels whose per-item cost
+// is far from the elementwise default (e.g. a row of a wide matmul).
+func ForGrain(n, itemCost int, fn func(start, end int)) {
+	if n <= 0 {
+		return
+	}
+	if itemCost < 1 {
+		itemCost = 1
+	}
+	workers := maxWorkers
+	if w := n * itemCost / grain; w < workers {
+		workers = w
+	}
+	if workers <= 1 {
+		fn(0, n)
+		return
+	}
+	block := (n + workers - 1) / workers
+	var wg sync.WaitGroup
+	for start := 0; start < n; start += block {
+		end := start + block
+		if end > n {
+			end = n
+		}
+		wg.Add(1)
+		go func(s, e int) {
+			defer wg.Done()
+			fn(s, e)
+		}(start, end)
+	}
+	wg.Wait()
+}

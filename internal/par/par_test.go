@@ -1,0 +1,79 @@
+package par
+
+import (
+	"sync/atomic"
+	"testing"
+	"testing/quick"
+)
+
+// TestForCoversRangeExactlyOnce: every index is visited exactly once, for
+// sizes spanning the serial and parallel regimes.
+func TestForCoversRangeExactlyOnce(t *testing.T) {
+	for _, n := range []int{0, 1, 7, grain - 1, grain, grain + 1, 10 * grain} {
+		visits := make([]int32, n)
+		For(n, func(lo, hi int) {
+			for i := lo; i < hi; i++ {
+				atomic.AddInt32(&visits[i], 1)
+			}
+		})
+		for i, v := range visits {
+			if v != 1 {
+				t.Fatalf("n=%d: index %d visited %d times", n, i, v)
+			}
+		}
+	}
+}
+
+// TestForGrainProperty: arbitrary sizes and item costs still partition the
+// range exactly.
+func TestForGrainProperty(t *testing.T) {
+	f := func(rawN uint16, rawCost uint8) bool {
+		n := int(rawN) % 5000
+		var total int64
+		ForGrain(n, int(rawCost), func(lo, hi int) {
+			atomic.AddInt64(&total, int64(hi-lo))
+		})
+		return total == int64(n)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestBlocksAreContiguousAndOrderedWithinBlock: callers rely on [lo, hi)
+// semantics for race-free writes to disjoint slices.
+func TestBlocksAreContiguousAndOrderedWithinBlock(t *testing.T) {
+	n := 4 * grain
+	out := make([]int, n)
+	For(n, func(lo, hi int) {
+		if lo < 0 || hi > n || lo > hi {
+			t.Errorf("bad block [%d, %d)", lo, hi)
+		}
+		for i := lo; i < hi; i++ {
+			out[i] = i
+		}
+	})
+	for i, v := range out {
+		if v != i {
+			t.Fatalf("index %d got %d", i, v)
+		}
+	}
+}
+
+func TestSetMaxWorkers(t *testing.T) {
+	defer SetMaxWorkers(0)
+	SetMaxWorkers(1)
+	if MaxWorkers() != 1 {
+		t.Fatal("worker bound not applied")
+	}
+	// Serial mode still covers the range.
+	var count int
+	For(3*grain, func(lo, hi int) { count += hi - lo })
+	if count != 3*grain {
+		t.Fatalf("serial coverage %d", count)
+	}
+	SetMaxWorkers(0)
+	if MaxWorkers() < 1 {
+		t.Fatal("reset failed")
+	}
+}

@@ -1,0 +1,58 @@
+package qsim
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Draw renders the circuit as ASCII art (one line per qubit), the terminal
+// rendition of the paper's Fig. 4 schematics. The embedding layer is shown
+// as RX(x_q); parametrized gates show their parameter index.
+func Draw(w io.Writer, c *Circuit) {
+	nq := c.NumQubits
+	lines := make([]*strings.Builder, nq)
+	for q := range lines {
+		lines[q] = &strings.Builder{}
+		fmt.Fprintf(lines[q], "q%d: ", q)
+	}
+	pad := func() {
+		maxLen := 0
+		for _, l := range lines {
+			if l.Len() > maxLen {
+				maxLen = l.Len()
+			}
+		}
+		for _, l := range lines {
+			for l.Len() < maxLen {
+				l.WriteByte('-')
+			}
+		}
+	}
+	// Embedding column.
+	for q := 0; q < nq; q++ {
+		fmt.Fprintf(lines[q], "-[RX(x%d)]", q)
+	}
+	pad()
+	for _, g := range c.Gates {
+		switch g.Kind {
+		case RX, RY, RZ:
+			fmt.Fprintf(lines[g.Q], "-[%s(θ%d)]", g.Kind, g.P)
+		case CNOT:
+			pad()
+			fmt.Fprintf(lines[g.C], "---●---")
+			fmt.Fprintf(lines[g.Q], "---⊕---")
+			pad()
+		case CRZ:
+			pad()
+			fmt.Fprintf(lines[g.C], "---●-------")
+			fmt.Fprintf(lines[g.Q], "-[RZ(θ%d)]", g.P)
+			pad()
+		}
+	}
+	pad()
+	fmt.Fprintf(w, "%s  (%d qubits, %d layers, %d parameters)\n", c.Name, nq, c.Layers, c.NumParams)
+	for q := 0; q < nq; q++ {
+		fmt.Fprintf(w, "%s-[⟨Z⟩]\n", lines[q].String())
+	}
+}

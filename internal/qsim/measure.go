@@ -1,0 +1,154 @@
+package qsim
+
+import (
+	"math"
+	"math/rand"
+)
+
+// EvalZ is the plain (no-gradient) execution path: embedding + ansatz +
+// per-qubit ⟨Z⟩ for a batch of n samples. Used by the parameter-shift rule,
+// diagnostics, and the Fig. 12 initialization study.
+func EvalZ(circ *Circuit, angles, theta []float64, n int) []float64 {
+	st := NewState(n, circ.NumQubits)
+	nq := circ.NumQubits
+	c := make([]float64, n)
+	s := make([]float64, n)
+	for q := 0; q < nq; q++ {
+		for i := 0; i < n; i++ {
+			c[i] = math.Cos(angles[i*nq+q] / 2)
+			s[i] = math.Sin(angles[i*nq+q] / 2)
+		}
+		st.ApplyIXPerSample(q, c, s)
+	}
+	for _, g := range circ.Gates {
+		g.apply(st, theta)
+	}
+	out := make([]float64, n*nq)
+	st.ExpZ(out)
+	return out
+}
+
+// FinalState runs the circuit and returns the batch statevector (for
+// entanglement diagnostics).
+func FinalState(circ *Circuit, angles, theta []float64, n int) *State {
+	st := NewState(n, circ.NumQubits)
+	nq := circ.NumQubits
+	c := make([]float64, n)
+	s := make([]float64, n)
+	for q := 0; q < nq; q++ {
+		for i := 0; i < n; i++ {
+			c[i] = math.Cos(angles[i*nq+q] / 2)
+			s[i] = math.Sin(angles[i*nq+q] / 2)
+		}
+		st.ApplyIXPerSample(q, c, s)
+	}
+	for _, g := range circ.Gates {
+		g.apply(st, theta)
+	}
+	return st
+}
+
+// ParameterShiftGrad computes d⟨Z⟩/dθ_p for every ansatz parameter via the
+// hardware-compatible parameter-shift rule (shift ±π/2, valid for all gates
+// in the set: RX/RY/RZ/CRZ have eigenvalue spectrum ±1/2). The result is
+// indexed [p][i*nq+q]. This is the differentiation method the paper notes
+// would replace backpropagation on real quantum hardware (§2.3).
+func ParameterShiftGrad(circ *Circuit, angles, theta []float64, n int) [][]float64 {
+	grads := make([][]float64, circ.NumParams)
+	shifted := append([]float64(nil), theta...)
+	for p := 0; p < circ.NumParams; p++ {
+		shifted[p] = theta[p] + math.Pi/2
+		zp := EvalZ(circ, angles, shifted, n)
+		shifted[p] = theta[p] - math.Pi/2
+		zm := EvalZ(circ, angles, shifted, n)
+		shifted[p] = theta[p]
+		g := make([]float64, len(zp))
+		for i := range g {
+			g[i] = (zp[i] - zm[i]) / 2
+		}
+		grads[p] = g
+	}
+	return grads
+}
+
+// SampleZ estimates per-qubit ⟨Z⟩ from a finite number of measurement shots
+// drawn from the final state's Born distribution — the execution model on
+// real hardware, as opposed to the analytic expectations used throughout
+// the paper's simulator runs.
+func SampleZ(circ *Circuit, angles, theta []float64, n, shots int, rng *rand.Rand) []float64 {
+	st := FinalState(circ, angles, theta, n)
+	nq, dim := st.NQ, st.Dim
+	out := make([]float64, n*nq)
+	probs := make([]float64, dim)
+	for i := 0; i < n; i++ {
+		off := i * dim
+		var total float64
+		for j := 0; j < dim; j++ {
+			probs[j] = st.Re[off+j]*st.Re[off+j] + st.Im[off+j]*st.Im[off+j]
+			total += probs[j]
+		}
+		counts := make([]int, dim)
+		for s := 0; s < shots; s++ {
+			r := rng.Float64() * total
+			acc := 0.0
+			k := 0
+			for ; k < dim-1; k++ {
+				acc += probs[k]
+				if r < acc {
+					break
+				}
+			}
+			counts[k]++
+		}
+		for q := 0; q < nq; q++ {
+			var z float64
+			for j, cnt := range counts {
+				if cnt == 0 {
+					continue
+				}
+				if j&(1<<q) == 0 {
+					z += float64(cnt)
+				} else {
+					z -= float64(cnt)
+				}
+			}
+			out[i*nq+q] = z / float64(shots)
+		}
+	}
+	return out
+}
+
+// MeyerWallach returns the Meyer–Wallach global entanglement measure
+// Q = 2(1 − (1/n)Σ_q Tr ρ_q²) averaged over the batch — the quantity the
+// paper tracks in Fig. 10e to show the black-hole collapse is not an
+// entanglement phenomenon. Q = 0 for product states, → 1 with increasing
+// global entanglement.
+func MeyerWallach(st *State) float64 {
+	nq, dim := st.NQ, st.Dim
+	var acc float64
+	for i := 0; i < st.N; i++ {
+		off := i * dim
+		var sumPurity float64
+		for q := 0; q < nq; q++ {
+			mask := 1 << q
+			var r00, r11 float64
+			var r01re, r01im float64
+			for j := 0; j < dim; j++ {
+				if j&mask != 0 {
+					continue
+				}
+				k := j | mask
+				a0r, a0i := st.Re[off+j], st.Im[off+j]
+				a1r, a1i := st.Re[off+k], st.Im[off+k]
+				r00 += a0r*a0r + a0i*a0i
+				r11 += a1r*a1r + a1i*a1i
+				// ρ01 = Σ a0 · conj(a1)
+				r01re += a0r*a1r + a0i*a1i
+				r01im += a0i*a1r - a0r*a1i
+			}
+			sumPurity += r00*r00 + r11*r11 + 2*(r01re*r01re+r01im*r01im)
+		}
+		acc += 2 * (1 - sumPurity/float64(nq))
+	}
+	return acc / float64(st.N)
+}

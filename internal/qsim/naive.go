@@ -1,0 +1,212 @@
+package qsim
+
+import "math"
+
+// This file implements the two losing architectures of the paper's Table 2,
+// used both as performance comparators and as brute-force references in the
+// test suite.
+//
+// NaiveSimulator mirrors PennyLane's default.qubit execution model: every
+// gate is expanded to a dense 2^n×2^n matrix via Kronecker products and
+// applied sample-by-sample with a matrix–vector product. KronSimulator
+// mirrors the full-unitary pipeline (Qiskit-style operator composition):
+// the whole circuit is first composed into one dense unitary with 2^n×2^n
+// matrix–matrix products, then applied per sample.
+
+// cvec is a dense complex vector.
+type cvec []complex128
+
+// cmat is a dense row-major complex matrix.
+type cmat struct {
+	n    int
+	data []complex128
+}
+
+func newCmat(n int) cmat { return cmat{n: n, data: make([]complex128, n*n)} }
+
+func eye(n int) cmat {
+	m := newCmat(n)
+	for i := 0; i < n; i++ {
+		m.data[i*n+i] = 1
+	}
+	return m
+}
+
+func (m cmat) at(i, j int) complex128     { return m.data[i*m.n+j] }
+func (m cmat) set(i, j int, v complex128) { m.data[i*m.n+j] = v }
+
+// mul returns a·b for dense complex matrices.
+func (a cmat) mul(b cmat) cmat {
+	n := a.n
+	out := newCmat(n)
+	for i := 0; i < n; i++ {
+		for k := 0; k < n; k++ {
+			av := a.data[i*n+k]
+			if av == 0 {
+				continue
+			}
+			for j := 0; j < n; j++ {
+				out.data[i*n+j] += av * b.data[k*n+j]
+			}
+		}
+	}
+	return out
+}
+
+// matvec applies m to v.
+func (m cmat) matvec(v cvec) cvec {
+	out := make(cvec, m.n)
+	for i := 0; i < m.n; i++ {
+		var s complex128
+		row := m.data[i*m.n : (i+1)*m.n]
+		for j, x := range v {
+			s += row[j] * x
+		}
+		out[i] = s
+	}
+	return out
+}
+
+// gateMatrix2 returns the 2×2 matrix of a single-qubit rotation.
+func gateMatrix2(kind GateKind, theta float64) [2][2]complex128 {
+	c, s := math.Cos(theta/2), math.Sin(theta/2)
+	switch kind {
+	case RX:
+		return [2][2]complex128{{complex(c, 0), complex(0, -s)}, {complex(0, -s), complex(c, 0)}}
+	case RY:
+		return [2][2]complex128{{complex(c, 0), complex(-s, 0)}, {complex(s, 0), complex(c, 0)}}
+	case RZ:
+		return [2][2]complex128{{complex(c, -s), 0}, {0, complex(c, s)}}
+	}
+	panic("qsim: not a single-qubit rotation")
+}
+
+// expand builds the full 2^nq × 2^nq matrix of gate g via Kronecker-product
+// placement — the deliberately naive construction.
+func expand(g Gate, theta []float64, nq int) cmat {
+	dim := 1 << nq
+	m := newCmat(dim)
+	switch g.Kind {
+	case RX, RY, RZ:
+		u := gateMatrix2(g.Kind, theta[g.P])
+		mask := 1 << g.Q
+		for j := 0; j < dim; j++ {
+			jb := (j >> g.Q) & 1
+			for _, tb := range []int{0, 1} {
+				i := (j &^ mask) | (tb << g.Q)
+				m.data[i*dim+j] += u[tb][jb]
+			}
+		}
+	case CNOT:
+		cMask, tMask := 1<<g.C, 1<<g.Q
+		for j := 0; j < dim; j++ {
+			i := j
+			if j&cMask != 0 {
+				i = j ^ tMask
+			}
+			m.data[i*dim+j] = 1
+		}
+	case CRZ:
+		c, s := math.Cos(theta[g.P]/2), math.Sin(theta[g.P]/2)
+		cMask, tMask := 1<<g.C, 1<<g.Q
+		for j := 0; j < dim; j++ {
+			switch {
+			case j&cMask == 0:
+				m.data[j*dim+j] = 1
+			case j&tMask == 0:
+				m.data[j*dim+j] = complex(c, -s)
+			default:
+				m.data[j*dim+j] = complex(c, s)
+			}
+		}
+	}
+	return m
+}
+
+// embedMatrix returns the full matrix of the RX embedding on qubit q.
+func embedMatrix(q int, angle float64, nq int) cmat {
+	return expand(Gate{Kind: RX, Q: q, C: -1, P: 0}, []float64{angle}, nq)
+}
+
+// NaiveSimulator runs the circuit sample-by-sample, expanding each gate to a
+// dense matrix at every application (PennyLane default.qubit-style).
+type NaiveSimulator struct {
+	Circ *Circuit
+}
+
+// Run returns per-qubit ⟨Z⟩ for each sample (n×nq row-major).
+func (ns *NaiveSimulator) Run(angles []float64, theta []float64, n int) []float64 {
+	nq := ns.Circ.NumQubits
+	dim := 1 << nq
+	out := make([]float64, n*nq)
+	for i := 0; i < n; i++ {
+		v := make(cvec, dim)
+		v[0] = 1
+		for q := 0; q < nq; q++ {
+			v = embedMatrix(q, angles[i*nq+q], nq).matvec(v)
+		}
+		for _, g := range ns.Circ.Gates {
+			v = expand(g, theta, nq).matvec(v)
+		}
+		writeExpZ(v, nq, out[i*nq:(i+1)*nq])
+	}
+	return out
+}
+
+// KronSimulator composes the entire circuit into a single dense unitary and
+// applies it per sample. Because the embedding angles differ per sample, the
+// unitary is recomposed for every sample — the architectural cost this
+// comparator is meant to expose.
+type KronSimulator struct {
+	Circ *Circuit
+}
+
+// Run returns per-qubit ⟨Z⟩ for each sample (n×nq row-major).
+func (ks *KronSimulator) Run(angles []float64, theta []float64, n int) []float64 {
+	nq := ks.Circ.NumQubits
+	dim := 1 << nq
+	out := make([]float64, n*nq)
+	for i := 0; i < n; i++ {
+		u := eye(dim)
+		for q := 0; q < nq; q++ {
+			u = embedMatrix(q, angles[i*nq+q], nq).mul(u)
+		}
+		for _, g := range ks.Circ.Gates {
+			u = expand(g, theta, nq).mul(u)
+		}
+		v := make(cvec, dim)
+		v[0] = 1
+		v = u.matvec(v)
+		writeExpZ(v, nq, out[i*nq:(i+1)*nq])
+	}
+	return out
+}
+
+func writeExpZ(v cvec, nq int, out []float64) {
+	for q := range out {
+		out[q] = 0
+	}
+	for j, a := range v {
+		p := real(a)*real(a) + imag(a)*imag(a)
+		for q := 0; q < nq; q++ {
+			if j&(1<<q) == 0 {
+				out[q] += p
+			} else {
+				out[q] -= p
+			}
+		}
+	}
+}
+
+// MemoryPerPoint reports bytes of statevector storage per collocation point
+// for each simulator architecture, used for the Table 2 "largest grid"
+// comparison: the adjoint simulator keeps O(channels) statevectors, the
+// naive one a full dense gate matrix, the kron one a full circuit unitary.
+func MemoryPerPoint(nq, channels int) (adjoint, naive, kron int) {
+	dim := 1 << nq
+	const f = 16                                 // complex128 bytes
+	adjoint = 2 * (2*channels + 2) * dim * f / 2 // states + adjoints + 2 scratch (re+im planes)
+	naive = (dim + dim*dim) * f                  // vector + one expanded gate matrix
+	kron = (dim + 2*dim*dim) * f                 // vector + accumulated unitary + gate matrix
+	return
+}

@@ -1,0 +1,72 @@
+package qsim
+
+import "math/rand"
+
+// This file implements the noise-injection extension the paper names as
+// future work (§6.3: "incorporate noise into the quantum circuits and
+// investigate the impact of noise mitigation"). Noise is modeled as a
+// depolarizing channel after every gate, simulated by stochastic Pauli
+// insertion (Monte-Carlo wave-function / quantum-trajectory method): each
+// trajectory applies a uniformly random Pauli on the gate's target with
+// probability p, and expectations are averaged over trajectories.
+
+// NoiseModel configures the depolarizing strength.
+type NoiseModel struct {
+	P            float64 // per-gate depolarizing probability
+	Trajectories int     // Monte-Carlo samples
+}
+
+// applyRandomPauli applies a uniformly random Pauli (X, Y or Z) on qubit q.
+func applyRandomPauli(st *State, q int, rng *rand.Rand) {
+	switch rng.Intn(3) {
+	case 0: // X = (0)·I − i·(−1)·? — use the IX kernel with (a=0, b=1): −iX; the
+		// global phase −i is unobservable in expectations.
+		st.ApplyIX(q, 0, 1)
+	case 1: // Y via the real rotation kernel with (a=0, b=1): [[0,−1],[1,0]] = −iY.
+		st.ApplyY(q, 0, 1)
+	case 2: // Z = diag(1, −1).
+		st.ApplyDiag(q, 1, 0, -1, 0)
+	}
+}
+
+// NoisyEvalZ runs the circuit under the depolarizing model and returns
+// trajectory-averaged per-qubit ⟨Z⟩ (n×nq). With nm.P = 0 it reduces to
+// EvalZ exactly.
+func NoisyEvalZ(circ *Circuit, angles, theta []float64, n int, nm NoiseModel, rng *rand.Rand) []float64 {
+	if nm.P <= 0 || nm.Trajectories <= 0 {
+		return EvalZ(circ, angles, theta, n)
+	}
+	nq := circ.NumQubits
+	acc := make([]float64, n*nq)
+	z := make([]float64, n*nq)
+	c := make([]float64, n)
+	s := make([]float64, n)
+	for traj := 0; traj < nm.Trajectories; traj++ {
+		st := NewState(n, nq)
+		for q := 0; q < nq; q++ {
+			for i := 0; i < n; i++ {
+				c[i] = cosHalf(angles[i*nq+q])
+				s[i] = sinHalf(angles[i*nq+q])
+			}
+			st.ApplyIXPerSample(q, c, s)
+			if rng.Float64() < nm.P {
+				applyRandomPauli(st, q, rng)
+			}
+		}
+		for _, g := range circ.Gates {
+			g.apply(st, theta)
+			if rng.Float64() < nm.P {
+				applyRandomPauli(st, g.Q, rng)
+			}
+		}
+		st.ExpZ(z)
+		for i := range acc {
+			acc[i] += z[i]
+		}
+	}
+	inv := 1 / float64(nm.Trajectories)
+	for i := range acc {
+		acc[i] *= inv
+	}
+	return acc
+}

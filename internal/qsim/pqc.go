@@ -1,0 +1,424 @@
+package qsim
+
+import "fmt"
+
+// PQC executes a data-encoded parametrized quantum circuit as a
+// differentiable layer: an RX angle-embedding per qubit (angles are network
+// activations, possibly carrying forward tangents ∂/∂x, ∂/∂y, ∂/∂t),
+// followed by the ansatz gates, followed by per-qubit Pauli-Z expectations.
+//
+// Differentiation uses the adjoint method with unitary recompute: the
+// backward pass never stores intermediate statevectors — it walks the gate
+// list in reverse, recovering each pre-gate state by applying the inverse
+// gate, and accumulates Re⟨λ|∂U/∂θ|ψ⟩ terms on the fly. Tangent channels
+// propagate through the same unitaries (ansatz angles carry no input
+// tangents); only the embedding RX couples channels, contributing the
+// closed-form second derivative d²RX/dφ² = −RX/4.
+type PQC struct {
+	Circ *Circuit
+}
+
+// MaxTangents is the number of forward tangent channels supported (x, y, t).
+const MaxTangents = 3
+
+// Workspace owns the state buffers for one batch size. It is reused across
+// training steps; Forward reconfigures it as needed.
+type Workspace struct {
+	n, nq int
+
+	val  *State
+	tan  [MaxTangents]*State
+	lamV *State
+	lamT [MaxTangents]*State
+	scr1 *State
+	scr2 *State
+
+	// Saved forward inputs for the backward pass.
+	angles    []float64
+	angleTans [MaxTangents][]float64
+	theta     []float64
+	active    [MaxTangents]bool
+
+	// Per-sample scratch.
+	cbuf, sbuf, dA, dB, tmpN []float64
+	wNegS, wNegB             []float64
+	wbuf                     [1 + MaxTangents][]float64
+}
+
+// NewWorkspace allocates buffers for batches of n samples over nq qubits.
+func NewWorkspace(n, nq int) *Workspace {
+	ws := &Workspace{n: n, nq: nq}
+	ws.val = NewState(n, nq)
+	ws.lamV = NewZeroState(n, nq)
+	ws.scr1 = NewZeroState(n, nq)
+	ws.scr2 = NewZeroState(n, nq)
+	ws.cbuf = make([]float64, n)
+	ws.sbuf = make([]float64, n)
+	ws.dA = make([]float64, n)
+	ws.dB = make([]float64, n)
+	ws.tmpN = make([]float64, n)
+	ws.angles = make([]float64, n*nq)
+	ws.theta = nil
+	return ws
+}
+
+func (ws *Workspace) ensureTangent(k int) {
+	if ws.tan[k] == nil {
+		ws.tan[k] = NewZeroState(ws.n, ws.nq)
+		ws.lamT[k] = NewZeroState(ws.n, ws.nq)
+		ws.angleTans[k] = make([]float64, ws.n*ws.nq)
+	}
+}
+
+// Forward runs the circuit on a batch. angles is n×nq row-major;
+// angleTans[k] is the k-th tangent of the angles (nil for a structurally
+// zero channel); theta are the ansatz parameters. It returns the Pauli-Z
+// expectations z (n×nq) and their tangents ztans[k] (nil where the input
+// tangent was nil). Returned slices are freshly allocated.
+func (p *PQC) Forward(ws *Workspace, angles []float64, angleTans [][]float64, theta []float64) (z []float64, ztans [][]float64) {
+	n, nq := ws.n, ws.nq
+	if len(angles) != n*nq {
+		panic(fmt.Sprintf("qsim: angles %d ≠ %d×%d", len(angles), n, nq))
+	}
+	if len(theta) != p.Circ.NumParams {
+		panic(fmt.Sprintf("qsim: theta %d ≠ %d", len(theta), p.Circ.NumParams))
+	}
+	copy(ws.angles, angles)
+	ws.theta = append(ws.theta[:0], theta...)
+	for k := 0; k < MaxTangents; k++ {
+		ws.active[k] = k < len(angleTans) && angleTans[k] != nil
+		if ws.active[k] {
+			ws.ensureTangent(k)
+			copy(ws.angleTans[k], angleTans[k])
+		}
+	}
+
+	ws.val.Reset(false)
+	for k := 0; k < MaxTangents; k++ {
+		if ws.active[k] {
+			ws.tan[k].Reset(true)
+		}
+	}
+
+	// Data re-uploading (§6.2(c) extension): the embedding block repeats
+	// before every ansatz layer; otherwise it runs once as a prefix.
+	if p.Circ.Reupload && p.Circ.Layers > 0 {
+		for l := 0; l < p.Circ.Layers; l++ {
+			p.forwardEmbedding(ws)
+			p.forwardGates(ws, p.Circ.LayerSlice(l), theta)
+		}
+	} else {
+		p.forwardEmbedding(ws)
+		p.forwardGates(ws, p.Circ.Gates, theta)
+	}
+
+	z = make([]float64, n*nq)
+	ws.val.ExpZ(z)
+	ztans = make([][]float64, MaxTangents)
+	for k := 0; k < MaxTangents; k++ {
+		if ws.active[k] {
+			ztans[k] = make([]float64, n*nq)
+			CrossZ(ws.val, ws.tan[k], ztans[k])
+		}
+	}
+	return z, ztans
+}
+
+// forwardEmbedding applies RX(angle_q) per qubit, coupling tangent channels
+// through t' = U·t + φ̇·(dU/dφ)·v.
+func (p *PQC) forwardEmbedding(ws *Workspace) {
+	anyTan := false
+	for k := 0; k < MaxTangents; k++ {
+		if ws.active[k] {
+			anyTan = true
+		}
+	}
+	for q := 0; q < ws.nq; q++ {
+		ws.loadHalfAngles(q)
+		if anyTan {
+			ws.scr1.CopyFrom(ws.val)
+			ws.scr1.ApplyIXPerSample(q, ws.dA, ws.dB) // D·v_pre
+		}
+		for k := 0; k < MaxTangents; k++ {
+			if !ws.active[k] {
+				continue
+			}
+			ws.tan[k].ApplyIXPerSample(q, ws.cbuf, ws.sbuf)
+			ws.gatherTan(k, q)
+			axpyState(ws.tan[k], ws.scr1, ws.tmpN)
+		}
+		ws.val.ApplyIXPerSample(q, ws.cbuf, ws.sbuf)
+	}
+}
+
+// forwardGates applies ansatz gates: input-independent unitaries act
+// identically on every channel.
+func (p *PQC) forwardGates(ws *Workspace, gates []Gate, theta []float64) {
+	for _, g := range gates {
+		g.apply(ws.val, theta)
+		for k := 0; k < MaxTangents; k++ {
+			if ws.active[k] {
+				g.apply(ws.tan[k], theta)
+			}
+		}
+	}
+}
+
+// loadHalfAngles fills cbuf/sbuf with cos, sin of half the embedding angle
+// for qubit q and dA/dB with the dU/dφ coefficients (−s/2, c/2).
+func (ws *Workspace) loadHalfAngles(q int) {
+	for i := 0; i < ws.n; i++ {
+		t := ws.angles[i*ws.nq+q] / 2
+		c, s := cosSin(t)
+		ws.cbuf[i], ws.sbuf[i] = c, s
+		ws.dA[i], ws.dB[i] = -s/2, c/2
+	}
+}
+
+// gatherTan extracts the per-sample tangent of the embedding angle on qubit
+// q for channel k into tmpN.
+func (ws *Workspace) gatherTan(k, q int) {
+	src := ws.angleTans[k]
+	for i := 0; i < ws.n; i++ {
+		ws.tmpN[i] = src[i*ws.nq+q]
+	}
+}
+
+// Backward consumes upstream gradients gz (n×nq) and gztans[k] (nil where
+// the tangent channel was absent) and accumulates into dAngles (n×nq),
+// dAngleTans[k] (n×nq, may be nil) and dTheta. Forward must have been called
+// on the same workspace; the workspace's states are destroyed.
+func (p *PQC) Backward(ws *Workspace, gz []float64, gztans [][]float64, dAngles []float64, dAngleTans [][]float64, dTheta []float64) {
+	n := ws.n
+	theta := ws.theta
+
+	// Seed adjoints from the quadratic readout.
+	// z_q = Σ_j sign·|v_j|²            → λv += 2·w_v ⊙ v
+	// żₖ_q = 2Σ_j sign·Re(v_j* tₖ_j)   → λv += 2·w_tk ⊙ tₖ ; λtₖ += 2·w_tk ⊙ v
+	ws.buildW(0, gz)
+	for k := 0; k < MaxTangents; k++ {
+		if ws.active[k] {
+			var g []float64
+			if k < len(gztans) {
+				g = gztans[k]
+			}
+			ws.buildW(1+k, g)
+		}
+	}
+	dim := ws.val.Dim
+	ws.lamV.Reset(true)
+	seed := func(lam *State, w []float64, src *State, factor float64) {
+		if w == nil {
+			return
+		}
+		for i := 0; i < n*dim; i++ {
+			lam.Re[i] += factor * w[i] * src.Re[i]
+			lam.Im[i] += factor * w[i] * src.Im[i]
+		}
+	}
+	seed(ws.lamV, ws.wbuf[0], ws.val, 2)
+	for k := 0; k < MaxTangents; k++ {
+		if !ws.active[k] {
+			continue
+		}
+		ws.lamT[k].Reset(true)
+		seed(ws.lamV, ws.wbuf[1+k], ws.tan[k], 2)
+		seed(ws.lamT[k], ws.wbuf[1+k], ws.val, 2)
+	}
+
+	// Walk the circuit in reverse, mirroring the forward structure.
+	if p.Circ.Reupload && p.Circ.Layers > 0 {
+		for l := p.Circ.Layers - 1; l >= 0; l-- {
+			p.reverseGates(ws, p.Circ.LayerSlice(l), theta, dTheta)
+			p.reverseEmbedding(ws, dAngles, dAngleTans)
+		}
+	} else {
+		p.reverseGates(ws, p.Circ.Gates, theta, dTheta)
+		p.reverseEmbedding(ws, dAngles, dAngleTans)
+	}
+}
+
+// reverseGates recovers pre-gate states via inverses, accumulates
+// dθ = Σ_channels Re⟨λ, dU/dθ ψ_pre⟩, and propagates λ ← U†λ.
+func (p *PQC) reverseGates(ws *Workspace, gates []Gate, theta []float64, dTheta []float64) {
+	for gi := len(gates) - 1; gi >= 0; gi-- {
+		g := gates[gi]
+		g.applyInverse(ws.val, theta)
+		for k := 0; k < MaxTangents; k++ {
+			if ws.active[k] {
+				g.applyInverse(ws.tan[k], theta)
+			}
+		}
+		if g.P >= 0 {
+			grad := ws.gateThetaGrad(g, ws.lamV, ws.val)
+			for k := 0; k < MaxTangents; k++ {
+				if ws.active[k] {
+					grad += ws.gateThetaGrad(g, ws.lamT[k], ws.tan[k])
+				}
+			}
+			dTheta[g.P] += grad
+		}
+		g.applyInverse(ws.lamV, theta)
+		for k := 0; k < MaxTangents; k++ {
+			if ws.active[k] {
+				g.applyInverse(ws.lamT[k], theta)
+			}
+		}
+	}
+}
+
+// reverseEmbedding un-applies the embedding block (qubits in reverse order),
+// accumulating angle and angle-tangent gradients including the closed-form
+// second-derivative coupling term.
+func (p *PQC) reverseEmbedding(ws *Workspace, dAngles []float64, dAngleTans [][]float64) {
+	n, nq := ws.n, ws.nq
+	for q := nq - 1; q >= 0; q-- {
+		ws.loadHalfAngles(q)
+
+		// (c) second-derivative coupling needs the *post*-gate value state:
+		// dφ += −¼ · φ̇ₖ · Re⟨λtₖ, U v_pre⟩ = −¼ · φ̇ₖ · Re⟨λtₖ, v_post⟩.
+		for k := 0; k < MaxTangents; k++ {
+			if !ws.active[k] {
+				continue
+			}
+			innerRe(ws.lamT[k], ws.val, ws.tmpN)
+			for i := 0; i < n; i++ {
+				dAngles[i*nq+q] -= 0.25 * ws.angleTans[k][i*nq+q] * ws.tmpN[i]
+			}
+		}
+
+		// Recover v_pre and D·v_pre.
+		negS := ws.dAasNegSin()
+		ws.val.ApplyIXPerSample(q, ws.cbuf, negS) // U†: RX(−φ)
+		ws.scr1.CopyFrom(ws.val)
+		ws.scr1.ApplyIXPerSample(q, ws.dA, ws.dB) // D·v_pre
+
+		// (a) dφ += Re⟨λv, D v_pre⟩ ; dφ̇ₖ += Re⟨λtₖ, D v_pre⟩.
+		innerRe(ws.lamV, ws.scr1, ws.tmpN)
+		for i := 0; i < n; i++ {
+			dAngles[i*nq+q] += ws.tmpN[i]
+		}
+		for k := 0; k < MaxTangents; k++ {
+			if !ws.active[k] {
+				continue
+			}
+			innerRe(ws.lamT[k], ws.scr1, ws.tmpN)
+			if dAngleTans != nil && k < len(dAngleTans) && dAngleTans[k] != nil {
+				for i := 0; i < n; i++ {
+					dAngleTans[k][i*nq+q] += ws.tmpN[i]
+				}
+			}
+		}
+
+		// Recover tₖ_pre = U†(tₖ_post − φ̇ₖ·D v_pre), then
+		// (b) dφ += Re⟨λtₖ, D tₖ_pre⟩.
+		for k := 0; k < MaxTangents; k++ {
+			if !ws.active[k] {
+				continue
+			}
+			ws.gatherTan(k, q)
+			for i := 0; i < n; i++ {
+				ws.tmpN[i] = -ws.tmpNCachePhiDot(k, q, i)
+			}
+			axpyState(ws.tan[k], ws.scr1, ws.tmpN)
+			ws.tan[k].ApplyIXPerSample(q, ws.cbuf, negS)
+			ws.scr2.CopyFrom(ws.tan[k])
+			ws.scr2.ApplyIXPerSample(q, ws.dA, ws.dB)
+			innerRe(ws.lamT[k], ws.scr2, ws.tmpN)
+			for i := 0; i < n; i++ {
+				dAngles[i*nq+q] += ws.tmpN[i]
+			}
+		}
+
+		// Propagate adjoints: λv ← U†λv + Σₖ φ̇ₖ·D†λtₖ ; λtₖ ← U†λtₖ.
+		ws.lamV.ApplyIXPerSample(q, ws.cbuf, negS)
+		for k := 0; k < MaxTangents; k++ {
+			if !ws.active[k] {
+				continue
+			}
+			ws.scr2.CopyFrom(ws.lamT[k])
+			ws.applyDerivAdjoint(ws.scr2, q)
+			ws.gatherTan(k, q)
+			axpyState(ws.lamV, ws.scr2, ws.tmpN)
+			ws.lamT[k].ApplyIXPerSample(q, ws.cbuf, negS)
+		}
+	}
+}
+
+// tmpNCachePhiDot returns φ̇ₖ for sample i on qubit q.
+func (ws *Workspace) tmpNCachePhiDot(k, q, i int) float64 {
+	return ws.angleTans[k][i*ws.nq+q]
+}
+
+// dAasNegSin returns a per-sample −sin(φ/2) slice (reuses dB's backing via a
+// dedicated buffer to avoid clobbering dA/dB which hold derivative coeffs).
+func (ws *Workspace) dAasNegSin() []float64 {
+	if cap(ws.wNegS) < ws.n {
+		ws.wNegS = make([]float64, ws.n)
+	}
+	negS := ws.wNegS[:ws.n]
+	for i := 0; i < ws.n; i++ {
+		negS[i] = -ws.sbuf[i]
+	}
+	return negS
+}
+
+// applyDerivAdjoint applies D† = −(s/2)I + i(c/2)X per sample on qubit q.
+func (ws *Workspace) applyDerivAdjoint(s *State, q int) {
+	if cap(ws.wNegB) < ws.n {
+		ws.wNegB = make([]float64, ws.n)
+	}
+	negB := ws.wNegB[:ws.n]
+	for i := 0; i < ws.n; i++ {
+		negB[i] = -ws.dB[i]
+	}
+	s.ApplyIXPerSample(q, ws.dA, negB)
+}
+
+// gateThetaGrad computes Σ_samples Re⟨λ, dU/dθ ψ⟩ for one ansatz gate.
+func (ws *Workspace) gateThetaGrad(g Gate, lam, psi *State) float64 {
+	ws.scr1.CopyFrom(psi)
+	g.applyDeriv(ws.scr1, ws.theta)
+	innerRe(lam, ws.scr1, ws.tmpN)
+	var sum float64
+	for _, v := range ws.tmpN {
+		sum += v
+	}
+	return sum
+}
+
+// buildW expands per-qubit upstream gradients (n×nq) into per-basis-state
+// weights w[i,j] = Σ_q sign_q(j)·g[i,q], cached in wbuf[slot].
+func (ws *Workspace) buildW(slot int, g []float64) {
+	if g == nil {
+		ws.wbuf[slot] = nil
+		return
+	}
+	n, nq := ws.n, ws.nq
+	dim := 1 << nq
+	if cap(ws.wbuf[slot]) < n*dim {
+		ws.wbuf[slot] = make([]float64, n*dim)
+	}
+	w := ws.wbuf[slot][:n*dim]
+	ws.wbuf[slot] = w
+	for i := 0; i < n; i++ {
+		row := g[i*nq : (i+1)*nq]
+		dst := w[i*dim : (i+1)*dim]
+		for j := 0; j < dim; j++ {
+			var sum float64
+			for q := 0; q < nq; q++ {
+				if j&(1<<q) == 0 {
+					sum += row[q]
+				} else {
+					sum -= row[q]
+				}
+			}
+			dst[j] = sum
+		}
+	}
+}
+
+// cosSin returns cos(x), sin(x).
+func cosSin(x float64) (float64, float64) {
+	return cosHalf(2 * x), sinHalf(2 * x)
+}

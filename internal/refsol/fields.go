@@ -1,0 +1,169 @@
+// Package refsol provides the high-fidelity reference solutions for the 2-D
+// TEz Maxwell problems: an exact spectral solution for the homogeneous
+// (vacuum) case, the paper's 4th-order Padé compact scheme with RK4 time
+// stepping for general ε(x, y), and a Yee FDTD cross-check. All solvers
+// use the normalized system of eq. 7 (ε₀ = µ₀ = 1) on the periodic square
+// [−1, 1]².
+package refsol
+
+import "math"
+
+// Domain bounds of both test cases.
+const (
+	XMin = -1.0
+	XMax = 1.0
+	L    = XMax - XMin
+)
+
+// Fields holds the three TEz field components on an n×n periodic grid with
+// nodes x_i = −1 + i·(2/n) (the right/top boundary is the periodic image of
+// the left/bottom). Storage is row-major with y as the slow index:
+// F[iy*n+ix].
+type Fields struct {
+	N          int
+	Ez, Hx, Hy []float64
+}
+
+// NewFields allocates zeroed fields.
+func NewFields(n int) *Fields {
+	return &Fields{N: n, Ez: make([]float64, n*n), Hx: make([]float64, n*n), Hy: make([]float64, n*n)}
+}
+
+// Copy returns a deep copy.
+func (f *Fields) Copy() *Fields {
+	g := NewFields(f.N)
+	copy(g.Ez, f.Ez)
+	copy(g.Hx, f.Hx)
+	copy(g.Hy, f.Hy)
+	return g
+}
+
+// Coord returns the physical coordinate of grid index i.
+func Coord(i, n int) float64 { return XMin + L*float64(i)/float64(n) }
+
+// Pulse describes a Gaussian initial condition for Ez (magnetic fields start
+// at zero, eqs. 16–18). The paper's base case is the centered unit pulse
+// exp(−25(x²+y²)); the appendix-A case is off-center and stretched.
+type Pulse struct {
+	X0, Y0 float64
+	SX, SY float64 // axis stretch factors; 1 = isotropic
+}
+
+// CenteredPulse is the eq. 16 initial condition.
+func CenteredPulse() Pulse { return Pulse{SX: 1, SY: 1} }
+
+// AsymmetricPulse is the appendix-A initial condition: centered at
+// (0.4, 0.3) and stretched by (0.85, 0.65).
+func AsymmetricPulse() Pulse { return Pulse{X0: 0.4, Y0: 0.3, SX: 0.85, SY: 0.65} }
+
+// At evaluates the pulse at a point.
+func (p Pulse) At(x, y float64) float64 {
+	dx := (x - p.X0) / p.SX
+	dy := (y - p.Y0) / p.SY
+	return math.Exp(-25 * (dx*dx + dy*dy))
+}
+
+// InitFields samples the pulse onto an n×n grid.
+func (p Pulse) InitFields(n int) *Fields {
+	f := NewFields(n)
+	for iy := 0; iy < n; iy++ {
+		y := Coord(iy, n)
+		for ix := 0; ix < n; ix++ {
+			f.Ez[iy*n+ix] = p.At(Coord(ix, n), y)
+		}
+	}
+	return f
+}
+
+// Medium is a relative-permittivity field ε_r(x, y) (µ = 1 everywhere).
+type Medium interface {
+	EpsAt(x, y float64) float64
+}
+
+// Vacuum is ε_r ≡ 1.
+type Vacuum struct{}
+
+// EpsAt implements Medium.
+func (Vacuum) EpsAt(x, y float64) float64 { return 1 }
+
+// Slab is the dielectric medium of case 2: ε_r = EpsR for x ≥ X0, with a
+// tanh-smoothed interface of width W for the compact-scheme reference
+// (W = 0 gives the sharp interface used for collocation labeling). The slab
+// spans all y, breaking the x-mirror symmetry while preserving the y-mirror
+// symmetry, consistent with §2.2's symmetry-loss discussion.
+type Slab struct {
+	X0   float64
+	EpsR float64
+	W    float64
+}
+
+// PaperSlab returns the ε_r = 4 slab at x ≥ 0.35 used throughout the
+// dielectric experiments (the paper does not specify the geometry; see
+// DESIGN.md for the substitution note).
+func PaperSlab() Slab { return Slab{X0: 0.35, EpsR: 4, W: 0} }
+
+// SmoothSlab is PaperSlab with a smoothed interface for finite-difference
+// reference solvers.
+func SmoothSlab(width float64) Slab { s := PaperSlab(); s.W = width; return s }
+
+// EpsAt implements Medium.
+func (s Slab) EpsAt(x, y float64) float64 {
+	if s.W <= 0 {
+		if x >= s.X0 {
+			return s.EpsR
+		}
+		return 1
+	}
+	t := 0.5 * (1 + math.Tanh((x-s.X0)/s.W))
+	return 1 + (s.EpsR-1)*t
+}
+
+// IsDielectric reports whether a point lies in the ε_r > 1 region (sharp
+// classification for collocation-point bookkeeping).
+func (s Slab) IsDielectric(x, y float64) bool { return x >= s.X0 }
+
+// sampleEps evaluates ε on the solver grid.
+func sampleEps(m Medium, n int) []float64 {
+	eps := make([]float64, n*n)
+	for iy := 0; iy < n; iy++ {
+		y := Coord(iy, n)
+		for ix := 0; ix < n; ix++ {
+			eps[iy*n+ix] = m.EpsAt(Coord(ix, n), y)
+		}
+	}
+	return eps
+}
+
+// TotalEnergy integrates the electromagnetic energy density (eq. 22)
+// u = ½(ε Ez² + Hx² + Hy²) over the grid (cell-area weighted).
+func TotalEnergy(f *Fields, m Medium) float64 {
+	n := f.N
+	cell := (L / float64(n)) * (L / float64(n))
+	var u float64
+	for iy := 0; iy < n; iy++ {
+		y := Coord(iy, n)
+		for ix := 0; ix < n; ix++ {
+			eps := m.EpsAt(Coord(ix, n), y)
+			i := iy*n + ix
+			u += 0.5 * (eps*f.Ez[i]*f.Ez[i] + f.Hx[i]*f.Hx[i] + f.Hy[i]*f.Hy[i])
+		}
+	}
+	return u * cell
+}
+
+// L2Error computes the paper's metric (eq. 32): the relative L2 norm of the
+// Ez prediction error accumulated over a set of snapshots.
+func L2Error(pred, ref []*Fields) float64 {
+	var num, den float64
+	for s := range ref {
+		for i := range ref[s].Ez {
+			d := pred[s].Ez[i] - ref[s].Ez[i]
+			num += d * d
+			den += ref[s].Ez[i] * ref[s].Ez[i]
+		}
+	}
+	if den == 0 {
+		return math.Inf(1)
+	}
+	return math.Sqrt(num / den)
+}

@@ -1,0 +1,224 @@
+package refsol
+
+import "repro/internal/par"
+
+// This file implements the paper's high-fidelity comparator: a 4th-order
+// Padé (compact) finite-difference scheme for the spatial derivatives,
+//
+//	¼ f'_{i−1} + f'_i + ¼ f'_{i+1} = (3/2)·(f_{i+1} − f_{i−1})/(2h),
+//
+// solved on the periodic grid with a cyclic Thomas algorithm
+// (Sherman–Morrison), combined with classical RK4 time stepping of the
+// TEz system with spatially varying ε.
+
+// cyclicTri solves the constant-coefficient periodic tridiagonal system
+// (b on the diagonal, a on both off-diagonals and the two corners) for many
+// right-hand sides. The factorization is precomputed once.
+type cyclicTri struct {
+	n    int
+	a, b float64
+	// Thomas factorization of the non-cyclic core (diagonal modified at the
+	// two ends per Sherman–Morrison) and the precomputed correction vector z.
+	cp    []float64 // forward-eliminated upper coefficients
+	denom []float64 // forward-elimination denominators
+	z     []float64 // A'⁻¹·u for the rank-one update
+	gamma float64
+	vz    float64 // 1 + vᵀz normalizer
+	// modified end diagonals
+	b0, bn float64
+}
+
+func newCyclicTri(n int, a, b float64) *cyclicTri {
+	t := &cyclicTri{n: n, a: a, b: b}
+	gamma := -b
+	t.b0 = b - gamma
+	t.bn = b - a*a/gamma
+	t.cp = make([]float64, n)
+	diag := make([]float64, n)
+	for i := range diag {
+		diag[i] = b
+	}
+	diag[0] = t.b0
+	diag[n-1] = t.bn
+	// Forward elimination coefficients for the core matrix.
+	t.cp[0] = a / diag[0]
+	den := make([]float64, n)
+	den[0] = diag[0]
+	for i := 1; i < n; i++ {
+		den[i] = diag[i] - a*t.cp[i-1]
+		if i < n-1 {
+			t.cp[i] = a / den[i]
+		}
+	}
+	t.denom = den
+	// Correction vector u = (γ, 0, …, 0, a)ᵀ; z = A'⁻¹u.
+	u := make([]float64, n)
+	u[0] = gamma
+	u[n-1] = a
+	t.z = make([]float64, n)
+	t.solveCore(u, t.z)
+	// v = (1, 0, …, 0, a/γ); precompute 1 + vᵀz.
+	t.vz = 1 + t.z[0] + (a/gamma)*t.z[n-1]
+	t.gamma = gamma
+	return t
+}
+
+// solveCore solves the non-cyclic Thomas system into out.
+func (t *cyclicTri) solveCore(rhs, out []float64) {
+	n := t.n
+	out[0] = rhs[0] / t.denom[0]
+	for i := 1; i < n; i++ {
+		out[i] = (rhs[i] - t.a*out[i-1]) / t.denom[i]
+	}
+	for i := n - 2; i >= 0; i-- {
+		out[i] -= t.cp[i] * out[i+1]
+	}
+}
+
+// Solve solves the cyclic system in place using scratch y (len n).
+func (t *cyclicTri) Solve(rhs, y []float64) {
+	n := t.n
+	t.solveCore(rhs, y)
+	factor := (y[0] + (t.a/t.gamma)*y[n-1]) / t.vz
+	for i := 0; i < n; i++ {
+		rhs[i] = y[i] - factor*t.z[i]
+	}
+}
+
+// Pade is the compact-scheme Maxwell solver for arbitrary media.
+type Pade struct {
+	N   int
+	eps []float64
+	tri *cyclicTri
+	h   float64
+}
+
+// NewPade builds the solver on an n×n grid for medium m.
+func NewPade(n int, m Medium) *Pade {
+	return &Pade{
+		N:   n,
+		eps: sampleEps(m, n),
+		tri: newCyclicTri(n, 0.25, 1.0),
+		h:   L / float64(n),
+	}
+}
+
+// ddx writes ∂f/∂x into out using the compact scheme, row by row.
+func (p *Pade) ddx(f, out []float64) {
+	n := p.N
+	scale := 1.5 / (2 * p.h)
+	par.ForGrain(n, 4*n, func(lo, hi int) {
+		rhs := make([]float64, n)
+		scratch := make([]float64, n)
+		for iy := lo; iy < hi; iy++ {
+			row := f[iy*n : (iy+1)*n]
+			for ix := 0; ix < n; ix++ {
+				ip := ix + 1
+				if ip == n {
+					ip = 0
+				}
+				im := ix - 1
+				if im < 0 {
+					im = n - 1
+				}
+				rhs[ix] = scale * (row[ip] - row[im])
+			}
+			p.tri.Solve(rhs, scratch)
+			copy(out[iy*n:(iy+1)*n], rhs)
+		}
+	})
+}
+
+// ddy writes ∂f/∂y into out, column by column.
+func (p *Pade) ddy(f, out []float64) {
+	n := p.N
+	scale := 1.5 / (2 * p.h)
+	par.ForGrain(n, 4*n, func(lo, hi int) {
+		rhs := make([]float64, n)
+		scratch := make([]float64, n)
+		for ix := lo; ix < hi; ix++ {
+			for iy := 0; iy < n; iy++ {
+				ip := iy + 1
+				if ip == n {
+					ip = 0
+				}
+				im := iy - 1
+				if im < 0 {
+					im = n - 1
+				}
+				rhs[iy] = scale * (f[ip*n+ix] - f[im*n+ix])
+			}
+			p.tri.Solve(rhs, scratch)
+			for iy := 0; iy < n; iy++ {
+				out[iy*n+ix] = rhs[iy]
+			}
+		}
+	})
+}
+
+// rhs evaluates the TEz right-hand side (eq. 7 with ε(x, y)):
+// ∂Ez/∂t = (1/ε)(∂Hy/∂x − ∂Hx/∂y), ∂Hx/∂t = −∂Ez/∂y, ∂Hy/∂t = ∂Ez/∂x.
+func (p *Pade) rhs(f *Fields, out *Fields, scratch *Fields) {
+	n := p.N
+	p.ddx(f.Hy, out.Ez)     // ∂Hy/∂x
+	p.ddy(f.Hx, scratch.Ez) // ∂Hx/∂y
+	p.ddy(f.Ez, out.Hx)     // ∂Ez/∂y
+	p.ddx(f.Ez, out.Hy)     // ∂Ez/∂x
+	for i := 0; i < n*n; i++ {
+		out.Ez[i] = (out.Ez[i] - scratch.Ez[i]) / p.eps[i]
+		out.Hx[i] = -out.Hx[i]
+	}
+}
+
+// Step advances the fields by dt with classical RK4.
+func (p *Pade) Step(f *Fields, dt float64) {
+	n := p.N
+	k1 := NewFields(n)
+	k2 := NewFields(n)
+	k3 := NewFields(n)
+	k4 := NewFields(n)
+	tmp := NewFields(n)
+	scr := NewFields(n)
+
+	p.rhs(f, k1, scr)
+	addScaled(tmp, f, k1, dt/2)
+	p.rhs(tmp, k2, scr)
+	addScaled(tmp, f, k2, dt/2)
+	p.rhs(tmp, k3, scr)
+	addScaled(tmp, f, k3, dt)
+	p.rhs(tmp, k4, scr)
+	for i := 0; i < n*n; i++ {
+		f.Ez[i] += dt / 6 * (k1.Ez[i] + 2*k2.Ez[i] + 2*k3.Ez[i] + k4.Ez[i])
+		f.Hx[i] += dt / 6 * (k1.Hx[i] + 2*k2.Hx[i] + 2*k3.Hx[i] + k4.Hx[i])
+		f.Hy[i] += dt / 6 * (k1.Hy[i] + 2*k2.Hy[i] + 2*k3.Hy[i] + k4.Hy[i])
+	}
+}
+
+func addScaled(dst, f, k *Fields, c float64) {
+	for i := range dst.Ez {
+		dst.Ez[i] = f.Ez[i] + c*k.Ez[i]
+		dst.Hx[i] = f.Hx[i] + c*k.Hx[i]
+		dst.Hy[i] = f.Hy[i] + c*k.Hy[i]
+	}
+}
+
+// Solve integrates from the initial condition to each requested time
+// (times must be ascending) with a CFL-limited step.
+func (p *Pade) Solve(init *Fields, times []float64) []*Fields {
+	f := init.Copy()
+	dt := 0.4 * p.h // c = 1; conservative CFL for the compact scheme
+	out := make([]*Fields, len(times))
+	now := 0.0
+	for i, target := range times {
+		for now < target-1e-12 {
+			step := dt
+			if now+step > target {
+				step = target - now
+			}
+			p.Step(f, step)
+			now += step
+		}
+		out[i] = f.Copy()
+	}
+	return out
+}

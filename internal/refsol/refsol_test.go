@@ -1,0 +1,225 @@
+package refsol
+
+import (
+	"math"
+	"testing"
+)
+
+// TestSpectralSatisfiesMaxwell: the exact solution's residuals, evaluated
+// with spectral accuracy via small finite differences in t and high-order
+// central differences in space, must vanish.
+func TestSpectralSatisfiesMaxwell(t *testing.T) {
+	n := 64
+	sp := NewSpectral(CenteredPulse().InitFields(n))
+	t0 := 0.4
+	const ht = 1e-5
+	fp := sp.At(t0 + ht)
+	fm := sp.At(t0 - ht)
+	f := sp.At(t0)
+	// Spatial derivatives via the 4th-order compact operators, which this
+	// test cross-validates against the exact solution at the same time.
+	p := NewPade(n, Vacuum{})
+	dHydx := make([]float64, n*n)
+	dHxdy := make([]float64, n*n)
+	p.ddx(f.Hy, dHydx)
+	p.ddy(f.Hx, dHxdy)
+	maxRes := 0.0
+	for i := 0; i < n*n; i++ {
+		dEzdt := (fp.Ez[i] - fm.Ez[i]) / (2 * ht)
+		res := dEzdt - (dHydx[i] - dHxdy[i])
+		if math.Abs(res) > maxRes {
+			maxRes = math.Abs(res)
+		}
+	}
+	if maxRes > 5e-3 {
+		t.Fatalf("max residual %v", maxRes)
+	}
+}
+
+// TestSpectralConservesEnergy: the vacuum solution conserves total
+// electromagnetic energy to near machine precision (Poynting theorem,
+// eq. 21 with J = 0 and periodic boundaries).
+func TestSpectralConservesEnergy(t *testing.T) {
+	n := 64
+	init := CenteredPulse().InitFields(n)
+	sp := NewSpectral(init)
+	u0 := TotalEnergy(sp.At(0), Vacuum{})
+	for _, tt := range []float64{0.3, 0.7, 1.1, 1.5} {
+		u := TotalEnergy(sp.At(tt), Vacuum{})
+		if math.Abs(u-u0) > 1e-8*u0 {
+			t.Errorf("energy at t=%v: %v vs %v", tt, u, u0)
+		}
+	}
+}
+
+// TestSpectralInitialCondition: At(0) returns the initial condition exactly.
+func TestSpectralInitialCondition(t *testing.T) {
+	n := 32
+	init := CenteredPulse().InitFields(n)
+	f := NewSpectral(init).At(0)
+	for i := range init.Ez {
+		if math.Abs(f.Ez[i]-init.Ez[i]) > 1e-10 {
+			t.Fatalf("Ez(0) mismatch at %d", i)
+		}
+		if math.Abs(f.Hx[i]) > 1e-10 || math.Abs(f.Hy[i]) > 1e-10 {
+			t.Fatalf("H(0) ≠ 0 at %d", i)
+		}
+	}
+}
+
+// TestPadeMatchesSpectralVacuum: the compact scheme must track the exact
+// solution closely on a moderate grid.
+func TestPadeMatchesSpectralVacuum(t *testing.T) {
+	n := 64
+	init := CenteredPulse().InitFields(n)
+	times := []float64{0.25, 0.5}
+	exact := NewSpectral(init).Series(times)
+	pade := NewPade(n, Vacuum{}).Solve(init, times)
+	if err := L2Error(pade, exact); err > 5e-3 {
+		t.Fatalf("Padé vs spectral L2 = %v", err)
+	}
+}
+
+// TestFDTDMatchesSpectralVacuum: Yee solver cross-check (2nd order, looser).
+func TestFDTDMatchesSpectralVacuum(t *testing.T) {
+	n := 64
+	init := CenteredPulse().InitFields(n)
+	times := []float64{0.25, 0.5}
+	exact := NewSpectral(init).Series(times)
+	fdtd := NewFDTD(n, Vacuum{}).Solve(init, times)
+	if err := L2Error(fdtd, exact); err > 0.08 {
+		t.Fatalf("FDTD vs spectral L2 = %v", err)
+	}
+}
+
+// TestPadeDielectricAgainstFDTD: with no exact solution available in the
+// heterogeneous medium, the two independent discretizations must agree.
+func TestPadeDielectricAgainstFDTD(t *testing.T) {
+	n := 64
+	med := SmoothSlab(0.08)
+	init := CenteredPulse().InitFields(n)
+	times := []float64{0.3, 0.6}
+	pade := NewPade(n, med).Solve(init, times)
+	fdtd := NewFDTD(n, med).Solve(init, times)
+	if err := L2Error(fdtd, pade); err > 0.12 {
+		t.Fatalf("Padé vs FDTD (dielectric) L2 = %v", err)
+	}
+}
+
+// TestPadeConservesEnergy: lossless medium ⇒ energy constant (to the
+// scheme's discretization error).
+func TestPadeConservesEnergy(t *testing.T) {
+	n := 48
+	med := SmoothSlab(0.08)
+	init := CenteredPulse().InitFields(n)
+	sol := NewPade(n, med).Solve(init, []float64{0.0, 0.35, 0.7})
+	u0 := TotalEnergy(sol[0], med)
+	for i, f := range sol {
+		u := TotalEnergy(f, med)
+		if math.Abs(u-u0) > 2e-3*u0 {
+			t.Errorf("snapshot %d: energy %v vs %v", i, u, u0)
+		}
+	}
+}
+
+// TestCyclicTridiagSolver: verify against direct multiplication.
+func TestCyclicTridiagSolver(t *testing.T) {
+	n := 17
+	a, b := 0.25, 1.0
+	tri := newCyclicTri(n, a, b)
+	x := make([]float64, n)
+	for i := range x {
+		x[i] = math.Sin(float64(3*i)) + 0.2*float64(i%5)
+	}
+	// rhs = A x with A cyclic tridiagonal.
+	rhs := make([]float64, n)
+	for i := 0; i < n; i++ {
+		rhs[i] = b*x[i] + a*x[(i+1)%n] + a*x[(i-1+n)%n]
+	}
+	scratch := make([]float64, n)
+	tri.Solve(rhs, scratch)
+	for i := range x {
+		if math.Abs(rhs[i]-x[i]) > 1e-10 {
+			t.Fatalf("solve mismatch at %d: %v vs %v", i, rhs[i], x[i])
+		}
+	}
+}
+
+// TestPadeDerivativeOrder: the compact ∂/∂x of sin(πx) has error ≪ the
+// 2nd-order scheme (4th-order convergence sanity check).
+func TestPadeDerivativeOrder(t *testing.T) {
+	errAt := func(n int) float64 {
+		p := NewPade(n, Vacuum{})
+		f := make([]float64, n*n)
+		for iy := 0; iy < n; iy++ {
+			for ix := 0; ix < n; ix++ {
+				f[iy*n+ix] = math.Sin(math.Pi * Coord(ix, n))
+			}
+		}
+		out := make([]float64, n*n)
+		p.ddx(f, out)
+		var maxErr float64
+		for ix := 0; ix < n; ix++ {
+			want := math.Pi * math.Cos(math.Pi*Coord(ix, n))
+			if e := math.Abs(out[ix] - want); e > maxErr {
+				maxErr = e
+			}
+		}
+		return maxErr
+	}
+	e16, e32 := errAt(16), errAt(32)
+	order := math.Log2(e16 / e32)
+	if order < 3.5 {
+		t.Fatalf("compact scheme order %v (e16=%v e32=%v), want ≈4", order, e16, e32)
+	}
+}
+
+// TestL2ErrorMetric: identical fields give 0; a scaled field gives the
+// closed-form relative error.
+func TestL2ErrorMetric(t *testing.T) {
+	n := 8
+	f := CenteredPulse().InitFields(n)
+	if e := L2Error([]*Fields{f}, []*Fields{f}); e != 0 {
+		t.Fatalf("self error %v", e)
+	}
+	g := f.Copy()
+	for i := range g.Ez {
+		g.Ez[i] *= 1.1
+	}
+	if e := L2Error([]*Fields{g}, []*Fields{f}); math.Abs(e-0.1) > 1e-12 {
+		t.Fatalf("scaled error %v, want 0.1", e)
+	}
+}
+
+// TestSlabGeometry: the dielectric breaks x-symmetry, preserves y-symmetry.
+func TestSlabGeometry(t *testing.T) {
+	s := PaperSlab()
+	if s.EpsAt(0.5, 0.2) != 4 || s.EpsAt(-0.5, 0.2) != 1 {
+		t.Fatal("slab eps misplaced")
+	}
+	if s.EpsAt(0.5, 0.7) != s.EpsAt(0.5, -0.7) {
+		t.Fatal("slab must be y-symmetric")
+	}
+	if s.EpsAt(0.5, 0) == s.EpsAt(-0.5, 0) {
+		t.Fatal("slab must break x-symmetry")
+	}
+	sm := SmoothSlab(0.05)
+	if sm.EpsAt(-1, 0) > 1.01 || sm.EpsAt(1, 0) < 3.99 {
+		t.Fatal("smooth slab endpoints wrong")
+	}
+}
+
+// TestEzAtMatchesGrid: pointwise Fourier synthesis agrees with the FFT grid.
+func TestEzAtMatchesGrid(t *testing.T) {
+	n := 16
+	sp := NewSpectral(CenteredPulse().InitFields(n))
+	f := sp.At(0.3)
+	for _, probe := range [][2]int{{0, 0}, {3, 7}, {9, 12}} {
+		iy, ix := probe[0], probe[1]
+		got := sp.EzAt(Coord(ix, n), Coord(iy, n), 0.3)
+		want := f.Ez[iy*n+ix]
+		if math.Abs(got-want) > 1e-9 {
+			t.Fatalf("EzAt(%d,%d) %v vs grid %v", iy, ix, got, want)
+		}
+	}
+}

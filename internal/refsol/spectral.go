@@ -1,0 +1,155 @@
+package refsol
+
+import (
+	"math"
+
+	"repro/internal/fft"
+)
+
+// Spectral is the exact solution of the vacuum TEz system on the periodic
+// square: each Fourier mode of the eq. 7 system evolves in closed form.
+// With Ĥ(0) = 0 and ω = |k|,
+//
+//	Êz(k,t) = Êz(k,0)·cos(ωt)
+//	Ĥx(k,t) = −i·k_y·Êz(k,0)·sin(ωt)/ω
+//	Ĥy(k,t) = +i·k_x·Êz(k,0)·sin(ωt)/ω
+//
+// (the DC mode is constant). This is exact up to the spatial truncation of
+// the initial condition, making it the gold reference against which the
+// Padé compact scheme and the FDTD solver are themselves validated.
+type Spectral struct {
+	N   int
+	ez0 []complex128 // FFT of the initial Ez
+}
+
+// NewSpectral prepares the exact solver from an initial condition grid.
+// n must be a power of two.
+func NewSpectral(init *Fields) *Spectral {
+	n := init.N
+	ez0 := make([]complex128, n*n)
+	for i, v := range init.Ez {
+		ez0[i] = complex(v, 0)
+	}
+	fft.Forward2D(ez0, n)
+	return &Spectral{N: n, ez0: ez0}
+}
+
+// At evaluates the exact fields at time t.
+func (s *Spectral) At(t float64) *Fields {
+	n := s.N
+	ez := make([]complex128, n*n)
+	hx := make([]complex128, n*n)
+	hy := make([]complex128, n*n)
+	for by := 0; by < n; by++ {
+		ky := math.Pi * float64(fft.FreqIndex(by, n)) // 2π/L with L = 2
+		for bx := 0; bx < n; bx++ {
+			kx := math.Pi * float64(fft.FreqIndex(bx, n))
+			e0 := s.ez0[by*n+bx]
+			w := math.Hypot(kx, ky)
+			idx := by*n + bx
+			if w == 0 {
+				ez[idx] = e0
+				continue
+			}
+			c, sn := math.Cos(w*t), math.Sin(w*t)
+			ez[idx] = e0 * complex(c, 0)
+			f := e0 * complex(0, sn/w)
+			hx[idx] = -complex(ky, 0) * f
+			hy[idx] = complex(kx, 0) * f
+		}
+	}
+	fft.Inverse2D(ez, n)
+	fft.Inverse2D(hx, n)
+	fft.Inverse2D(hy, n)
+	out := NewFields(n)
+	for i := 0; i < n*n; i++ {
+		out.Ez[i] = real(ez[i])
+		out.Hx[i] = real(hx[i])
+		out.Hy[i] = real(hy[i])
+	}
+	return out
+}
+
+// Series evaluates the exact fields at each requested time.
+func (s *Spectral) Series(times []float64) []*Fields {
+	out := make([]*Fields, len(times))
+	for i, t := range times {
+		out[i] = s.At(t)
+	}
+	return out
+}
+
+// EzAt evaluates only Ez at an arbitrary point (x, y, t) by direct Fourier
+// synthesis — used to build reference values on the PINN evaluation grid
+// without interpolation error.
+func (s *Spectral) EzAt(x, y, t float64) float64 {
+	n := s.N
+	var acc complex128
+	for by := 0; by < n; by++ {
+		ky := math.Pi * float64(fft.FreqIndex(by, n))
+		for bx := 0; bx < n; bx++ {
+			kx := math.Pi * float64(fft.FreqIndex(bx, n))
+			e0 := s.ez0[by*n+bx]
+			if e0 == 0 {
+				continue
+			}
+			w := math.Hypot(kx, ky)
+			phase := kx*(x-XMin) + ky*(y-XMin)
+			basis := complex(math.Cos(phase), math.Sin(phase))
+			acc += e0 * complex(math.Cos(w*t), 0) * basis
+		}
+	}
+	return real(acc) / float64(n*n)
+}
+
+// PointDerivs holds one field component's value and (x, y, t) derivatives.
+type PointDerivs struct {
+	V          float64
+	Dx, Dy, Dt float64
+}
+
+// EvalPoint synthesizes all three exact fields and their first derivatives
+// at an arbitrary point. Used to validate the PINN loss terms: feeding these
+// values into the residuals must produce (near) zero.
+func (s *Spectral) EvalPoint(x, y, t float64) (ez, hx, hy PointDerivs) {
+	n := s.N
+	norm := 1 / float64(n*n)
+	for by := 0; by < n; by++ {
+		ky := math.Pi * float64(fft.FreqIndex(by, n))
+		for bx := 0; bx < n; bx++ {
+			kx := math.Pi * float64(fft.FreqIndex(bx, n))
+			e0 := s.ez0[by*n+bx]
+			if e0 == 0 {
+				continue
+			}
+			w := math.Hypot(kx, ky)
+			phase := kx*(x-XMin) + ky*(y-XMin)
+			basis := complex(math.Cos(phase), math.Sin(phase))
+			ikx := complex(0, kx)
+			iky := complex(0, ky)
+
+			var ezC, hxC, hyC, ezT, hxT, hyT complex128
+			if w == 0 {
+				ezC = e0
+			} else {
+				c, sn := math.Cos(w*t), math.Sin(w*t)
+				ezC = e0 * complex(c, 0)
+				hxC = -complex(ky, 0) * e0 * complex(0, sn/w)
+				hyC = complex(kx, 0) * e0 * complex(0, sn/w)
+				ezT = e0 * complex(-w*sn, 0)
+				hxT = -complex(ky, 0) * e0 * complex(0, c)
+				hyT = complex(kx, 0) * e0 * complex(0, c)
+			}
+			add := func(p *PointDerivs, v, vt complex128) {
+				p.V += real(v * basis * complex(norm, 0))
+				p.Dx += real(v * ikx * basis * complex(norm, 0))
+				p.Dy += real(v * iky * basis * complex(norm, 0))
+				p.Dt += real(vt * basis * complex(norm, 0))
+			}
+			add(&ez, ezC, ezT)
+			add(&hx, hxC, hxT)
+			add(&hy, hyC, hyT)
+		}
+	}
+	return
+}

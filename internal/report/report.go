@@ -1,0 +1,285 @@
+// Package report renders experiment outputs: aligned ASCII tables matching
+// the paper's table layouts, CSV series for the figure data, terminal line
+// plots for loss curves, and PGM images for field contours.
+package report
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strings"
+)
+
+// Table accumulates rows and renders with aligned columns.
+type Table struct {
+	Title   string
+	Headers []string
+	rows    [][]string
+}
+
+// NewTable creates a table with the given headers.
+func NewTable(title string, headers ...string) *Table {
+	return &Table{Title: title, Headers: headers}
+}
+
+// Row appends a row; values are formatted with %v (floats via %.6g).
+func (t *Table) Row(cells ...interface{}) {
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		switch v := c.(type) {
+		case float64:
+			if math.IsNaN(v) {
+				row[i] = "—"
+			} else {
+				row[i] = fmt.Sprintf("%.6g", v)
+			}
+		default:
+			row[i] = fmt.Sprintf("%v", c)
+		}
+	}
+	t.rows = append(t.rows, row)
+}
+
+// Render writes the table.
+func (t *Table) Render(w io.Writer) {
+	widths := make([]int, len(t.Headers))
+	for i, h := range t.Headers {
+		widths[i] = len([]rune(h))
+	}
+	for _, r := range t.rows {
+		for i, c := range r {
+			if i < len(widths) && len([]rune(c)) > widths[i] {
+				widths[i] = len([]rune(c))
+			}
+		}
+	}
+	if t.Title != "" {
+		fmt.Fprintf(w, "%s\n", t.Title)
+	}
+	line := func(cells []string) {
+		parts := make([]string, len(cells))
+		for i, c := range cells {
+			parts[i] = pad(c, widths[i])
+		}
+		fmt.Fprintf(w, "| %s |\n", strings.Join(parts, " | "))
+	}
+	sep := make([]string, len(t.Headers))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	line(t.Headers)
+	line(sep)
+	for _, r := range t.rows {
+		line(r)
+	}
+}
+
+func pad(s string, w int) string {
+	if n := w - len([]rune(s)); n > 0 {
+		return s + strings.Repeat(" ", n)
+	}
+	return s
+}
+
+// CSV writes series as comma-separated columns with a header row.
+func CSV(w io.Writer, headers []string, cols ...[]float64) {
+	fmt.Fprintln(w, strings.Join(headers, ","))
+	n := 0
+	for _, c := range cols {
+		if len(c) > n {
+			n = len(c)
+		}
+	}
+	for i := 0; i < n; i++ {
+		parts := make([]string, len(cols))
+		for j, c := range cols {
+			if i < len(c) {
+				parts[j] = fmt.Sprintf("%.8g", c[i])
+			}
+		}
+		fmt.Fprintln(w, strings.Join(parts, ","))
+	}
+}
+
+// LinePlot renders series as an ASCII chart (log-scale optional), the
+// terminal rendition of the paper's loss-curve figures.
+func LinePlot(w io.Writer, title string, width, height int, logY bool, series map[string][]float64) {
+	fmt.Fprintf(w, "%s\n", title)
+	lo, hi := math.Inf(1), math.Inf(-1)
+	maxLen := 0
+	tf := func(v float64) float64 {
+		if logY {
+			if v <= 0 {
+				return math.NaN()
+			}
+			return math.Log10(v)
+		}
+		return v
+	}
+	for _, s := range series {
+		if len(s) > maxLen {
+			maxLen = len(s)
+		}
+		for _, v := range s {
+			y := tf(v)
+			if math.IsNaN(y) {
+				continue
+			}
+			if y < lo {
+				lo = y
+			}
+			if y > hi {
+				hi = y
+			}
+		}
+	}
+	if maxLen == 0 || math.IsInf(lo, 1) {
+		fmt.Fprintln(w, "(no data)")
+		return
+	}
+	if hi == lo {
+		hi = lo + 1
+	}
+	grid := make([][]byte, height)
+	for r := range grid {
+		grid[r] = []byte(strings.Repeat(" ", width))
+	}
+	marks := "*+o#@%&"
+	names := make([]string, 0, len(series))
+	for name := range series {
+		names = append(names, name)
+	}
+	// Deterministic order.
+	for i := 0; i < len(names); i++ {
+		for j := i + 1; j < len(names); j++ {
+			if names[j] < names[i] {
+				names[i], names[j] = names[j], names[i]
+			}
+		}
+	}
+	for si, name := range names {
+		s := series[name]
+		m := marks[si%len(marks)]
+		for i, v := range s {
+			y := tf(v)
+			if math.IsNaN(y) {
+				continue
+			}
+			col := i * (width - 1) / maxInt(maxLen-1, 1)
+			row := height - 1 - int((y-lo)/(hi-lo)*float64(height-1)+0.5)
+			if row >= 0 && row < height && col >= 0 && col < width {
+				grid[row][col] = m
+			}
+		}
+	}
+	axis := "y"
+	if logY {
+		axis = "log10(y)"
+	}
+	fmt.Fprintf(w, "%s range [%.3g, %.3g]\n", axis, lo, hi)
+	for _, row := range grid {
+		fmt.Fprintf(w, "|%s|\n", string(row))
+	}
+	for si, name := range names {
+		fmt.Fprintf(w, "  %c = %s\n", marks[si%len(marks)], name)
+	}
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// PGM writes a grayscale P2 image of a field grid (n×n), normalizing to
+// [0, 255] over [-absMax, absMax] (symmetric colormap like the paper's
+// contour plots). absMax ≤ 0 autoscales.
+func PGM(w io.Writer, field []float64, n int, absMax float64) {
+	if absMax <= 0 {
+		for _, v := range field {
+			if a := math.Abs(v); a > absMax {
+				absMax = a
+			}
+		}
+		if absMax == 0 {
+			absMax = 1
+		}
+	}
+	fmt.Fprintf(w, "P2\n%d %d\n255\n", n, n)
+	for iy := n - 1; iy >= 0; iy-- { // top row = max y
+		parts := make([]string, n)
+		for ix := 0; ix < n; ix++ {
+			v := field[iy*n+ix]
+			g := int((v/absMax + 1) / 2 * 255)
+			if g < 0 {
+				g = 0
+			}
+			if g > 255 {
+				g = 255
+			}
+			parts[ix] = fmt.Sprintf("%d", g)
+		}
+		fmt.Fprintln(w, strings.Join(parts, " "))
+	}
+}
+
+// Histogram renders value counts over equal-width bins — the Fig. 3d /
+// Fig. 12 distribution panels.
+func Histogram(w io.Writer, title string, values []float64, bins int, width int) {
+	lo, hi := math.Inf(1), math.Inf(-1)
+	for _, v := range values {
+		if v < lo {
+			lo = v
+		}
+		if v > hi {
+			hi = v
+		}
+	}
+	if math.IsInf(lo, 1) {
+		fmt.Fprintf(w, "%s: (no data)\n", title)
+		return
+	}
+	if hi == lo {
+		hi = lo + 1e-12
+	}
+	counts := make([]int, bins)
+	for _, v := range values {
+		b := int((v - lo) / (hi - lo) * float64(bins))
+		if b >= bins {
+			b = bins - 1
+		}
+		counts[b]++
+	}
+	maxC := 1
+	for _, c := range counts {
+		if c > maxC {
+			maxC = c
+		}
+	}
+	fmt.Fprintf(w, "%s  (n=%d, range [%.3f, %.3f])\n", title, len(values), lo, hi)
+	for b, c := range counts {
+		bar := strings.Repeat("#", c*width/maxC)
+		fmt.Fprintf(w, "  %8.3f %s %d\n", lo+(hi-lo)*(float64(b)+0.5)/float64(bins), bar, c)
+	}
+}
+
+// MeanStd returns the mean and standard deviation of a sample.
+func MeanStd(xs []float64) (mean, std float64) {
+	if len(xs) == 0 {
+		return math.NaN(), math.NaN()
+	}
+	for _, x := range xs {
+		mean += x
+	}
+	mean /= float64(len(xs))
+	for _, x := range xs {
+		std += (x - mean) * (x - mean)
+	}
+	if len(xs) > 1 {
+		std = math.Sqrt(std / float64(len(xs)-1))
+	} else {
+		std = 0
+	}
+	return
+}

@@ -1,0 +1,102 @@
+package report
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestTableAlignment(t *testing.T) {
+	var sb strings.Builder
+	tb := NewTable("T", "name", "value")
+	tb.Row("a", 1.5)
+	tb.Row("longer-name", math.NaN())
+	tb.Render(&sb)
+	out := sb.String()
+	if !strings.Contains(out, "longer-name") || !strings.Contains(out, "1.5") {
+		t.Fatalf("missing cells:\n%s", out)
+	}
+	if !strings.Contains(out, "—") {
+		t.Fatal("NaN must render as an em dash")
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	// All table lines (after the title) must have equal width.
+	w := len([]rune(lines[1]))
+	for _, l := range lines[2:] {
+		if len([]rune(l)) != w {
+			t.Fatalf("misaligned row %q", l)
+		}
+	}
+}
+
+func TestCSV(t *testing.T) {
+	var sb strings.Builder
+	CSV(&sb, []string{"a", "b"}, []float64{1, 2, 3}, []float64{4, 5})
+	lines := strings.Split(strings.TrimSpace(sb.String()), "\n")
+	if lines[0] != "a,b" {
+		t.Fatalf("header %q", lines[0])
+	}
+	if len(lines) != 4 {
+		t.Fatalf("expected 4 lines, got %d", len(lines))
+	}
+	if lines[3] != "3," {
+		t.Fatalf("ragged column handling: %q", lines[3])
+	}
+}
+
+func TestLinePlotRendersAllSeries(t *testing.T) {
+	var sb strings.Builder
+	LinePlot(&sb, "plot", 20, 6, true, map[string][]float64{
+		"up":   {1, 10, 100},
+		"down": {100, 10, 1},
+	})
+	out := sb.String()
+	if !strings.Contains(out, "down") || !strings.Contains(out, "up") {
+		t.Fatal("legend missing")
+	}
+	if !strings.Contains(out, "log10(y)") {
+		t.Fatal("log axis label missing")
+	}
+	// Zero/negative values in log mode must not panic.
+	var sb2 strings.Builder
+	LinePlot(&sb2, "p", 10, 4, true, map[string][]float64{"z": {0, -1, 1}})
+}
+
+func TestPGMFormat(t *testing.T) {
+	var sb strings.Builder
+	PGM(&sb, []float64{-1, 0, 0, 1}, 2, 1)
+	out := strings.Split(strings.TrimSpace(sb.String()), "\n")
+	if out[0] != "P2" || out[1] != "2 2" || out[2] != "255" {
+		t.Fatalf("bad header %v", out[:3])
+	}
+	// Row order: top row = max y = second grid row.
+	if out[3] != "127 255" || out[4] != "0 127" {
+		t.Fatalf("bad pixels %v", out[3:])
+	}
+}
+
+func TestHistogramCountsAllValues(t *testing.T) {
+	var sb strings.Builder
+	vals := []float64{0, 0.1, 0.9, 1.0, 0.5}
+	Histogram(&sb, "h", vals, 2, 10)
+	out := sb.String()
+	if !strings.Contains(out, "n=5") {
+		t.Fatalf("missing count:\n%s", out)
+	}
+}
+
+func TestMeanStd(t *testing.T) {
+	m, s := MeanStd([]float64{2, 4, 4, 4, 5, 5, 7, 9})
+	if math.Abs(m-5) > 1e-12 {
+		t.Fatalf("mean %v", m)
+	}
+	if math.Abs(s-math.Sqrt(32.0/7)) > 1e-12 {
+		t.Fatalf("std %v", s)
+	}
+	if m, s = MeanStd([]float64{3}); m != 3 || s != 0 {
+		t.Fatalf("singleton %v %v", m, s)
+	}
+	if m, _ = MeanStd(nil); !math.IsNaN(m) {
+		t.Fatalf("empty mean %v", m)
+	}
+}
