@@ -1,7 +1,8 @@
 // Command torq-bench runs the Table 2 simulator comparison: the batched
 // adjoint simulator (the TorQ analogue) against the naive per-sample and
 // full-unitary baselines that stand in for PennyLane's default.qubit and
-// operator-composition pipelines.
+// operator-composition pipelines. The -engine flag selects the execution
+// engine for the batched rows, enabling fused-vs-legacy A/B runs.
 package main
 
 import (
@@ -10,15 +11,23 @@ import (
 	"os"
 
 	"repro/internal/experiments"
+	"repro/internal/qsim"
 )
 
 func main() {
 	preset := flag.String("preset", "smoke", "smoke | paper")
+	engine := flag.String("engine", "fused", "circuit-execution engine for the batched simulator: fused | legacy | naive")
 	flag.Parse()
 	o := experiments.Options{Preset: experiments.Smoke, Out: os.Stdout}
 	if *preset == "paper" {
 		o.Preset = experiments.Paper
 	}
+	eng, err := qsim.ParseEngine(*engine)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	o.Engine = eng
 	if err := experiments.Table2(o); err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)

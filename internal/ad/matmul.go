@@ -51,7 +51,7 @@ func mmNTAcc(c, a, b []float64, n, m, k int) {
 // k×m. This is the dW = Xᵀ·dC step. Parallelizing over rows of A would race
 // on C, so the loop splits over the k dimension instead.
 func mmTNAcc(c, a, b []float64, n, k, m int) {
-	par.ForGrain(k, n*m/maxInt(k, 1), func(s, e int) {
+	par.ForGrain(k, n*m/max(k, 1), func(s, e int) {
 		for l := s; l < e; l++ {
 			cl := c[l*m : (l+1)*m]
 			for i := 0; i < n; i++ {
@@ -66,13 +66,6 @@ func mmTNAcc(c, a, b []float64, n, k, m int) {
 			}
 		}
 	})
-}
-
-func maxInt(a, b int) int {
-	if a > b {
-		return a
-	}
-	return b
 }
 
 // MatMul returns a·b for a[n×k] and b[k×m]; both operands participate in

@@ -56,8 +56,9 @@ type ModelConfig struct {
 	Ansatz      qsim.AnsatzKind
 	Scaling     qsim.ScalingKind
 	Init        qsim.InitStrategy
-	Reupload    bool    // §6.2(c): repeat the angle embedding before every ansatz layer
-	TimePeriod  float64 // initial learned period
+	Engine      qsim.EngineKind // circuit-execution engine (zero value: fused)
+	Reupload    bool            // §6.2(c): repeat the angle embedding before every ansatz layer
+	TimePeriod  float64         // initial learned period
 	Seed        int64
 }
 
@@ -120,7 +121,7 @@ func NewModel(cfg ModelConfig) *Model {
 		if cfg.Reupload {
 			m.Circ = m.Circ.WithReupload()
 		}
-		m.Quantum = nn.NewQuantum(reg, rng, m.Circ, cfg.Scaling, cfg.Init)
+		m.Quantum = nn.NewQuantum(reg, rng, m.Circ, cfg.Scaling, cfg.Init, cfg.Engine)
 		m.Layers = append(m.Layers, m.Quantum)
 		in = cfg.NumQubits
 	case ClassicalTrig:

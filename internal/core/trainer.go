@@ -162,10 +162,3 @@ func modelMeyerWallach(model *Model, probe []float64, n int) float64 {
 	st := qsim.FinalState(model.Circ, acts, model.Quantum.Theta.W, n)
 	return qsim.MeyerWallach(st)
 }
-
-func max(a, b int) int {
-	if a > b {
-		return a
-	}
-	return b
-}

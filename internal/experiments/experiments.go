@@ -28,6 +28,9 @@ type Options struct {
 	Preset Preset
 	Seeds  int // replicate count (paper: 5)
 	Epochs int // training epochs override (0 = preset default)
+	// Engine selects the circuit-execution engine for the batched-simulator
+	// rows of Table 2 (zero value: the fused compiled engine).
+	Engine qsim.EngineKind
 	Out    io.Writer
 	// FigDir, when set, receives PGM/CSV artifacts for field figures.
 	FigDir string

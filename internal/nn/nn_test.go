@@ -32,7 +32,7 @@ func hybridForward(tp *ad.Tape, reg *Registry, layers []Layer, coords []float64,
 	return tp.Add(tp.MSE(res), tp.MSE(f0.V))
 }
 
-func buildHybrid(t *testing.T, scaling qsim.ScalingKind) (*Registry, []Layer, []float64, int) {
+func buildHybrid(t *testing.T, scaling qsim.ScalingKind, engine qsim.EngineKind) (*Registry, []Layer, []float64, int) {
 	t.Helper()
 	rng := rand.New(rand.NewSource(41))
 	reg := &Registry{}
@@ -41,7 +41,7 @@ func buildHybrid(t *testing.T, scaling qsim.ScalingKind) (*Registry, []Layer, []
 		NewPeriodic(reg, 2, 2, 4.0),
 		NewDense(reg, rng, "h1", 6, 5, true),
 		NewDense(reg, rng, "adapter", 5, 3, true),
-		NewQuantum(reg, rng, circ, scaling, qsim.InitRegular),
+		NewQuantum(reg, rng, circ, scaling, qsim.InitRegular, engine),
 		NewDense(reg, rng, "out", 3, 2, false),
 	}
 	n := 4
@@ -57,7 +57,7 @@ func buildHybrid(t *testing.T, scaling qsim.ScalingKind) (*Registry, []Layer, []
 // layers and the quantum circuit layer must match finite differences.
 func TestHybridQuantumGradients(t *testing.T) {
 	for _, scaling := range []qsim.ScalingKind{qsim.ScaleNone, qsim.ScalePi, qsim.ScaleAsin, qsim.ScaleAcos, qsim.ScaleBias} {
-		reg, layers, coords, n := buildHybrid(t, scaling)
+		reg, layers, coords, n := buildHybrid(t, scaling, qsim.EngineFused)
 
 		tp := ad.NewTape()
 		loss := hybridForward(tp, reg, layers, coords, n, true)
@@ -96,13 +96,49 @@ func TestHybridQuantumGradients(t *testing.T) {
 // TestQuantumLayerInferenceMatchesTraining: the no-grad path must produce
 // identical outputs to the training path.
 func TestQuantumLayerInferenceMatchesTraining(t *testing.T) {
-	reg, layers, coords, n := buildHybrid(t, qsim.ScaleAsin)
+	reg, layers, coords, n := buildHybrid(t, qsim.ScaleAsin, qsim.EngineFused)
 	tp := ad.NewTape()
 	lossTrain := hybridForward(tp, reg, layers, coords, n, true)
 	tp2 := ad.NewTape()
 	lossInfer := hybridForward(tp2, reg, layers, coords, n, false)
 	if math.Abs(lossTrain.Scalar()-lossInfer.Scalar()) > 1e-12 {
 		t.Fatalf("training loss %v ≠ inference loss %v", lossTrain.Scalar(), lossInfer.Scalar())
+	}
+}
+
+// TestQuantumLayerEngineParity: the full hybrid network produces identical
+// losses and parameter gradients under every circuit-execution engine.
+func TestQuantumLayerEngineParity(t *testing.T) {
+	type result struct {
+		loss  float64
+		grads [][]float64
+	}
+	run := func(engine qsim.EngineKind) result {
+		reg, layers, coords, n := buildHybrid(t, qsim.ScaleAcos, engine)
+		tp := ad.NewTape()
+		loss := hybridForward(tp, reg, layers, coords, n, true)
+		tp.Backward(loss)
+		reg.PullGrads()
+		var grads [][]float64
+		for _, p := range reg.Params {
+			grads = append(grads, append([]float64(nil), p.Grad...))
+		}
+		return result{loss.Scalar(), grads}
+	}
+	ref := run(qsim.EngineLegacy)
+	for _, engine := range []qsim.EngineKind{qsim.EngineFused, qsim.EngineNaive} {
+		got := run(engine)
+		if math.Abs(got.loss-ref.loss) > 1e-10 {
+			t.Errorf("engine %v: loss %v ≠ legacy %v", engine, got.loss, ref.loss)
+		}
+		for pi := range ref.grads {
+			for j := range ref.grads[pi] {
+				if math.Abs(got.grads[pi][j]-ref.grads[pi][j]) > 1e-10 {
+					t.Errorf("engine %v: grad[%d][%d] %v ≠ legacy %v",
+						engine, pi, j, got.grads[pi][j], ref.grads[pi][j])
+				}
+			}
+		}
 	}
 }
 

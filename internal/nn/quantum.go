@@ -13,7 +13,9 @@ import (
 // encodings of eq. 29, runs the parametrized quantum circuit through the
 // adjoint-differentiated batched simulator, and exposes the per-qubit
 // Pauli-Z expectations (and their input tangents) as tape values. Each
-// qubit acts as one neuron of the following layer.
+// qubit acts as one neuron of the following layer. The circuit-execution
+// strategy is pluggable (qsim.Engine); training defaults to the fused
+// compiled engine.
 type Quantum struct {
 	Circ    *qsim.Circuit
 	Scaling qsim.ScalingKind
@@ -24,10 +26,11 @@ type Quantum struct {
 }
 
 // NewQuantum builds the layer with the given ansatz parameters initialized
-// by strategy (InitRegular draws from rng).
-func NewQuantum(r *Registry, rng *rand.Rand, circ *qsim.Circuit, scaling qsim.ScalingKind, init qsim.InitStrategy) *Quantum {
+// by strategy (InitRegular draws from rng) and circuits executed by the
+// given engine (qsim.EngineFused unless a comparator is being measured).
+func NewQuantum(r *Registry, rng *rand.Rand, circ *qsim.Circuit, scaling qsim.ScalingKind, init qsim.InitStrategy, engine qsim.EngineKind) *Quantum {
 	q := &Quantum{Circ: circ, Scaling: scaling, free: make(map[int][]*qsim.Workspace)}
-	q.pqc = qsim.PQC{Circ: circ}
+	q.pqc = qsim.PQC{Circ: circ, Eng: engine}
 	q.Theta = r.New("quantum.theta", 1, circ.NumParams, func(w []float64) {
 		init.Fill(w, rng.Float64)
 	})

@@ -2,6 +2,12 @@
 // repository. It is the CPU stand-in for the GPU parallelism of the paper's
 // TorQ simulator: batched tensor kernels are expressed as parallel loops over
 // contiguous row blocks, which the runtime fans out across cores.
+//
+// All entry points dispatch onto a persistent worker pool, so a parallel
+// region costs one synchronization rather than one goroutine spawn per
+// block. For/ForGrain are the per-kernel loops; Run is the region API used
+// by the fused circuit-execution engine to pay a single fork/join for an
+// entire compiled program instead of one per gate.
 package par
 
 import (
@@ -28,35 +34,72 @@ func SetMaxWorkers(n int) {
 // MaxWorkers reports the current worker bound.
 func MaxWorkers() int { return maxWorkers }
 
-// For runs fn over [0,n) split into contiguous blocks, one block per worker.
-// fn must be safe to run concurrently on disjoint index ranges. For small n
-// the loop runs inline on the calling goroutine.
-func For(n int, fn func(start, end int)) {
-	if n <= 0 {
-		return
+// pool is the persistent worker set. The job channel is unbuffered: a send
+// succeeds only when a worker is parked and ready to run the job now, so a
+// job can never sit queued behind workers that are blocked inside a nested
+// region's join — submission either hands off to an idle worker or falls
+// back to a fresh goroutine, and nested parallel regions cannot deadlock.
+var pool struct {
+	once sync.Once
+	jobs chan func()
+}
+
+func ensurePool() {
+	pool.once.Do(func() {
+		n := runtime.GOMAXPROCS(0)
+		pool.jobs = make(chan func())
+		for i := 0; i < n; i++ {
+			go func() {
+				for f := range pool.jobs {
+					f()
+				}
+			}()
+		}
+	})
+}
+
+// dispatch hands f to an idle persistent worker, spawning a fresh goroutine
+// when none is ready.
+func dispatch(f func()) {
+	ensurePool()
+	select {
+	case pool.jobs <- f:
+	default:
+		go f()
 	}
-	workers := maxWorkers
-	if w := n / grain; w < workers {
-		workers = w
-	}
-	if workers <= 1 {
-		fn(0, n)
-		return
-	}
+}
+
+// forBlocks splits [0,n) into `workers` contiguous blocks, runs all but the
+// last on the pool and the last inline on the caller, and waits for all.
+func forBlocks(n, workers int, fn func(worker, lo, hi int)) {
 	block := (n + workers - 1) / workers
 	var wg sync.WaitGroup
+	worker := 0
 	for start := 0; start < n; start += block {
 		end := start + block
 		if end > n {
 			end = n
 		}
+		if end == n {
+			fn(worker, start, end)
+			break
+		}
 		wg.Add(1)
-		go func(s, e int) {
+		w, s, e := worker, start, end
+		dispatch(func() {
 			defer wg.Done()
-			fn(s, e)
-		}(start, end)
+			fn(w, s, e)
+		})
+		worker++
 	}
 	wg.Wait()
+}
+
+// For runs fn over [0,n) split into contiguous blocks, one block per worker.
+// fn must be safe to run concurrently on disjoint index ranges. For small n
+// the loop runs inline on the calling goroutine.
+func For(n int, fn func(start, end int)) {
+	ForGrain(n, 1, fn)
 }
 
 // ForGrain is For with a caller-chosen grain, for kernels whose per-item cost
@@ -76,18 +119,28 @@ func ForGrain(n, itemCost int, fn func(start, end int)) {
 		fn(0, n)
 		return
 	}
-	block := (n + workers - 1) / workers
-	var wg sync.WaitGroup
-	for start := 0; start < n; start += block {
-		end := start + block
-		if end > n {
-			end = n
-		}
-		wg.Add(1)
-		go func(s, e int) {
-			defer wg.Done()
-			fn(s, e)
-		}(start, end)
+	forBlocks(n, workers, func(_, lo, hi int) { fn(lo, hi) })
+}
+
+// Run is the region API: it splits [0,n) into at most MaxWorkers()
+// contiguous chunks and executes fn(worker, lo, hi) for each on the
+// persistent pool, with a single fork/join for the whole region. Unlike
+// For/ForGrain it applies no grain heuristic — callers use it for regions
+// whose per-item work is substantial (e.g. streaming a whole compiled
+// circuit program over a sample range). Worker indices are dense, unique
+// within one call, and always in [0, MaxWorkers()), so fn may accumulate
+// into MaxWorkers()-sized per-worker slots without atomics.
+func Run(n int, fn func(worker, lo, hi int)) {
+	if n <= 0 {
+		return
 	}
-	wg.Wait()
+	workers := maxWorkers
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		fn(0, 0, n)
+		return
+	}
+	forBlocks(n, workers, fn)
 }

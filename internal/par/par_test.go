@@ -1,6 +1,7 @@
 package par
 
 import (
+	"sync"
 	"sync/atomic"
 	"testing"
 	"testing/quick"
@@ -57,6 +58,60 @@ func TestBlocksAreContiguousAndOrderedWithinBlock(t *testing.T) {
 		if v != i {
 			t.Fatalf("index %d got %d", i, v)
 		}
+	}
+}
+
+// TestRunCoversRangeWithDenseWorkerIDs: Run partitions [0,n) exactly and
+// hands out worker indices usable as per-worker accumulator slots.
+func TestRunCoversRangeWithDenseWorkerIDs(t *testing.T) {
+	for _, n := range []int{0, 1, 3, 100, 100000} {
+		visits := make([]int32, n)
+		partials := make([]int64, MaxWorkers())
+		var mu sync.Mutex
+		seen := map[int]bool{}
+		Run(n, func(worker, lo, hi int) {
+			if worker < 0 || worker >= MaxWorkers() {
+				t.Errorf("worker %d out of range [0, %d)", worker, MaxWorkers())
+			}
+			mu.Lock()
+			if seen[worker] {
+				t.Errorf("worker id %d reused within one region", worker)
+			}
+			seen[worker] = true
+			mu.Unlock()
+			for i := lo; i < hi; i++ {
+				atomic.AddInt32(&visits[i], 1)
+			}
+			partials[worker] += int64(hi - lo)
+		})
+		var total int64
+		for _, p := range partials {
+			total += p
+		}
+		if total != int64(n) {
+			t.Fatalf("n=%d: per-worker partials sum to %d", n, total)
+		}
+		for i, v := range visits {
+			if v != 1 {
+				t.Fatalf("n=%d: index %d visited %d times", n, i, v)
+			}
+		}
+	}
+}
+
+// TestRunNested: a Run region launched from inside a pool worker must not
+// deadlock (submission falls back to fresh goroutines when the pool is busy).
+func TestRunNested(t *testing.T) {
+	var total int64
+	Run(64, func(_, lo, hi int) {
+		for i := lo; i < hi; i++ {
+			Run(8, func(_, l, h int) {
+				atomic.AddInt64(&total, int64(h-l))
+			})
+		}
+	})
+	if total != 64*8 {
+		t.Fatalf("nested coverage %d", total)
 	}
 }
 

@@ -1,0 +1,562 @@
+package qsim
+
+import (
+	"fmt"
+
+	"repro/internal/par"
+)
+
+// EngineKind selects the circuit-execution strategy behind PQC.
+type EngineKind uint8
+
+const (
+	// EngineFused compiles the circuit into a fused instruction stream and
+	// executes it sample-block by sample-block inside a single parallel
+	// region per pass — the default and fastest engine.
+	EngineFused EngineKind = iota
+	// EngineLegacy executes one batchwide parallel sweep per gate
+	// application — the original execution model, kept as a comparator.
+	EngineLegacy
+	// EngineNaive runs the identical adjoint algorithm but applies every
+	// gate as a dense 2^nq×2^nq matrix per sample (the default.qubit-style
+	// losing architecture of Table 2).
+	EngineNaive
+)
+
+func (k EngineKind) String() string {
+	switch k {
+	case EngineFused:
+		return "fused"
+	case EngineLegacy:
+		return "legacy"
+	case EngineNaive:
+		return "naive"
+	}
+	return "unknown"
+}
+
+// ParseEngine maps a flag value to an EngineKind.
+func ParseEngine(s string) (EngineKind, error) {
+	switch s {
+	case "fused", "":
+		return EngineFused, nil
+	case "legacy":
+		return EngineLegacy, nil
+	case "naive":
+		return EngineNaive, nil
+	}
+	return EngineFused, fmt.Errorf("qsim: unknown engine %q (want fused|legacy|naive)", s)
+}
+
+// Engine is the pluggable execution strategy for a PQC pass: it owns how
+// the embedding, ansatz gates, readout, and adjoint backward traverse the
+// batch. All engines are numerically interchangeable (see the parity tests)
+// and differ only in architecture — the axis the paper's Table 2 measures.
+type Engine interface {
+	Kind() EngineKind
+	Forward(p *PQC, ws *Workspace, angles []float64, angleTans [][]float64, theta []float64) (z []float64, ztans [][]float64)
+	Backward(p *PQC, ws *Workspace, gz []float64, gztans [][]float64, dAngles []float64, dAngleTans [][]float64, dTheta []float64)
+}
+
+var (
+	engineFused  Engine = fusedEngine{}
+	engineLegacy Engine = &legacyEngine{kind: EngineLegacy, hooks: fastHooks}
+	engineNaive  Engine = &legacyEngine{kind: EngineNaive, hooks: naiveHooks}
+)
+
+func (k EngineKind) engine() Engine {
+	switch k {
+	case EngineLegacy:
+		return engineLegacy
+	case EngineNaive:
+		return engineNaive
+	}
+	return engineFused
+}
+
+// blockSamples picks how many samples one worker streams through the whole
+// instruction stream at a time: small enough that all live channel states
+// of the block stay cache-resident across every instruction, large enough
+// to amortize instruction dispatch.
+func blockSamples(dim, channels int) int {
+	const targetBytes = 64 << 10 // L1/L2-resident working set per worker
+	per := dim * 16 * channels   // re+im float64 planes per sample per channel
+	b := targetBytes / per
+	if b < 1 {
+		return 1
+	}
+	if b > 64 {
+		return 64
+	}
+	return b
+}
+
+// fusedEngine executes a compiled Program sample-block by sample-block: the
+// outer parallel region splits the batch once per pass (par.Run), and each
+// worker streams every instruction through one small block of samples while
+// those samples' amplitudes stay cache-resident. A forward+backward pass
+// costs two fork/joins total, against two per gate application for the
+// legacy engine.
+type fusedEngine struct{}
+
+func (fusedEngine) Kind() EngineKind { return EngineFused }
+
+func (fusedEngine) Forward(p *PQC, ws *Workspace, angles []float64, angleTans [][]float64, theta []float64) (z []float64, ztans [][]float64) {
+	ws.saveInputs(p, angles, angleTans, theta)
+	prog := p.Program()
+	if cap(ws.coeff) < prog.ncoef {
+		ws.coeff = make([]float64, prog.ncoef)
+	}
+	coeff := ws.coeff[:prog.ncoef]
+	prog.FillCoeffs(theta, coeff)
+
+	n, nq := ws.n, ws.nq
+	z = make([]float64, n*nq)
+	ztans = make([][]float64, MaxTangents)
+	channels := 1
+	for k := 0; k < MaxTangents; k++ {
+		if ws.active[k] {
+			ztans[k] = make([]float64, n*nq)
+			channels++
+		}
+	}
+	if ws.anyTan() {
+		channels++ // scr1 holds D·v during the embedding
+	}
+	blk := blockSamples(ws.val.Dim, channels)
+	par.Run(n, func(_, lo, hi int) {
+		for b := lo; b < hi; b += blk {
+			fwdBlock(ws, prog, coeff, b, min(b+blk, hi), z, ztans)
+		}
+	})
+	return z, ztans
+}
+
+// fwdBlock streams the whole program through samples [lo, hi): state init,
+// every instruction, then the ⟨Z⟩ and tangent readouts while the block is
+// still hot.
+func fwdBlock(ws *Workspace, prog *Program, coeff []float64, lo, hi int, z []float64, ztans [][]float64) {
+	ws.val.resetRange(lo, hi, false)
+	for k := 0; k < MaxTangents; k++ {
+		if ws.active[k] {
+			ws.tan[k].resetRange(lo, hi, true)
+		}
+	}
+	for _, in := range prog.ins {
+		switch in.op {
+		case opEmbed:
+			embedRange(ws, in.q, lo, hi)
+		case opU2:
+			u := (*[8]float64)(coeff[in.slot : in.slot+8])
+			ws.val.applyU2Range(lo, hi, in.q, u)
+			for k := 0; k < MaxTangents; k++ {
+				if ws.active[k] {
+					ws.tan[k].applyU2Range(lo, hi, in.q, u)
+				}
+			}
+		case opDiag:
+			c := coeff[in.slot:]
+			ws.val.applyDiagRange(lo, hi, in.q, c[0], c[1], c[2], c[3])
+			for k := 0; k < MaxTangents; k++ {
+				if ws.active[k] {
+					ws.tan[k].applyDiagRange(lo, hi, in.q, c[0], c[1], c[2], c[3])
+				}
+			}
+		case opCNOT:
+			ws.val.applyCNOTRange(lo, hi, in.c, in.q)
+			for k := 0; k < MaxTangents; k++ {
+				if ws.active[k] {
+					ws.tan[k].applyCNOTRange(lo, hi, in.c, in.q)
+				}
+			}
+		case opCtrlDiag:
+			c := coeff[in.slot:]
+			ws.val.applyCtrlDiagRange(lo, hi, in.c, in.q, c[0], c[1], c[2], c[3])
+			for k := 0; k < MaxTangents; k++ {
+				if ws.active[k] {
+					ws.tan[k].applyCtrlDiagRange(lo, hi, in.c, in.q, c[0], c[1], c[2], c[3])
+				}
+			}
+		}
+	}
+	ws.val.expZRange(lo, hi, z)
+	for k := 0; k < MaxTangents; k++ {
+		if ws.active[k] {
+			crossZRange(ws.val, ws.tan[k], ztans[k], lo, hi)
+		}
+	}
+}
+
+// embedRange applies the RX(angle_q) embedding on qubit q for samples
+// [lo, hi), coupling tangent channels through t' = U·t + φ̇·(dU/dφ)·v.
+func embedRange(ws *Workspace, q, lo, hi int) {
+	ws.loadHalfAnglesRange(q, lo, hi)
+	if ws.anyTan() {
+		ws.scr1.copyRange(ws.val, lo, hi)
+		ws.scr1.applyIXPerSampleRange(lo, hi, q, ws.dA, ws.dB) // D·v_pre
+	}
+	for k := 0; k < MaxTangents; k++ {
+		if !ws.active[k] {
+			continue
+		}
+		ws.tan[k].applyIXPerSampleRange(lo, hi, q, ws.cbuf, ws.sbuf)
+		ws.gatherTanRange(k, q, lo, hi)
+		axpyRange(ws.tan[k], ws.scr1, ws.tmpN, lo, hi)
+	}
+	ws.val.applyIXPerSampleRange(lo, hi, q, ws.cbuf, ws.sbuf)
+}
+
+func (fusedEngine) Backward(p *PQC, ws *Workspace, gz []float64, gztans [][]float64, dAngles []float64, dAngleTans [][]float64, dTheta []float64) {
+	prog := p.Program()
+	n := ws.n
+	theta := ws.theta
+	ws.ensureScratch()
+
+	// Per-parameter half-angle table: trigonometry once per pass, not once
+	// per block. Parameter indices are unique per gate across all ansätze.
+	np := p.Circ.NumParams
+	if cap(ws.gch) < 2*np {
+		ws.gch = make([]float64, 2*np)
+	}
+	gch := ws.gch[:2*np]
+	for _, g := range p.Circ.Gates {
+		if g.P >= 0 {
+			gch[2*g.P] = cosHalf(theta[g.P])
+			gch[2*g.P+1] = sinHalf(theta[g.P])
+		}
+	}
+
+	// Size the upstream-weight buffers before the region (workers only fill
+	// their own sample ranges).
+	ws.ensureW(0, gz)
+	for k := 0; k < MaxTangents; k++ {
+		if ws.active[k] {
+			var g []float64
+			if k < len(gztans) {
+				g = gztans[k]
+			}
+			ws.ensureW(1+k, g)
+		}
+	}
+
+	// Per-worker dTheta partials: reduced in worker order after the region
+	// so results are deterministic for a fixed worker bound.
+	nw := par.MaxWorkers()
+	if len(ws.dthW) < nw {
+		ws.dthW = make([][]float64, nw)
+	}
+	for w := 0; w < nw; w++ {
+		if cap(ws.dthW[w]) < np {
+			ws.dthW[w] = make([]float64, np)
+		}
+		ws.dthW[w] = ws.dthW[w][:np]
+		for i := range ws.dthW[w] {
+			ws.dthW[w][i] = 0
+		}
+	}
+
+	channels := 2 // val + λv
+	for k := 0; k < MaxTangents; k++ {
+		if ws.active[k] {
+			channels += 2
+		}
+	}
+	channels += 2 // scr1 + scr2
+	blk := blockSamples(ws.val.Dim, channels)
+	par.Run(n, func(w, lo, hi int) {
+		dth := ws.dthW[w]
+		for b := lo; b < hi; b += blk {
+			bwdBlock(ws, prog, gch, b, min(b+blk, hi), gz, gztans, dAngles, dAngleTans, dth)
+		}
+	})
+	for w := 0; w < nw; w++ {
+		for i, v := range ws.dthW[w] {
+			dTheta[i] += v
+		}
+	}
+}
+
+// bwdBlock runs the complete adjoint pass — readout seeding, reverse gate
+// walk with per-parameter gradient accumulation, and reverse embedding —
+// over samples [lo, hi).
+func bwdBlock(ws *Workspace, prog *Program, gch []float64, lo, hi int, gz []float64, gztans [][]float64, dAngles []float64, dAngleTans [][]float64, dth []float64) {
+	dim := ws.val.Dim
+
+	// Seed adjoints from the quadratic readout (see legacyEngine.Backward).
+	if ws.wbuf[0] != nil {
+		ws.buildWRange(0, gz, lo, hi)
+	}
+	for k := 0; k < MaxTangents; k++ {
+		if ws.active[k] && ws.wbuf[1+k] != nil {
+			ws.buildWRange(1+k, gztans[k], lo, hi)
+		}
+	}
+	ws.lamV.resetRange(lo, hi, true)
+	seed := func(lam *State, w []float64, src *State) {
+		if w == nil {
+			return
+		}
+		for i := lo * dim; i < hi*dim; i++ {
+			lam.Re[i] += 2 * w[i] * src.Re[i]
+			lam.Im[i] += 2 * w[i] * src.Im[i]
+		}
+	}
+	seed(ws.lamV, ws.wbuf[0], ws.val)
+	for k := 0; k < MaxTangents; k++ {
+		if !ws.active[k] {
+			continue
+		}
+		ws.lamT[k].resetRange(lo, hi, true)
+		seed(ws.lamV, ws.wbuf[1+k], ws.tan[k])
+		seed(ws.lamT[k], ws.wbuf[1+k], ws.val)
+	}
+
+	// Walk the program segments in reverse at per-gate granularity: the
+	// adjoint needs each parametrized gate's individual derivative and
+	// pre-gate state, so fused instructions don't apply here.
+	for si := len(prog.segs) - 1; si >= 0; si-- {
+		seg := prog.segs[si]
+		if seg.embed {
+			reverseEmbedRange(ws, lo, hi, dAngles, dAngleTans)
+		} else {
+			reverseGatesRange(ws, seg.gates, gch, lo, hi, dth)
+		}
+	}
+}
+
+// reverseStepRange performs one adjoint step for one (ψ, λ) channel pair in
+// a single traversal: ψ ← U†ψ, λ ← U†λ, and — for parametrized gates — the
+// returned gradient contribution Σ Re⟨λ_pre, (d log U/dθ)·ψ_pre⟩. The
+// logarithmic-derivative form (dU/dθ = U·dlogU with dlogU = −i/2·{X, Y, Z})
+// lets the gradient read the freshly recovered pre-gate states, so the
+// legacy engine's three full-state passes per gate per channel (inverse,
+// derivative scratch copy, inner product) collapse into one.
+func reverseStepRange(g Gate, c, s float64, psi, lam *State, lo, hi int) float64 {
+	dim := psi.Dim
+	pr, pim := psi.Re, psi.Im
+	lr, lim := lam.Re, lam.Im
+	var sum float64
+	switch g.Kind {
+	case RX:
+		// U† = c·I + i·s·X ; dlogU = −i/2·X.
+		stride := 1 << g.Q
+		step := stride << 1
+		for smp := lo; smp < hi; smp++ {
+			off := smp * dim
+			for blk := 0; blk < dim; blk += step {
+				base := off + blk
+				for j := base; j < base+stride; j++ {
+					k := j + stride
+					r0, i0, r1, i1 := pr[j], pim[j], pr[k], pim[k]
+					pr[j] = c*r0 - s*i1
+					pim[j] = c*i0 + s*r1
+					pr[k] = -s*i0 + c*r1
+					pim[k] = s*r0 + c*i1
+					r0, i0, r1, i1 = lr[j], lim[j], lr[k], lim[k]
+					lr[j] = c*r0 - s*i1
+					lim[j] = c*i0 + s*r1
+					lr[k] = -s*i0 + c*r1
+					lim[k] = s*r0 + c*i1
+					sum += 0.5 * (lr[j]*pim[k] - lim[j]*pr[k] + lr[k]*pim[j] - lim[k]*pr[j])
+				}
+			}
+		}
+	case RY:
+		// U† = [[c, s], [−s, c]] ; dlogU = [[0, −1/2], [1/2, 0]].
+		stride := 1 << g.Q
+		step := stride << 1
+		for smp := lo; smp < hi; smp++ {
+			off := smp * dim
+			for blk := 0; blk < dim; blk += step {
+				base := off + blk
+				for j := base; j < base+stride; j++ {
+					k := j + stride
+					r0, i0, r1, i1 := pr[j], pim[j], pr[k], pim[k]
+					pr[j] = c*r0 + s*r1
+					pim[j] = c*i0 + s*i1
+					pr[k] = -s*r0 + c*r1
+					pim[k] = -s*i0 + c*i1
+					r0, i0, r1, i1 = lr[j], lim[j], lr[k], lim[k]
+					lr[j] = c*r0 + s*r1
+					lim[j] = c*i0 + s*i1
+					lr[k] = -s*r0 + c*r1
+					lim[k] = -s*i0 + c*i1
+					sum += 0.5 * (lr[k]*pr[j] + lim[k]*pim[j] - lr[j]*pr[k] - lim[j]*pim[k])
+				}
+			}
+		}
+	case RZ:
+		// U† = diag(e^{+iθ/2}, e^{−iθ/2}) ; dlogU = diag(−i/2, +i/2).
+		stride := 1 << g.Q
+		step := stride << 1
+		for smp := lo; smp < hi; smp++ {
+			off := smp * dim
+			for blk := 0; blk < dim; blk += step {
+				base := off + blk
+				for j := base; j < base+stride; j++ {
+					k := j + stride
+					r0, i0 := pr[j], pim[j]
+					pr[j] = c*r0 - s*i0
+					pim[j] = c*i0 + s*r0
+					r1, i1 := pr[k], pim[k]
+					pr[k] = c*r1 + s*i1
+					pim[k] = c*i1 - s*r1
+					r0, i0 = lr[j], lim[j]
+					lr[j] = c*r0 - s*i0
+					lim[j] = c*i0 + s*r0
+					r1, i1 = lr[k], lim[k]
+					lr[k] = c*r1 + s*i1
+					lim[k] = c*i1 - s*r1
+					sum += 0.5 * (lr[j]*pim[j] - lim[j]*pr[j] - lr[k]*pim[k] + lim[k]*pr[k])
+				}
+			}
+		}
+	case CNOT:
+		// Self-inverse swap on both states; no gradient.
+		strideT := 1 << g.Q
+		stepT := strideT << 1
+		cMask := 1 << g.C
+		for smp := lo; smp < hi; smp++ {
+			off := smp * dim
+			for blk := 0; blk < dim; blk += stepT {
+				for j := blk; j < blk+strideT; j++ {
+					if j&cMask == 0 {
+						continue
+					}
+					a, b := off+j, off+j+strideT
+					pr[a], pr[b] = pr[b], pr[a]
+					pim[a], pim[b] = pim[b], pim[a]
+					lr[a], lr[b] = lr[b], lr[a]
+					lim[a], lim[b] = lim[b], lim[a]
+				}
+			}
+		}
+	case CRZ:
+		// RZ step on the control-set subspace; the derivative is zero on the
+		// control-unset subspace, so it contributes no gradient.
+		strideT := 1 << g.Q
+		stepT := strideT << 1
+		cMask := 1 << g.C
+		for smp := lo; smp < hi; smp++ {
+			off := smp * dim
+			for blk := 0; blk < dim; blk += stepT {
+				for j := blk; j < blk+strideT; j++ {
+					if j&cMask == 0 {
+						continue
+					}
+					a, b := off+j, off+j+strideT
+					r0, i0 := pr[a], pim[a]
+					pr[a] = c*r0 - s*i0
+					pim[a] = c*i0 + s*r0
+					r1, i1 := pr[b], pim[b]
+					pr[b] = c*r1 + s*i1
+					pim[b] = c*i1 - s*r1
+					r0, i0 = lr[a], lim[a]
+					lr[a] = c*r0 - s*i0
+					lim[a] = c*i0 + s*r0
+					r1, i1 = lr[b], lim[b]
+					lr[b] = c*r1 + s*i1
+					lim[b] = c*i1 - s*r1
+					sum += 0.5 * (lr[a]*pim[a] - lim[a]*pr[a] - lr[b]*pim[b] + lim[b]*pr[b])
+				}
+			}
+		}
+	}
+	return sum
+}
+
+// reverseGatesRange is the blocked analogue of legacyEngine.reverseGates:
+// one fused inverse+gradient traversal per channel pair per gate.
+func reverseGatesRange(ws *Workspace, gates []Gate, gch []float64, lo, hi int, dth []float64) {
+	for gi := len(gates) - 1; gi >= 0; gi-- {
+		g := gates[gi]
+		var c, s float64
+		if g.P >= 0 {
+			c, s = gch[2*g.P], gch[2*g.P+1]
+		}
+		grad := reverseStepRange(g, c, s, ws.val, ws.lamV, lo, hi)
+		for k := 0; k < MaxTangents; k++ {
+			if ws.active[k] {
+				grad += reverseStepRange(g, c, s, ws.tan[k], ws.lamT[k], lo, hi)
+			}
+		}
+		if g.P >= 0 {
+			dth[g.P] += grad
+		}
+	}
+}
+
+// reverseEmbedRange is the blocked analogue of legacyEngine.reverseEmbedding;
+// see that method for the derivation of terms (a)–(c).
+func reverseEmbedRange(ws *Workspace, lo, hi int, dAngles []float64, dAngleTans [][]float64) {
+	nq := ws.nq
+	for q := nq - 1; q >= 0; q-- {
+		ws.loadHalfAnglesRange(q, lo, hi)
+
+		// (c) second-derivative coupling on the post-gate value state.
+		for k := 0; k < MaxTangents; k++ {
+			if !ws.active[k] {
+				continue
+			}
+			innerReRange(ws.lamT[k], ws.val, ws.tmpN, lo, hi)
+			for i := lo; i < hi; i++ {
+				dAngles[i*nq+q] -= 0.25 * ws.angleTans[k][i*nq+q] * ws.tmpN[i]
+			}
+		}
+
+		// Recover v_pre and D·v_pre.
+		negS := ws.negSinRange(lo, hi)
+		ws.val.applyIXPerSampleRange(lo, hi, q, ws.cbuf, negS) // U†: RX(−φ)
+		ws.scr1.copyRange(ws.val, lo, hi)
+		ws.scr1.applyIXPerSampleRange(lo, hi, q, ws.dA, ws.dB) // D·v_pre
+
+		// (a) dφ += Re⟨λv, D v_pre⟩ ; dφ̇ₖ += Re⟨λtₖ, D v_pre⟩.
+		innerReRange(ws.lamV, ws.scr1, ws.tmpN, lo, hi)
+		for i := lo; i < hi; i++ {
+			dAngles[i*nq+q] += ws.tmpN[i]
+		}
+		for k := 0; k < MaxTangents; k++ {
+			if !ws.active[k] {
+				continue
+			}
+			innerReRange(ws.lamT[k], ws.scr1, ws.tmpN, lo, hi)
+			if dAngleTans != nil && k < len(dAngleTans) && dAngleTans[k] != nil {
+				for i := lo; i < hi; i++ {
+					dAngleTans[k][i*nq+q] += ws.tmpN[i]
+				}
+			}
+		}
+
+		// Recover tₖ_pre = U†(tₖ_post − φ̇ₖ·D v_pre), then
+		// (b) dφ += Re⟨λtₖ, D tₖ_pre⟩.
+		for k := 0; k < MaxTangents; k++ {
+			if !ws.active[k] {
+				continue
+			}
+			for i := lo; i < hi; i++ {
+				ws.tmpN[i] = -ws.angleTans[k][i*nq+q]
+			}
+			axpyRange(ws.tan[k], ws.scr1, ws.tmpN, lo, hi)
+			ws.tan[k].applyIXPerSampleRange(lo, hi, q, ws.cbuf, negS)
+			ws.scr2.copyRange(ws.tan[k], lo, hi)
+			ws.scr2.applyIXPerSampleRange(lo, hi, q, ws.dA, ws.dB)
+			innerReRange(ws.lamT[k], ws.scr2, ws.tmpN, lo, hi)
+			for i := lo; i < hi; i++ {
+				dAngles[i*nq+q] += ws.tmpN[i]
+			}
+		}
+
+		// Propagate adjoints: λv ← U†λv + Σₖ φ̇ₖ·D†λtₖ ; λtₖ ← U†λtₖ.
+		ws.lamV.applyIXPerSampleRange(lo, hi, q, ws.cbuf, negS)
+		for k := 0; k < MaxTangents; k++ {
+			if !ws.active[k] {
+				continue
+			}
+			ws.scr2.copyRange(ws.lamT[k], lo, hi)
+			ws.scr2.applyIXPerSampleRange(lo, hi, q, ws.dA, ws.negDBRange(lo, hi)) // D†
+			ws.gatherTanRange(k, q, lo, hi)
+			axpyRange(ws.lamV, ws.scr2, ws.tmpN, lo, hi)
+			ws.lamT[k].applyIXPerSampleRange(lo, hi, q, ws.cbuf, negS)
+		}
+	}
+}

@@ -1,0 +1,293 @@
+package qsim
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/par"
+)
+
+// engineResult bundles everything one engine produces for a full
+// forward+backward pass.
+type engineResult struct {
+	z, dAngles, dTheta []float64
+	ztans, dTans       [][]float64
+}
+
+// runEngine executes one forward+backward pass of circ on the given engine
+// with shared random inputs.
+func runEngine(kind EngineKind, circ *Circuit, n int, angles []float64, tans [][]float64,
+	theta, gz []float64, gztans [][]float64) engineResult {
+	nq := circ.NumQubits
+	pqc := &PQC{Circ: circ, Eng: kind}
+	ws := NewWorkspace(n, nq)
+	z, ztans := pqc.Forward(ws, angles, tans, theta)
+	res := engineResult{
+		z:       z,
+		ztans:   ztans,
+		dAngles: make([]float64, n*nq),
+		dTheta:  make([]float64, circ.NumParams),
+		dTans:   make([][]float64, MaxTangents),
+	}
+	for k := range tans {
+		if tans[k] != nil {
+			res.dTans[k] = make([]float64, n*nq)
+		}
+	}
+	pqc.Backward(ws, gz, gztans, res.dAngles, res.dTans, res.dTheta)
+	return res
+}
+
+func maxAbsDiff(a, b []float64) float64 {
+	var m float64
+	for i := range a {
+		if d := math.Abs(a[i] - b[i]); d > m {
+			m = d
+		}
+	}
+	return m
+}
+
+// TestEngineParity is the decisive cross-engine check: on randomized seeded
+// circuits across every ansatz (with and without data re-uploading), the
+// fused and naive engines must reproduce the legacy per-gate engine's
+// expectations, tangents, and adjoint gradients to tight tolerance. The
+// engines share no kernel code on the fused side (compiled instruction
+// stream with gate fusion vs per-gate sweeps vs dense matrices), so
+// agreement pins the whole compile/execute stack.
+func TestEngineParity(t *testing.T) {
+	rng := rand.New(rand.NewSource(4242))
+	const tol = 1e-10
+	for _, a := range AllAnsatze {
+		for _, reup := range []bool{false, true} {
+			circ := a.Build(4, 2)
+			if reup {
+				circ = circ.WithReupload()
+			}
+			n, nq := 5, 4
+			angles := randAngles(rng, n, nq)
+			theta := randTheta(rng, circ.NumParams)
+			// Two active tangent channels (one structurally absent), mirroring
+			// how the PINN drives the layer.
+			tans := [][]float64{randAngles(rng, n, nq), nil, randAngles(rng, n, nq)}
+			gz := randAngles(rng, n, nq)
+			gztans := [][]float64{randAngles(rng, n, nq), nil, randAngles(rng, n, nq)}
+
+			ref := runEngine(EngineLegacy, circ, n, angles, tans, theta, gz, gztans)
+			for _, kind := range []EngineKind{EngineFused, EngineNaive} {
+				got := runEngine(kind, circ, n, angles, tans, theta, gz, gztans)
+				check := func(name string, want, have []float64) {
+					if d := maxAbsDiff(want, have); d > tol {
+						t.Errorf("%v reupload=%v engine=%v: %s diverges by %v", a, reup, kind, name, d)
+					}
+				}
+				check("z", ref.z, got.z)
+				check("dAngles", ref.dAngles, got.dAngles)
+				check("dTheta", ref.dTheta, got.dTheta)
+				for k := 0; k < MaxTangents; k++ {
+					if ref.ztans[k] != nil {
+						check("ztans", ref.ztans[k], got.ztans[k])
+						check("dTans", ref.dTans[k], got.dTans[k])
+					} else if got.ztans[k] != nil {
+						t.Errorf("%v engine=%v: tangent channel %d unexpectedly present", a, kind, k)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestEngineParityNoTangents covers the pure value path (no tangent
+// channels, nil gradient buffers) the barren-plateau probe uses.
+func TestEngineParityNoTangents(t *testing.T) {
+	rng := rand.New(rand.NewSource(77))
+	circ := StronglyEntangling.Build(5, 3)
+	n, nq := 7, 5
+	angles := randAngles(rng, n, nq)
+	theta := randTheta(rng, circ.NumParams)
+	gz := randAngles(rng, n, nq)
+
+	run := func(kind EngineKind) ([]float64, []float64, []float64) {
+		pqc := &PQC{Circ: circ, Eng: kind}
+		ws := NewWorkspace(n, nq)
+		z, _ := pqc.Forward(ws, angles, nil, theta)
+		dA := make([]float64, n*nq)
+		dTheta := make([]float64, circ.NumParams)
+		pqc.Backward(ws, gz, nil, dA, nil, dTheta)
+		return z, dA, dTheta
+	}
+	zL, daL, dtL := run(EngineLegacy)
+	for _, kind := range []EngineKind{EngineFused, EngineNaive} {
+		z, da, dt := run(kind)
+		for name, pair := range map[string][2][]float64{
+			"z": {zL, z}, "dAngles": {daL, da}, "dTheta": {dtL, dt},
+		} {
+			if d := maxAbsDiff(pair[0], pair[1]); d > 1e-10 {
+				t.Errorf("engine=%v: %s diverges by %v", kind, name, d)
+			}
+		}
+	}
+}
+
+// TestEngineParityRandomShapes: property-style sweep over random batch
+// sizes, qubit counts and depths, fused vs legacy only (naive is covered
+// above and is O(4^nq) per gate).
+func TestEngineParityRandomShapes(t *testing.T) {
+	rng := rand.New(rand.NewSource(555))
+	for trial := 0; trial < 25; trial++ {
+		a := AllAnsatze[rng.Intn(len(AllAnsatze))]
+		nq := 2 + rng.Intn(4)
+		layers := 1 + rng.Intn(3)
+		circ := a.Build(nq, layers)
+		if rng.Intn(2) == 1 {
+			circ = circ.WithReupload()
+		}
+		n := 1 + rng.Intn(9)
+		angles := randAngles(rng, n, nq)
+		theta := randTheta(rng, circ.NumParams)
+		tans := make([][]float64, MaxTangents)
+		gztans := make([][]float64, MaxTangents)
+		for k := 0; k < MaxTangents; k++ {
+			if rng.Intn(2) == 1 {
+				tans[k] = randAngles(rng, n, nq)
+				gztans[k] = randAngles(rng, n, nq)
+			}
+		}
+		gz := randAngles(rng, n, nq)
+
+		ref := runEngine(EngineLegacy, circ, n, angles, tans, theta, gz, gztans)
+		got := runEngine(EngineFused, circ, n, angles, tans, theta, gz, gztans)
+		if d := maxAbsDiff(ref.z, got.z); d > 1e-10 {
+			t.Fatalf("trial %d (%v nq=%d L=%d n=%d): z diverges by %v", trial, a, nq, layers, n, d)
+		}
+		if d := maxAbsDiff(ref.dAngles, got.dAngles); d > 1e-10 {
+			t.Fatalf("trial %d (%v nq=%d L=%d n=%d): dAngles diverges by %v", trial, a, nq, layers, n, d)
+		}
+		if d := maxAbsDiff(ref.dTheta, got.dTheta); d > 1e-10 {
+			t.Fatalf("trial %d (%v nq=%d L=%d n=%d): dTheta diverges by %v", trial, a, nq, layers, n, d)
+		}
+		for k := 0; k < MaxTangents; k++ {
+			if tans[k] == nil {
+				continue
+			}
+			if d := maxAbsDiff(ref.ztans[k], got.ztans[k]); d > 1e-10 {
+				t.Fatalf("trial %d: ztans[%d] diverges by %v", trial, k, d)
+			}
+			if d := maxAbsDiff(ref.dTans[k], got.dTans[k]); d > 1e-10 {
+				t.Fatalf("trial %d: dTans[%d] diverges by %v", trial, k, d)
+			}
+		}
+	}
+}
+
+// TestEngineParityNilValueGradient: gradient flowing only through the
+// tangent readouts (gz == nil) is a supported call shape on every engine.
+func TestEngineParityNilValueGradient(t *testing.T) {
+	rng := rand.New(rand.NewSource(808))
+	circ := BasicEntangling.Build(3, 2)
+	n, nq := 4, 3
+	angles := randAngles(rng, n, nq)
+	theta := randTheta(rng, circ.NumParams)
+	tans := [][]float64{randAngles(rng, n, nq), nil, nil}
+	gztans := [][]float64{randAngles(rng, n, nq), nil, nil}
+
+	ref := runEngine(EngineLegacy, circ, n, angles, tans, theta, nil, gztans)
+	for _, kind := range []EngineKind{EngineFused, EngineNaive} {
+		got := runEngine(kind, circ, n, angles, tans, theta, nil, gztans)
+		if d := maxAbsDiff(ref.dAngles, got.dAngles); d > 1e-10 {
+			t.Errorf("engine=%v: dAngles diverges by %v", kind, d)
+		}
+		if d := maxAbsDiff(ref.dTheta, got.dTheta); d > 1e-10 {
+			t.Errorf("engine=%v: dTheta diverges by %v", kind, d)
+		}
+	}
+}
+
+// TestEngineParityForcedParallel forces a multi-chunk par.Run region even
+// on single-core hosts, exercising the fused engine's claim that workers on
+// disjoint sample ranges share one workspace race-free (per-worker dTheta
+// partials, per-sample scratch). Run under -race this is the engine's
+// concurrency check.
+func TestEngineParityForcedParallel(t *testing.T) {
+	defer par.SetMaxWorkers(0)
+	rng := rand.New(rand.NewSource(31337))
+	circ := StronglyEntangling.Build(4, 3).WithReupload()
+	n, nq := 37, 4 // odd batch: uneven chunks and partial tail blocks
+	angles := randAngles(rng, n, nq)
+	theta := randTheta(rng, circ.NumParams)
+	tans := [][]float64{randAngles(rng, n, nq), randAngles(rng, n, nq), randAngles(rng, n, nq)}
+	gz := randAngles(rng, n, nq)
+	gztans := [][]float64{randAngles(rng, n, nq), randAngles(rng, n, nq), randAngles(rng, n, nq)}
+
+	par.SetMaxWorkers(1)
+	serial := runEngine(EngineFused, circ, n, angles, tans, theta, gz, gztans)
+	for _, workers := range []int{3, 8} {
+		par.SetMaxWorkers(workers)
+		got := runEngine(EngineFused, circ, n, angles, tans, theta, gz, gztans)
+		for name, pair := range map[string][2][]float64{
+			"z": {serial.z, got.z}, "dAngles": {serial.dAngles, got.dAngles},
+			"dTheta": {serial.dTheta, got.dTheta},
+		} {
+			if d := maxAbsDiff(pair[0], pair[1]); d > 1e-12 {
+				t.Errorf("workers=%d: %s diverges from serial by %v", workers, name, d)
+			}
+		}
+		for k := 0; k < MaxTangents; k++ {
+			if d := maxAbsDiff(serial.ztans[k], got.ztans[k]); d > 1e-12 {
+				t.Errorf("workers=%d: ztans[%d] diverges by %v", workers, k, d)
+			}
+			if d := maxAbsDiff(serial.dTans[k], got.dTans[k]); d > 1e-12 {
+				t.Errorf("workers=%d: dTans[%d] diverges by %v", workers, k, d)
+			}
+		}
+	}
+}
+
+// TestProgramFusionShrinksStream pins the compiler's fusion wins: the
+// Rot-based ansätze collapse each RZ·RY·RZ triple into one U2 instruction,
+// and Cross-Mesh-2-Rotations fuses its RX·RZ pairs.
+func TestProgramFusionShrinksStream(t *testing.T) {
+	cases := []struct {
+		ansatz AnsatzKind
+		nq, l  int
+		want   int // embed ops + fused gate ops
+	}{
+		// 7 embeds + per layer (7 fused Rot + 7 CNOT) = 7 + 4*14
+		{StronglyEntangling, 7, 4, 7 + 4*14},
+		{BasicEntangling, 7, 4, 7 + 4*14},
+		// 7 embeds + per layer (7 fused RX·RZ + 42 CRZ) = 7 + 4*49
+		{CrossMesh2Rot, 7, 4, 7 + 4*49},
+		// No fusion opportunities: 7 embeds + per layer (7 RX + 42 CRZ)
+		{CrossMesh, 7, 4, 7 + 4*49},
+		// 7 embeds + per layer 7 fused Rots
+		{NoEntanglement, 7, 4, 7 + 4*7},
+	}
+	for _, c := range cases {
+		prog := CompileProgram(c.ansatz.Build(c.nq, c.l))
+		if got := prog.NumInstructions(); got != c.want {
+			t.Errorf("%v: %d instructions, want %d", c.ansatz, got, c.want)
+		}
+	}
+	// Fusion must not cross embedding boundaries under re-uploading.
+	reup := CompileProgram(StronglyEntangling.Build(7, 4).WithReupload())
+	if got, want := reup.NumInstructions(), 4*(7+14); got != want {
+		t.Errorf("reupload: %d instructions, want %d", got, want)
+	}
+}
+
+// TestEngineKindRoundTrip covers flag parsing.
+func TestEngineKindRoundTrip(t *testing.T) {
+	for _, k := range []EngineKind{EngineFused, EngineLegacy, EngineNaive} {
+		got, err := ParseEngine(k.String())
+		if err != nil || got != k {
+			t.Errorf("round trip %v: got %v, err %v", k, got, err)
+		}
+	}
+	if _, err := ParseEngine("gpu"); err == nil {
+		t.Error("ParseEngine accepted unknown engine")
+	}
+	if k, err := ParseEngine(""); err != nil || k != EngineFused {
+		t.Error("empty engine string should default to fused")
+	}
+}

@@ -81,22 +81,38 @@ func gateMatrix2(kind GateKind, theta float64) [2][2]complex128 {
 	panic("qsim: not a single-qubit rotation")
 }
 
+// place1Q embeds a 2×2 matrix acting on qubit q into the full-dimension
+// matrix m via Kronecker-product placement.
+func place1Q(m cmat, q int, u [2][2]complex128) {
+	dim := m.n
+	mask := 1 << q
+	for j := 0; j < dim; j++ {
+		jb := (j >> q) & 1
+		for _, tb := range []int{0, 1} {
+			i := (j &^ mask) | (tb << q)
+			m.data[i*dim+j] += u[tb][jb]
+		}
+	}
+}
+
 // expand builds the full 2^nq × 2^nq matrix of gate g via Kronecker-product
 // placement — the deliberately naive construction.
 func expand(g Gate, theta []float64, nq int) cmat {
+	var angle float64
+	if g.P >= 0 {
+		angle = theta[g.P]
+	}
+	return expandAngle(g, angle, nq)
+}
+
+// expandAngle is expand with the rotation angle already resolved, so the
+// naive engine can build inverse matrices by negating it.
+func expandAngle(g Gate, angle float64, nq int) cmat {
 	dim := 1 << nq
 	m := newCmat(dim)
 	switch g.Kind {
 	case RX, RY, RZ:
-		u := gateMatrix2(g.Kind, theta[g.P])
-		mask := 1 << g.Q
-		for j := 0; j < dim; j++ {
-			jb := (j >> g.Q) & 1
-			for _, tb := range []int{0, 1} {
-				i := (j &^ mask) | (tb << g.Q)
-				m.data[i*dim+j] += u[tb][jb]
-			}
-		}
+		place1Q(m, g.Q, gateMatrix2(g.Kind, angle))
 	case CNOT:
 		cMask, tMask := 1<<g.C, 1<<g.Q
 		for j := 0; j < dim; j++ {
@@ -107,7 +123,7 @@ func expand(g Gate, theta []float64, nq int) cmat {
 			m.data[i*dim+j] = 1
 		}
 	case CRZ:
-		c, s := math.Cos(theta[g.P]/2), math.Sin(theta[g.P]/2)
+		c, s := math.Cos(angle/2), math.Sin(angle/2)
 		cMask, tMask := 1<<g.C, 1<<g.Q
 		for j := 0; j < dim; j++ {
 			switch {
@@ -196,6 +212,94 @@ func writeExpZ(v cvec, nq int, out []float64) {
 			}
 		}
 	}
+}
+
+// expandDeriv builds the dense matrix of dU/dθ for a parametrized gate —
+// the CRZ derivative is zero on the control-unset subspace, so no separate
+// masking step is needed in the dense path.
+func expandDeriv(g Gate, angle float64, nq int) cmat {
+	dim := 1 << nq
+	m := newCmat(dim)
+	c, s := math.Cos(angle/2), math.Sin(angle/2)
+	switch g.Kind {
+	case RX:
+		place1Q(m, g.Q, [2][2]complex128{
+			{complex(-s/2, 0), complex(0, -c/2)},
+			{complex(0, -c/2), complex(-s/2, 0)}})
+	case RY:
+		place1Q(m, g.Q, [2][2]complex128{
+			{complex(-s/2, 0), complex(-c/2, 0)},
+			{complex(c/2, 0), complex(-s/2, 0)}})
+	case RZ:
+		place1Q(m, g.Q, [2][2]complex128{
+			{complex(-s/2, -c/2), 0},
+			{0, complex(-s/2, c/2)}})
+	case CRZ:
+		cMask, tMask := 1<<g.C, 1<<g.Q
+		for j := 0; j < dim; j++ {
+			if j&cMask == 0 {
+				continue
+			}
+			if j&tMask == 0 {
+				m.data[j*dim+j] = complex(-s/2, -c/2)
+			} else {
+				m.data[j*dim+j] = complex(-s/2, c/2)
+			}
+		}
+	default:
+		panic("qsim: derivative of non-parametrized gate")
+	}
+	return m
+}
+
+// denseApplySample applies m to one sample's statevector in place.
+func denseApplySample(s *State, smp int, m cmat) {
+	dim := s.Dim
+	off := smp * dim
+	v := make(cvec, dim)
+	for j := 0; j < dim; j++ {
+		v[j] = complex(s.Re[off+j], s.Im[off+j])
+	}
+	w := m.matvec(v)
+	for j := 0; j < dim; j++ {
+		s.Re[off+j], s.Im[off+j] = real(w[j]), imag(w[j])
+	}
+}
+
+// denseApplyAll applies m to every sample of the batch.
+func denseApplyAll(s *State, m cmat) {
+	for smp := 0; smp < s.N; smp++ {
+		denseApplySample(s, smp, m)
+	}
+}
+
+// naiveHooks route the adjoint algorithm's gate primitives through dense
+// per-sample matrix application: the EngineNaive comparator, architecturally
+// equivalent to running PennyLane's default.qubit inside the PINN.
+var naiveHooks = applyHooks{
+	apply: func(g Gate, s *State, theta []float64) {
+		denseApplyAll(s, expand(g, theta, s.NQ))
+	},
+	applyInv: func(g Gate, s *State, theta []float64) {
+		var angle float64
+		if g.P >= 0 {
+			angle = -theta[g.P]
+		}
+		denseApplyAll(s, expandAngle(g, angle, s.NQ))
+	},
+	applyDeriv: func(g Gate, s *State, theta []float64) {
+		denseApplyAll(s, expandDeriv(g, theta[g.P], s.NQ))
+	},
+	applyIXPS: func(s *State, q int, a, b []float64) {
+		dim := s.Dim
+		for smp := 0; smp < s.N; smp++ {
+			m := newCmat(dim)
+			place1Q(m, q, [2][2]complex128{
+				{complex(a[smp], 0), complex(0, -b[smp])},
+				{complex(0, -b[smp]), complex(a[smp], 0)}})
+			denseApplySample(s, smp, m)
+		}
+	},
 }
 
 // MemoryPerPoint reports bytes of statevector storage per collocation point

@@ -14,15 +14,50 @@ import "fmt"
 // propagate through the same unitaries (ansatz angles carry no input
 // tangents); only the embedding RX couples channels, contributing the
 // closed-form second derivative d²RX/dφ² = −RX/4.
+//
+// Execution strategy is pluggable via Eng (see Engine): the default fused
+// engine compiles the circuit once and streams it sample-block by
+// sample-block; the legacy and naive engines are per-gate comparators.
 type PQC struct {
 	Circ *Circuit
+	Eng  EngineKind
+
+	prog *Program
+}
+
+// Forward runs the circuit on a batch using the selected engine. angles is
+// n×nq row-major; angleTans[k] is the k-th tangent of the angles (nil for a
+// structurally zero channel); theta are the ansatz parameters. It returns
+// the Pauli-Z expectations z (n×nq) and their tangents ztans[k] (nil where
+// the input tangent was nil). Returned slices are freshly allocated.
+func (p *PQC) Forward(ws *Workspace, angles []float64, angleTans [][]float64, theta []float64) (z []float64, ztans [][]float64) {
+	return p.Eng.engine().Forward(p, ws, angles, angleTans, theta)
+}
+
+// Backward consumes upstream gradients gz (n×nq) and gztans[k] (nil where
+// the tangent channel was absent) and accumulates into dAngles (n×nq),
+// dAngleTans[k] (n×nq, may be nil) and dTheta. Forward must have been called
+// on the same workspace; the workspace's states are destroyed.
+func (p *PQC) Backward(ws *Workspace, gz []float64, gztans [][]float64, dAngles []float64, dAngleTans [][]float64, dTheta []float64) {
+	p.Eng.engine().Backward(p, ws, gz, gztans, dAngles, dAngleTans, dTheta)
+}
+
+// Program returns the compiled instruction stream for the current circuit,
+// compiling on first use. Not safe for concurrent first calls.
+func (p *PQC) Program() *Program {
+	if p.prog == nil || p.prog.circ != p.Circ {
+		p.prog = CompileProgram(p.Circ)
+	}
+	return p.prog
 }
 
 // MaxTangents is the number of forward tangent channels supported (x, y, t).
 const MaxTangents = 3
 
 // Workspace owns the state buffers for one batch size. It is reused across
-// training steps; Forward reconfigures it as needed.
+// training steps; Forward reconfigures it as needed. All per-sample scratch
+// is indexed by absolute sample position, so engine workers operating on
+// disjoint sample ranges share one workspace without synchronization.
 type Workspace struct {
 	n, nq int
 
@@ -43,6 +78,12 @@ type Workspace struct {
 	cbuf, sbuf, dA, dB, tmpN []float64
 	wNegS, wNegB             []float64
 	wbuf                     [1 + MaxTangents][]float64
+
+	// Fused-engine scratch: program coefficient slots, the per-parameter
+	// cos/sin table for the backward walk, and per-worker dTheta partials.
+	coeff []float64
+	gch   []float64
+	dthW  [][]float64
 }
 
 // NewWorkspace allocates buffers for batches of n samples over nq qubits.
@@ -70,12 +111,9 @@ func (ws *Workspace) ensureTangent(k int) {
 	}
 }
 
-// Forward runs the circuit on a batch. angles is n×nq row-major;
-// angleTans[k] is the k-th tangent of the angles (nil for a structurally
-// zero channel); theta are the ansatz parameters. It returns the Pauli-Z
-// expectations z (n×nq) and their tangents ztans[k] (nil where the input
-// tangent was nil). Returned slices are freshly allocated.
-func (p *PQC) Forward(ws *Workspace, angles []float64, angleTans [][]float64, theta []float64) (z []float64, ztans [][]float64) {
+// saveInputs validates and copies the forward inputs into the workspace and
+// activates the requested tangent channels. Every engine calls it first.
+func (ws *Workspace) saveInputs(p *PQC, angles []float64, angleTans [][]float64, theta []float64) {
 	n, nq := ws.n, ws.nq
 	if len(angles) != n*nq {
 		panic(fmt.Sprintf("qsim: angles %d ≠ %d×%d", len(angles), n, nq))
@@ -92,6 +130,140 @@ func (p *PQC) Forward(ws *Workspace, angles []float64, angleTans [][]float64, th
 			copy(ws.angleTans[k], angleTans[k])
 		}
 	}
+}
+
+// anyTan reports whether any tangent channel is active.
+func (ws *Workspace) anyTan() bool {
+	for k := 0; k < MaxTangents; k++ {
+		if ws.active[k] {
+			return true
+		}
+	}
+	return false
+}
+
+// loadHalfAnglesRange fills cbuf/sbuf with cos, sin of half the embedding
+// angle for qubit q and dA/dB with the dU/dφ coefficients (−s/2, c/2), for
+// samples [lo, hi).
+func (ws *Workspace) loadHalfAnglesRange(q, lo, hi int) {
+	for i := lo; i < hi; i++ {
+		t := ws.angles[i*ws.nq+q] / 2
+		c, s := cosSin(t)
+		ws.cbuf[i], ws.sbuf[i] = c, s
+		ws.dA[i], ws.dB[i] = -s/2, c/2
+	}
+}
+
+// gatherTanRange extracts the per-sample tangent of the embedding angle on
+// qubit q for channel k into tmpN over samples [lo, hi).
+func (ws *Workspace) gatherTanRange(k, q, lo, hi int) {
+	src := ws.angleTans[k]
+	for i := lo; i < hi; i++ {
+		ws.tmpN[i] = src[i*ws.nq+q]
+	}
+}
+
+// negSinRange fills wNegS with −sin(φ/2) for samples [lo, hi) and returns
+// it. wNegS must be pre-sized (see ensureScratch).
+func (ws *Workspace) negSinRange(lo, hi int) []float64 {
+	negS := ws.wNegS
+	for i := lo; i < hi; i++ {
+		negS[i] = -ws.sbuf[i]
+	}
+	return negS
+}
+
+// negDBRange fills wNegB with −dB for samples [lo, hi) and returns it.
+func (ws *Workspace) negDBRange(lo, hi int) []float64 {
+	negB := ws.wNegB
+	for i := lo; i < hi; i++ {
+		negB[i] = -ws.dB[i]
+	}
+	return negB
+}
+
+// ensureScratch sizes the lazily allocated per-sample scratch so parallel
+// workers never allocate concurrently.
+func (ws *Workspace) ensureScratch() {
+	if cap(ws.wNegS) < ws.n {
+		ws.wNegS = make([]float64, ws.n)
+	}
+	ws.wNegS = ws.wNegS[:ws.n]
+	if cap(ws.wNegB) < ws.n {
+		ws.wNegB = make([]float64, ws.n)
+	}
+	ws.wNegB = ws.wNegB[:ws.n]
+}
+
+// ensureW sizes (or clears) the per-basis-state weight buffer for one
+// upstream-gradient slot without filling it.
+func (ws *Workspace) ensureW(slot int, g []float64) {
+	if g == nil {
+		ws.wbuf[slot] = nil
+		return
+	}
+	dim := 1 << ws.nq
+	if cap(ws.wbuf[slot]) < ws.n*dim {
+		ws.wbuf[slot] = make([]float64, ws.n*dim)
+	}
+	ws.wbuf[slot] = ws.wbuf[slot][:ws.n*dim]
+}
+
+// buildWRange expands per-qubit upstream gradients (n×nq) into per-basis-
+// state weights w[i,j] = Σ_q sign_q(j)·g[i,q] for samples [lo, hi). The
+// slot must have been sized by ensureW.
+func (ws *Workspace) buildWRange(slot int, g []float64, lo, hi int) {
+	nq := ws.nq
+	dim := 1 << nq
+	w := ws.wbuf[slot]
+	for i := lo; i < hi; i++ {
+		row := g[i*nq : (i+1)*nq]
+		dst := w[i*dim : (i+1)*dim]
+		for j := 0; j < dim; j++ {
+			var sum float64
+			for q := 0; q < nq; q++ {
+				if j&(1<<q) == 0 {
+					sum += row[q]
+				} else {
+					sum -= row[q]
+				}
+			}
+			dst[j] = sum
+		}
+	}
+}
+
+// legacyEngine is the original execution strategy: every gate application is
+// its own batchwide parallel sweep. Its gate primitives are pluggable so the
+// naive engine can reuse the identical adjoint algorithm with dense
+// 2^nq×2^nq matrix application (the losing architecture of Table 2).
+type legacyEngine struct {
+	kind  EngineKind
+	hooks applyHooks
+}
+
+// applyHooks are the four gate-application primitives the per-gate adjoint
+// algorithm is parameterized over.
+type applyHooks struct {
+	apply      func(g Gate, s *State, theta []float64)
+	applyInv   func(g Gate, s *State, theta []float64)
+	applyDeriv func(g Gate, s *State, theta []float64)
+	applyIXPS  func(s *State, q int, a, b []float64)
+}
+
+// fastHooks apply gates through the batched stride kernels.
+var fastHooks = applyHooks{
+	apply:      func(g Gate, s *State, theta []float64) { g.apply(s, theta) },
+	applyInv:   func(g Gate, s *State, theta []float64) { g.applyInverse(s, theta) },
+	applyDeriv: func(g Gate, s *State, theta []float64) { g.applyDeriv(s, theta) },
+	applyIXPS:  func(s *State, q int, a, b []float64) { s.ApplyIXPerSample(q, a, b) },
+}
+
+func (e *legacyEngine) Kind() EngineKind { return e.kind }
+
+func (e *legacyEngine) Forward(p *PQC, ws *Workspace, angles []float64, angleTans [][]float64, theta []float64) (z []float64, ztans [][]float64) {
+	ws.saveInputs(p, angles, angleTans, theta)
+	n, nq := ws.n, ws.nq
 
 	ws.val.Reset(false)
 	for k := 0; k < MaxTangents; k++ {
@@ -104,12 +276,12 @@ func (p *PQC) Forward(ws *Workspace, angles []float64, angleTans [][]float64, th
 	// before every ansatz layer; otherwise it runs once as a prefix.
 	if p.Circ.Reupload && p.Circ.Layers > 0 {
 		for l := 0; l < p.Circ.Layers; l++ {
-			p.forwardEmbedding(ws)
-			p.forwardGates(ws, p.Circ.LayerSlice(l), theta)
+			e.forwardEmbedding(ws)
+			e.forwardGates(ws, p.Circ.LayerSlice(l), theta)
 		}
 	} else {
-		p.forwardEmbedding(ws)
-		p.forwardGates(ws, p.Circ.Gates, theta)
+		e.forwardEmbedding(ws)
+		e.forwardGates(ws, p.Circ.Gates, theta)
 	}
 
 	z = make([]float64, n*nq)
@@ -126,83 +298,61 @@ func (p *PQC) Forward(ws *Workspace, angles []float64, angleTans [][]float64, th
 
 // forwardEmbedding applies RX(angle_q) per qubit, coupling tangent channels
 // through t' = U·t + φ̇·(dU/dφ)·v.
-func (p *PQC) forwardEmbedding(ws *Workspace) {
-	anyTan := false
-	for k := 0; k < MaxTangents; k++ {
-		if ws.active[k] {
-			anyTan = true
-		}
-	}
+func (e *legacyEngine) forwardEmbedding(ws *Workspace) {
+	anyTan := ws.anyTan()
 	for q := 0; q < ws.nq; q++ {
-		ws.loadHalfAngles(q)
+		ws.loadHalfAnglesRange(q, 0, ws.n)
 		if anyTan {
 			ws.scr1.CopyFrom(ws.val)
-			ws.scr1.ApplyIXPerSample(q, ws.dA, ws.dB) // D·v_pre
+			e.hooks.applyIXPS(ws.scr1, q, ws.dA, ws.dB) // D·v_pre
 		}
 		for k := 0; k < MaxTangents; k++ {
 			if !ws.active[k] {
 				continue
 			}
-			ws.tan[k].ApplyIXPerSample(q, ws.cbuf, ws.sbuf)
-			ws.gatherTan(k, q)
+			e.hooks.applyIXPS(ws.tan[k], q, ws.cbuf, ws.sbuf)
+			ws.gatherTanRange(k, q, 0, ws.n)
 			axpyState(ws.tan[k], ws.scr1, ws.tmpN)
 		}
-		ws.val.ApplyIXPerSample(q, ws.cbuf, ws.sbuf)
+		e.hooks.applyIXPS(ws.val, q, ws.cbuf, ws.sbuf)
 	}
 }
 
 // forwardGates applies ansatz gates: input-independent unitaries act
 // identically on every channel.
-func (p *PQC) forwardGates(ws *Workspace, gates []Gate, theta []float64) {
+func (e *legacyEngine) forwardGates(ws *Workspace, gates []Gate, theta []float64) {
 	for _, g := range gates {
-		g.apply(ws.val, theta)
+		e.hooks.apply(g, ws.val, theta)
 		for k := 0; k < MaxTangents; k++ {
 			if ws.active[k] {
-				g.apply(ws.tan[k], theta)
+				e.hooks.apply(g, ws.tan[k], theta)
 			}
 		}
 	}
 }
 
-// loadHalfAngles fills cbuf/sbuf with cos, sin of half the embedding angle
-// for qubit q and dA/dB with the dU/dφ coefficients (−s/2, c/2).
-func (ws *Workspace) loadHalfAngles(q int) {
-	for i := 0; i < ws.n; i++ {
-		t := ws.angles[i*ws.nq+q] / 2
-		c, s := cosSin(t)
-		ws.cbuf[i], ws.sbuf[i] = c, s
-		ws.dA[i], ws.dB[i] = -s/2, c/2
-	}
-}
-
-// gatherTan extracts the per-sample tangent of the embedding angle on qubit
-// q for channel k into tmpN.
-func (ws *Workspace) gatherTan(k, q int) {
-	src := ws.angleTans[k]
-	for i := 0; i < ws.n; i++ {
-		ws.tmpN[i] = src[i*ws.nq+q]
-	}
-}
-
-// Backward consumes upstream gradients gz (n×nq) and gztans[k] (nil where
-// the tangent channel was absent) and accumulates into dAngles (n×nq),
-// dAngleTans[k] (n×nq, may be nil) and dTheta. Forward must have been called
-// on the same workspace; the workspace's states are destroyed.
-func (p *PQC) Backward(ws *Workspace, gz []float64, gztans [][]float64, dAngles []float64, dAngleTans [][]float64, dTheta []float64) {
+func (e *legacyEngine) Backward(p *PQC, ws *Workspace, gz []float64, gztans [][]float64, dAngles []float64, dAngleTans [][]float64, dTheta []float64) {
 	n := ws.n
 	theta := ws.theta
+	ws.ensureScratch()
 
 	// Seed adjoints from the quadratic readout.
 	// z_q = Σ_j sign·|v_j|²            → λv += 2·w_v ⊙ v
 	// żₖ_q = 2Σ_j sign·Re(v_j* tₖ_j)   → λv += 2·w_tk ⊙ tₖ ; λtₖ += 2·w_tk ⊙ v
-	ws.buildW(0, gz)
+	ws.ensureW(0, gz)
+	if gz != nil {
+		ws.buildWRange(0, gz, 0, n)
+	}
 	for k := 0; k < MaxTangents; k++ {
 		if ws.active[k] {
 			var g []float64
 			if k < len(gztans) {
 				g = gztans[k]
 			}
-			ws.buildW(1+k, g)
+			ws.ensureW(1+k, g)
+			if g != nil {
+				ws.buildWRange(1+k, g, 0, n)
+			}
 		}
 	}
 	dim := ws.val.Dim
@@ -229,39 +379,39 @@ func (p *PQC) Backward(ws *Workspace, gz []float64, gztans [][]float64, dAngles 
 	// Walk the circuit in reverse, mirroring the forward structure.
 	if p.Circ.Reupload && p.Circ.Layers > 0 {
 		for l := p.Circ.Layers - 1; l >= 0; l-- {
-			p.reverseGates(ws, p.Circ.LayerSlice(l), theta, dTheta)
-			p.reverseEmbedding(ws, dAngles, dAngleTans)
+			e.reverseGates(ws, p.Circ.LayerSlice(l), theta, dTheta)
+			e.reverseEmbedding(ws, dAngles, dAngleTans)
 		}
 	} else {
-		p.reverseGates(ws, p.Circ.Gates, theta, dTheta)
-		p.reverseEmbedding(ws, dAngles, dAngleTans)
+		e.reverseGates(ws, p.Circ.Gates, theta, dTheta)
+		e.reverseEmbedding(ws, dAngles, dAngleTans)
 	}
 }
 
 // reverseGates recovers pre-gate states via inverses, accumulates
 // dθ = Σ_channels Re⟨λ, dU/dθ ψ_pre⟩, and propagates λ ← U†λ.
-func (p *PQC) reverseGates(ws *Workspace, gates []Gate, theta []float64, dTheta []float64) {
+func (e *legacyEngine) reverseGates(ws *Workspace, gates []Gate, theta []float64, dTheta []float64) {
 	for gi := len(gates) - 1; gi >= 0; gi-- {
 		g := gates[gi]
-		g.applyInverse(ws.val, theta)
+		e.hooks.applyInv(g, ws.val, theta)
 		for k := 0; k < MaxTangents; k++ {
 			if ws.active[k] {
-				g.applyInverse(ws.tan[k], theta)
+				e.hooks.applyInv(g, ws.tan[k], theta)
 			}
 		}
 		if g.P >= 0 {
-			grad := ws.gateThetaGrad(g, ws.lamV, ws.val)
+			grad := e.gateThetaGrad(ws, g, ws.lamV, ws.val)
 			for k := 0; k < MaxTangents; k++ {
 				if ws.active[k] {
-					grad += ws.gateThetaGrad(g, ws.lamT[k], ws.tan[k])
+					grad += e.gateThetaGrad(ws, g, ws.lamT[k], ws.tan[k])
 				}
 			}
 			dTheta[g.P] += grad
 		}
-		g.applyInverse(ws.lamV, theta)
+		e.hooks.applyInv(g, ws.lamV, theta)
 		for k := 0; k < MaxTangents; k++ {
 			if ws.active[k] {
-				g.applyInverse(ws.lamT[k], theta)
+				e.hooks.applyInv(g, ws.lamT[k], theta)
 			}
 		}
 	}
@@ -270,10 +420,10 @@ func (p *PQC) reverseGates(ws *Workspace, gates []Gate, theta []float64, dTheta 
 // reverseEmbedding un-applies the embedding block (qubits in reverse order),
 // accumulating angle and angle-tangent gradients including the closed-form
 // second-derivative coupling term.
-func (p *PQC) reverseEmbedding(ws *Workspace, dAngles []float64, dAngleTans [][]float64) {
+func (e *legacyEngine) reverseEmbedding(ws *Workspace, dAngles []float64, dAngleTans [][]float64) {
 	n, nq := ws.n, ws.nq
 	for q := nq - 1; q >= 0; q-- {
-		ws.loadHalfAngles(q)
+		ws.loadHalfAnglesRange(q, 0, n)
 
 		// (c) second-derivative coupling needs the *post*-gate value state:
 		// dφ += −¼ · φ̇ₖ · Re⟨λtₖ, U v_pre⟩ = −¼ · φ̇ₖ · Re⟨λtₖ, v_post⟩.
@@ -288,10 +438,10 @@ func (p *PQC) reverseEmbedding(ws *Workspace, dAngles []float64, dAngleTans [][]
 		}
 
 		// Recover v_pre and D·v_pre.
-		negS := ws.dAasNegSin()
-		ws.val.ApplyIXPerSample(q, ws.cbuf, negS) // U†: RX(−φ)
+		negS := ws.negSinRange(0, n)
+		e.hooks.applyIXPS(ws.val, q, ws.cbuf, negS) // U†: RX(−φ)
 		ws.scr1.CopyFrom(ws.val)
-		ws.scr1.ApplyIXPerSample(q, ws.dA, ws.dB) // D·v_pre
+		e.hooks.applyIXPS(ws.scr1, q, ws.dA, ws.dB) // D·v_pre
 
 		// (a) dφ += Re⟨λv, D v_pre⟩ ; dφ̇ₖ += Re⟨λtₖ, D v_pre⟩.
 		innerRe(ws.lamV, ws.scr1, ws.tmpN)
@@ -316,14 +466,13 @@ func (p *PQC) reverseEmbedding(ws *Workspace, dAngles []float64, dAngleTans [][]
 			if !ws.active[k] {
 				continue
 			}
-			ws.gatherTan(k, q)
 			for i := 0; i < n; i++ {
-				ws.tmpN[i] = -ws.tmpNCachePhiDot(k, q, i)
+				ws.tmpN[i] = -ws.angleTans[k][i*nq+q]
 			}
 			axpyState(ws.tan[k], ws.scr1, ws.tmpN)
-			ws.tan[k].ApplyIXPerSample(q, ws.cbuf, negS)
+			e.hooks.applyIXPS(ws.tan[k], q, ws.cbuf, negS)
 			ws.scr2.CopyFrom(ws.tan[k])
-			ws.scr2.ApplyIXPerSample(q, ws.dA, ws.dB)
+			e.hooks.applyIXPS(ws.scr2, q, ws.dA, ws.dB)
 			innerRe(ws.lamT[k], ws.scr2, ws.tmpN)
 			for i := 0; i < n; i++ {
 				dAngles[i*nq+q] += ws.tmpN[i]
@@ -331,91 +480,30 @@ func (p *PQC) reverseEmbedding(ws *Workspace, dAngles []float64, dAngleTans [][]
 		}
 
 		// Propagate adjoints: λv ← U†λv + Σₖ φ̇ₖ·D†λtₖ ; λtₖ ← U†λtₖ.
-		ws.lamV.ApplyIXPerSample(q, ws.cbuf, negS)
+		e.hooks.applyIXPS(ws.lamV, q, ws.cbuf, negS)
 		for k := 0; k < MaxTangents; k++ {
 			if !ws.active[k] {
 				continue
 			}
 			ws.scr2.CopyFrom(ws.lamT[k])
-			ws.applyDerivAdjoint(ws.scr2, q)
-			ws.gatherTan(k, q)
+			e.hooks.applyIXPS(ws.scr2, q, ws.dA, ws.negDBRange(0, n)) // D†
+			ws.gatherTanRange(k, q, 0, n)
 			axpyState(ws.lamV, ws.scr2, ws.tmpN)
-			ws.lamT[k].ApplyIXPerSample(q, ws.cbuf, negS)
+			e.hooks.applyIXPS(ws.lamT[k], q, ws.cbuf, negS)
 		}
 	}
 }
 
-// tmpNCachePhiDot returns φ̇ₖ for sample i on qubit q.
-func (ws *Workspace) tmpNCachePhiDot(k, q, i int) float64 {
-	return ws.angleTans[k][i*ws.nq+q]
-}
-
-// dAasNegSin returns a per-sample −sin(φ/2) slice (reuses dB's backing via a
-// dedicated buffer to avoid clobbering dA/dB which hold derivative coeffs).
-func (ws *Workspace) dAasNegSin() []float64 {
-	if cap(ws.wNegS) < ws.n {
-		ws.wNegS = make([]float64, ws.n)
-	}
-	negS := ws.wNegS[:ws.n]
-	for i := 0; i < ws.n; i++ {
-		negS[i] = -ws.sbuf[i]
-	}
-	return negS
-}
-
-// applyDerivAdjoint applies D† = −(s/2)I + i(c/2)X per sample on qubit q.
-func (ws *Workspace) applyDerivAdjoint(s *State, q int) {
-	if cap(ws.wNegB) < ws.n {
-		ws.wNegB = make([]float64, ws.n)
-	}
-	negB := ws.wNegB[:ws.n]
-	for i := 0; i < ws.n; i++ {
-		negB[i] = -ws.dB[i]
-	}
-	s.ApplyIXPerSample(q, ws.dA, negB)
-}
-
 // gateThetaGrad computes Σ_samples Re⟨λ, dU/dθ ψ⟩ for one ansatz gate.
-func (ws *Workspace) gateThetaGrad(g Gate, lam, psi *State) float64 {
+func (e *legacyEngine) gateThetaGrad(ws *Workspace, g Gate, lam, psi *State) float64 {
 	ws.scr1.CopyFrom(psi)
-	g.applyDeriv(ws.scr1, ws.theta)
+	e.hooks.applyDeriv(g, ws.scr1, ws.theta)
 	innerRe(lam, ws.scr1, ws.tmpN)
 	var sum float64
 	for _, v := range ws.tmpN {
 		sum += v
 	}
 	return sum
-}
-
-// buildW expands per-qubit upstream gradients (n×nq) into per-basis-state
-// weights w[i,j] = Σ_q sign_q(j)·g[i,q], cached in wbuf[slot].
-func (ws *Workspace) buildW(slot int, g []float64) {
-	if g == nil {
-		ws.wbuf[slot] = nil
-		return
-	}
-	n, nq := ws.n, ws.nq
-	dim := 1 << nq
-	if cap(ws.wbuf[slot]) < n*dim {
-		ws.wbuf[slot] = make([]float64, n*dim)
-	}
-	w := ws.wbuf[slot][:n*dim]
-	ws.wbuf[slot] = w
-	for i := 0; i < n; i++ {
-		row := g[i*nq : (i+1)*nq]
-		dst := w[i*dim : (i+1)*dim]
-		for j := 0; j < dim; j++ {
-			var sum float64
-			for q := 0; q < nq; q++ {
-				if j&(1<<q) == 0 {
-					sum += row[q]
-				} else {
-					sum -= row[q]
-				}
-			}
-			dst[j] = sum
-		}
-	}
 }
 
 // cosSin returns cos(x), sin(x).

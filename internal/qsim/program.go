@@ -1,0 +1,194 @@
+package qsim
+
+// This file is the compile stage of the compile/execute split: it lowers a
+// Circuit plus its RX angle embedding into a flat instruction stream the
+// fused engine can stream sample-block by sample-block. Lowering fuses runs
+// of adjacent single-qubit gates on the same qubit into a single 2×2
+// unitary, collapses all-diagonal runs (RZ chains) into one phase pair, and
+// merges consecutive CRZ gates sharing a control/target pair. Instruction
+// operands live in coefficient slots that are refreshed from theta once per
+// pass — per-gate trigonometry is paid once per program execution, not once
+// per sample.
+
+// opcode enumerates fused-program instructions.
+type opcode uint8
+
+const (
+	opEmbed    opcode = iota // per-sample RX embedding on qubit Q
+	opU2                     // 2×2 unitary on Q; 8 coefficient floats
+	opDiag                   // diag(p0, p1) on Q; 4 coefficient floats
+	opCNOT                   // CNOT control C, target Q; no coefficients
+	opCtrlDiag               // diag(p0, p1) on Q over control-set C; 4 floats
+)
+
+// instr is one fused instruction. Slot indexes the program's coefficient
+// array; gates are the source gates the instruction was fused from, kept to
+// refresh the slot when theta changes.
+type instr struct {
+	op    opcode
+	q, c  int
+	slot  int
+	gates []Gate
+}
+
+// segment mirrors the forward phase structure at per-gate granularity for
+// the adjoint backward walk, which cannot use fused instructions because it
+// needs each parametrized gate's individual derivative and pre-gate state.
+type segment struct {
+	embed bool
+	gates []Gate // nil for embedding segments
+}
+
+// Program is a compiled circuit: the fused forward instruction stream, the
+// per-gate segment list for the backward walk, and the coefficient-slot
+// count. Compilation depends only on circuit structure; coefficients are
+// filled per pass by FillCoeffs.
+type Program struct {
+	circ  *Circuit
+	ins   []instr
+	segs  []segment
+	ncoef int
+}
+
+// CompileProgram lowers circ (and its embedding placement, honouring data
+// re-uploading) into a fused program.
+func CompileProgram(circ *Circuit) *Program {
+	p := &Program{circ: circ}
+	if circ.Reupload && circ.Layers > 0 {
+		for l := 0; l < circ.Layers; l++ {
+			p.addEmbed()
+			p.addGates(circ.LayerSlice(l))
+		}
+	} else {
+		p.addEmbed()
+		p.addGates(circ.Gates)
+	}
+	return p
+}
+
+// NumInstructions reports the fused forward stream length (embedding ops
+// included) — the quantity gate fusion shrinks.
+func (p *Program) NumInstructions() int { return len(p.ins) }
+
+// NumCoeffs reports the coefficient-slot floats a pass must provide.
+func (p *Program) NumCoeffs() int { return p.ncoef }
+
+func (p *Program) addEmbed() {
+	p.segs = append(p.segs, segment{embed: true})
+	for q := 0; q < p.circ.NumQubits; q++ {
+		p.ins = append(p.ins, instr{op: opEmbed, q: q, c: -1})
+	}
+}
+
+func isSingleQubit(g Gate) bool {
+	return g.Kind == RX || g.Kind == RY || g.Kind == RZ
+}
+
+func (p *Program) emit(op opcode, q, c, width int, gates []Gate) {
+	p.ins = append(p.ins, instr{op: op, q: q, c: c, slot: p.ncoef, gates: gates})
+	p.ncoef += width
+}
+
+func (p *Program) addGates(gates []Gate) {
+	if len(gates) == 0 {
+		return
+	}
+	p.segs = append(p.segs, segment{gates: gates})
+	for i := 0; i < len(gates); {
+		g := gates[i]
+		switch {
+		case isSingleQubit(g):
+			j := i + 1
+			for j < len(gates) && isSingleQubit(gates[j]) && gates[j].Q == g.Q {
+				j++
+			}
+			run := gates[i:j]
+			allDiag := true
+			for _, r := range run {
+				if r.Kind != RZ {
+					allDiag = false
+					break
+				}
+			}
+			if allDiag {
+				p.emit(opDiag, g.Q, -1, 4, run)
+			} else {
+				p.emit(opU2, g.Q, -1, 8, run)
+			}
+			i = j
+		case g.Kind == CNOT:
+			p.ins = append(p.ins, instr{op: opCNOT, q: g.Q, c: g.C})
+			i++
+		default: // CRZ
+			j := i + 1
+			for j < len(gates) && gates[j].Kind == CRZ && gates[j].Q == g.Q && gates[j].C == g.C {
+				j++
+			}
+			p.emit(opCtrlDiag, g.Q, g.C, 4, gates[i:j])
+			i = j
+		}
+	}
+}
+
+// mat2 is a 2×2 complex matrix as interleaved re/im pairs, row-major:
+// [u00r, u00i, u01r, u01i, u10r, u10i, u11r, u11i].
+type mat2 [8]float64
+
+// gateMat2 returns the 2×2 matrix of a single-qubit rotation gate.
+func gateMat2(g Gate, theta []float64) mat2 {
+	c, s := cosHalf(theta[g.P]), sinHalf(theta[g.P])
+	switch g.Kind {
+	case RX:
+		return mat2{c, 0, 0, -s, 0, -s, c, 0}
+	case RY:
+		return mat2{c, 0, -s, 0, s, 0, c, 0}
+	case RZ:
+		return mat2{c, -s, 0, 0, 0, 0, c, s}
+	}
+	panic("qsim: gateMat2 on non-single-qubit gate")
+}
+
+// mul2 returns a·b.
+func mul2(a, b mat2) mat2 {
+	var out mat2
+	for r := 0; r < 2; r++ {
+		for c := 0; c < 2; c++ {
+			var re, im float64
+			for k := 0; k < 2; k++ {
+				ar, ai := a[r*4+k*2], a[r*4+k*2+1]
+				br, bi := b[k*4+c*2], b[k*4+c*2+1]
+				re += ar*br - ai*bi
+				im += ar*bi + ai*br
+			}
+			out[r*4+c*2], out[r*4+c*2+1] = re, im
+		}
+	}
+	return out
+}
+
+// FillCoeffs refreshes the coefficient slots for the given parameters; dst
+// must have at least NumCoeffs elements. For a fused run g1, g2, …, gk (in
+// application order) the slot holds the product U_k·…·U_2·U_1.
+func (p *Program) FillCoeffs(theta, dst []float64) {
+	for _, in := range p.ins {
+		switch in.op {
+		case opU2:
+			u := gateMat2(in.gates[0], theta)
+			for _, g := range in.gates[1:] {
+				u = mul2(gateMat2(g, theta), u)
+			}
+			copy(dst[in.slot:in.slot+8], u[:])
+		case opDiag, opCtrlDiag:
+			// Product of diag(e^{−iθ/2}, e^{+iθ/2}) phases: half-angles add.
+			var sum float64
+			for _, g := range in.gates {
+				sum += theta[g.P]
+			}
+			c, s := cosHalf(sum), sinHalf(sum)
+			dst[in.slot] = c
+			dst[in.slot+1] = -s
+			dst[in.slot+2] = c
+			dst[in.slot+3] = s
+		}
+	}
+}

@@ -79,7 +79,7 @@ func TestPQCForwardMatchesEvalZ(t *testing.T) {
 		angles := randAngles(rng, n, 4)
 		theta := randTheta(rng, circ.NumParams)
 		ws := NewWorkspace(n, 4)
-		z, _ := (&PQC{circ}).Forward(ws, angles, nil, theta)
+		z, _ := (&PQC{Circ: circ}).Forward(ws, angles, nil, theta)
 		ref := EvalZ(circ, angles, theta, n)
 		for i := range z {
 			if math.Abs(z[i]-ref[i]) > 1e-12 {
@@ -104,7 +104,7 @@ func TestPQCTangentsMatchFD(t *testing.T) {
 			tans[k] = randAngles(rng, n, nq)
 		}
 		ws := NewWorkspace(n, nq)
-		_, ztans := (&PQC{circ}).Forward(ws, angles, tans, theta)
+		_, ztans := (&PQC{Circ: circ}).Forward(ws, angles, tans, theta)
 
 		const h = 1e-6
 		for k := range tans {
@@ -163,12 +163,12 @@ func TestPQCBackwardMatchesFD(t *testing.T) {
 
 		eval := func() float64 {
 			ws := NewWorkspace(n, nq)
-			z, ztans := (&PQC{circ}).Forward(ws, angles, tans, theta)
+			z, ztans := (&PQC{Circ: circ}).Forward(ws, angles, tans, theta)
 			return pqcLoss(z, ztans, wz, wt)
 		}
 
 		ws := NewWorkspace(n, nq)
-		z, ztans := (&PQC{circ}).Forward(ws, angles, tans, theta)
+		z, ztans := (&PQC{Circ: circ}).Forward(ws, angles, tans, theta)
 		gz := wz
 		gztans := make([][]float64, MaxTangents)
 		for k := range ztans {
@@ -179,7 +179,7 @@ func TestPQCBackwardMatchesFD(t *testing.T) {
 		dAngles := make([]float64, n*nq)
 		dTans := [][]float64{make([]float64, n*nq), nil, make([]float64, n*nq)}
 		dTheta := make([]float64, circ.NumParams)
-		(&PQC{circ}).Backward(ws, gz, gztans, dAngles, dTans, dTheta)
+		(&PQC{Circ: circ}).Backward(ws, gz, gztans, dAngles, dTans, dTheta)
 		_ = z
 
 		const h = 1e-6
@@ -218,14 +218,14 @@ func TestParameterShiftMatchesAdjoint(t *testing.T) {
 
 	// Adjoint gradient of L = Σ z via Backward with unit upstream weights.
 	ws := NewWorkspace(n, nq)
-	(&PQC{circ}).Forward(ws, angles, nil, theta)
+	(&PQC{Circ: circ}).Forward(ws, angles, nil, theta)
 	gz := make([]float64, n*nq)
 	for i := range gz {
 		gz[i] = 1
 	}
 	dAngles := make([]float64, n*nq)
 	dTheta := make([]float64, circ.NumParams)
-	(&PQC{circ}).Backward(ws, gz, nil, dAngles, nil, dTheta)
+	(&PQC{Circ: circ}).Backward(ws, gz, nil, dAngles, nil, dTheta)
 
 	for p := 0; p < circ.NumParams; p++ {
 		var want float64
@@ -498,7 +498,7 @@ func TestReuploadForwardMatchesReference(t *testing.T) {
 		angles := randAngles(rng, n, 3)
 		theta := randTheta(rng, circ.NumParams)
 		ws := NewWorkspace(n, 3)
-		z, _ := (&PQC{circ}).Forward(ws, angles, nil, theta)
+		z, _ := (&PQC{Circ: circ}).Forward(ws, angles, nil, theta)
 		ref := reuploadRef(circ, angles, theta, n)
 		for i := range z {
 			if math.Abs(z[i]-ref[i]) > 1e-12 {
@@ -525,12 +525,12 @@ func TestReuploadBackwardMatchesFD(t *testing.T) {
 
 		eval := func() float64 {
 			ws := NewWorkspace(n, nq)
-			z, ztans := (&PQC{circ}).Forward(ws, angles, tans, theta)
+			z, ztans := (&PQC{Circ: circ}).Forward(ws, angles, tans, theta)
 			return pqcLoss(z, ztans, wz, wt)
 		}
 
 		ws := NewWorkspace(n, nq)
-		_, ztans := (&PQC{circ}).Forward(ws, angles, tans, theta)
+		_, ztans := (&PQC{Circ: circ}).Forward(ws, angles, tans, theta)
 		gztans := make([][]float64, MaxTangents)
 		for k := range ztans {
 			if ztans[k] != nil {
@@ -540,7 +540,7 @@ func TestReuploadBackwardMatchesFD(t *testing.T) {
 		dAngles := make([]float64, n*nq)
 		dTans := [][]float64{make([]float64, n*nq), nil, make([]float64, n*nq)}
 		dTheta := make([]float64, circ.NumParams)
-		(&PQC{circ}).Backward(ws, wz, gztans, dAngles, dTans, dTheta)
+		(&PQC{Circ: circ}).Backward(ws, wz, gztans, dAngles, dTans, dTheta)
 
 		const h = 1e-6
 		const tol = 5e-5

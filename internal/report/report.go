@@ -165,7 +165,7 @@ func LinePlot(w io.Writer, title string, width, height int, logY bool, series ma
 			if math.IsNaN(y) {
 				continue
 			}
-			col := i * (width - 1) / maxInt(maxLen-1, 1)
+			col := i * (width - 1) / max(maxLen-1, 1)
 			row := height - 1 - int((y-lo)/(hi-lo)*float64(height-1)+0.5)
 			if row >= 0 && row < height && col >= 0 && col < width {
 				grid[row][col] = m
@@ -183,13 +183,6 @@ func LinePlot(w io.Writer, title string, width, height int, logY bool, series ma
 	for si, name := range names {
 		fmt.Fprintf(w, "  %c = %s\n", marks[si%len(marks)], name)
 	}
-}
-
-func maxInt(a, b int) int {
-	if a > b {
-		return a
-	}
-	return b
 }
 
 // PGM writes a grayscale P2 image of a field grid (n×n), normalizing to
