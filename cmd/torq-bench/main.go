@@ -16,7 +16,7 @@ import (
 
 func main() {
 	preset := flag.String("preset", "smoke", "smoke | paper")
-	engine := flag.String("engine", "fused", "circuit-execution engine for the batched simulator: fused | legacy | naive")
+	engine := flag.String("engine", "fused", "circuit-execution engine for the batched simulator: fused (v2 entangler fusion) | fused1 (PR-1 compiler) | legacy | naive")
 	flag.Parse()
 	o := experiments.Options{Preset: experiments.Smoke, Out: os.Stdout}
 	if *preset == "paper" {

@@ -3,6 +3,7 @@ package maxwell
 import (
 	"repro/internal/ad"
 	"repro/internal/dual"
+	"repro/internal/par"
 )
 
 // FieldsDual is the model output at a batch of points, split into the three
@@ -78,9 +79,11 @@ func Build(tp *ad.Tape, model Forward, p Problem, c *Collocation, cfg Config) Te
 	var weightVec []float64
 	if w != nil {
 		weightVec = make([]float64, c.N)
-		for i := 0; i < c.N; i++ {
-			weightVec[i] = w[c.BinOf[i]]
-		}
+		par.For(c.N, func(lo, hi int) {
+			for i := lo; i < hi; i++ {
+				weightVec[i] = w[c.BinOf[i]]
+			}
+		})
 	}
 
 	switch {
@@ -94,9 +97,11 @@ func Build(tp *ad.Tape, model Forward, p Problem, c *Collocation, cfg Config) Te
 	case cfg.UseIntuitive:
 		// Eq. 37: one residual with pointwise 1/ε(x), all points weighted equally.
 		invEps := make([]float64, c.N)
-		for i, e := range c.Eps {
-			invEps[i] = 1 / e
-		}
+		par.For(c.N, func(lo, hi int) {
+			for i := lo; i < hi; i++ {
+				invEps[i] = 1 / c.Eps[i]
+			}
+		})
 		scaledCurl := tp.Mul(curl, tp.Const(c.N, 1, invEps))
 		res1 := tp.Sub(f.Ez.T[2], scaledCurl)
 		t.Phys = tp.AddScalars(
@@ -211,13 +216,34 @@ func weightedMSESubset(tp *ad.Tape, res ad.Value, idx []int, w []float64) ad.Val
 }
 
 // binResiduals averages the unweighted squared residuals per time bin
-// (plain floats; feeds the curriculum update, not the gradient).
+// (plain floats; feeds the curriculum update, not the gradient). The
+// accumulation runs as a par.Run region — one fork/join for all residual
+// vectors — with per-worker bin partials reduced in worker order, like the
+// fused engine's dTheta reduction, so results are deterministic for a fixed
+// worker bound.
 func binResiduals(c *Collocation, rs ...ad.Value) []float64 {
 	out := make([]float64, c.Bins)
-	for _, r := range rs {
-		d := r.Data()
-		for i, v := range d {
-			out[c.BinOf[i]] += v * v
+	datas := make([][]float64, len(rs))
+	for i, r := range rs {
+		datas[i] = r.Data()
+	}
+	parts := make([][]float64, par.MaxWorkers())
+	par.Run(c.N, func(w, lo, hi int) {
+		p := parts[w]
+		if p == nil {
+			p = make([]float64, c.Bins)
+			parts[w] = p
+		}
+		for _, d := range datas {
+			for i := lo; i < hi; i++ {
+				v := d[i]
+				p[c.BinOf[i]] += v * v
+			}
+		}
+	})
+	for _, p := range parts {
+		for b, v := range p {
+			out[b] += v
 		}
 	}
 	for b := range out {

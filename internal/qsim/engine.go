@@ -21,6 +21,10 @@ const (
 	// gate as a dense 2^nq×2^nq matrix per sample (the default.qubit-style
 	// losing architecture of Table 2).
 	EngineNaive
+	// EngineFusedV1 is the fused executor running the PR-1 compiler (pass-1
+	// fusion only: single-qubit runs and same-pair diagonal merges, per-gate
+	// backward walk) — the A/B comparator for the v2 entangler fusion.
+	EngineFusedV1
 )
 
 func (k EngineKind) String() string {
@@ -31,6 +35,8 @@ func (k EngineKind) String() string {
 		return "legacy"
 	case EngineNaive:
 		return "naive"
+	case EngineFusedV1:
+		return "fused1"
 	}
 	return "unknown"
 }
@@ -40,12 +46,14 @@ func ParseEngine(s string) (EngineKind, error) {
 	switch s {
 	case "fused", "":
 		return EngineFused, nil
+	case "fused1", "fused-v1":
+		return EngineFusedV1, nil
 	case "legacy":
 		return EngineLegacy, nil
 	case "naive":
 		return EngineNaive, nil
 	}
-	return EngineFused, fmt.Errorf("qsim: unknown engine %q (want fused|legacy|naive)", s)
+	return EngineFused, fmt.Errorf("qsim: unknown engine %q (want fused|fused1|legacy|naive)", s)
 }
 
 // Engine is the pluggable execution strategy for a PQC pass: it owns how
@@ -71,7 +79,7 @@ func (k EngineKind) engine() Engine {
 	case EngineNaive:
 		return engineNaive
 	}
-	return engineFused
+	return engineFused // EngineFused and EngineFusedV1 differ only in compile level
 }
 
 // blockSamples picks how many samples one worker streams through the whole
@@ -146,6 +154,24 @@ func fwdBlock(ws *Workspace, prog *Program, coeff []float64, lo, hi int, z []flo
 		switch in.op {
 		case opEmbed:
 			embedRange(ws, in.q, lo, hi)
+		case opEmbedAll:
+			embedAllRange(ws, lo, hi)
+		case opU4:
+			u := (*[32]float64)(coeff[in.slot : in.slot+32])
+			ws.val.applyU4Range(lo, hi, in.q, in.c, u)
+			for k := 0; k < MaxTangents; k++ {
+				if ws.active[k] {
+					ws.tan[k].applyU4Range(lo, hi, in.q, in.c, u)
+				}
+			}
+		case opDiagN:
+			ph := coeff[in.slot : in.slot+2*ws.val.Dim]
+			ws.val.applyDiagNRange(lo, hi, ph)
+			for k := 0; k < MaxTangents; k++ {
+				if ws.active[k] {
+					ws.tan[k].applyDiagNRange(lo, hi, ph)
+				}
+			}
 		case opU2:
 			u := (*[8]float64)(coeff[in.slot : in.slot+8])
 			ws.val.applyU2Range(lo, hi, in.q, u)
@@ -187,6 +213,33 @@ func fwdBlock(ws *Workspace, prog *Program, coeff []float64, lo, hi int, z []flo
 	}
 }
 
+// embedAllRange is the fused embedding instruction: it applies the whole
+// RX(angle_q) embedding block sample-major — every qubit of one sample
+// before moving to the next — so the sample's amplitudes and its per-qubit
+// trigonometry stay hot across the entire block. Tangent channels couple
+// through t' = U·t + φ̇·(dU/dφ)·v exactly as in the per-qubit walk.
+func embedAllRange(ws *Workspace, lo, hi int) {
+	nq := ws.nq
+	anyTan := ws.anyTan()
+	for smp := lo; smp < hi; smp++ {
+		for q := 0; q < nq; q++ {
+			c, s := cosSin(ws.angles[smp*nq+q] / 2)
+			if anyTan {
+				ws.scr1.copySample(ws.val, smp)
+				ws.scr1.applyIXSample(smp, q, -s/2, c/2) // D·v_pre
+			}
+			for k := 0; k < MaxTangents; k++ {
+				if !ws.active[k] {
+					continue
+				}
+				ws.tan[k].applyIXSample(smp, q, c, s)
+				axpySample(ws.tan[k], ws.scr1, ws.angleTans[k][smp*nq+q], smp)
+			}
+			ws.val.applyIXSample(smp, q, c, s)
+		}
+	}
+}
+
 // embedRange applies the RX(angle_q) embedding on qubit q for samples
 // [lo, hi), coupling tangent channels through t' = U·t + φ̇·(dU/dφ)·v.
 func embedRange(ws *Workspace, q, lo, hi int) {
@@ -212,17 +265,37 @@ func (fusedEngine) Backward(p *PQC, ws *Workspace, gz []float64, gztans [][]floa
 	theta := ws.theta
 	ws.ensureScratch()
 
-	// Per-parameter half-angle table: trigonometry once per pass, not once
-	// per block. Parameter indices are unique per gate across all ansätze.
 	np := p.Circ.NumParams
-	if cap(ws.gch) < 2*np {
-		ws.gch = make([]float64, 2*np)
-	}
-	gch := ws.gch[:2*np]
-	for _, g := range p.Circ.Gates {
-		if g.P >= 0 {
-			gch[2*g.P] = cosHalf(theta[g.P])
-			gch[2*g.P+1] = sinHalf(theta[g.P])
+	var gch []float64
+	if prog.level < 2 {
+		// Per-parameter half-angle table for the level-1 per-gate walk:
+		// trigonometry once per pass, not once per block. Parameter indices
+		// are unique per gate across all ansätze.
+		if cap(ws.gch) < 2*np {
+			ws.gch = make([]float64, 2*np)
+		}
+		gch = ws.gch[:2*np]
+		for _, g := range p.Circ.Gates {
+			if g.P >= 0 {
+				gch[2*g.P] = cosHalf(theta[g.P])
+				gch[2*g.P+1] = sinHalf(theta[g.P])
+			}
+		}
+	} else {
+		// Level-2 walks the fused instruction stream: refresh the forward
+		// coefficients (don't rely on ws.coeff surviving from Forward — the
+		// program may have been recompiled if the engine changed between
+		// passes) and the dU/dθ matrices of fused unitaries, once per pass.
+		if cap(ws.coeff) < prog.ncoef {
+			ws.coeff = make([]float64, prog.ncoef)
+		}
+		prog.FillCoeffs(theta, ws.coeff[:prog.ncoef])
+		if prog.nderiv > 0 {
+			if cap(ws.dcoef) < prog.nderiv {
+				ws.dcoef = make([]float64, prog.nderiv)
+			}
+			ws.dcoef = ws.dcoef[:prog.nderiv]
+			prog.FillDerivCoeffs(theta, ws.dcoef)
 		}
 	}
 
@@ -239,8 +312,9 @@ func (fusedEngine) Backward(p *PQC, ws *Workspace, gz []float64, gztans [][]floa
 		}
 	}
 
-	// Per-worker dTheta partials: reduced in worker order after the region
-	// so results are deterministic for a fixed worker bound.
+	// Per-worker dTheta partials (and level-2 fused-block gradient scratch):
+	// reduced in worker order after the region so results are deterministic
+	// for a fixed worker bound.
 	nw := par.MaxWorkers()
 	if len(ws.dthW) < nw {
 		ws.dthW = make([][]float64, nw)
@@ -254,6 +328,21 @@ func (fusedEngine) Backward(p *PQC, ws *Workspace, gz []float64, gztans [][]floa
 			ws.dthW[w][i] = 0
 		}
 	}
+	if prog.level >= 2 {
+		if len(ws.diagTW) < nw {
+			ws.diagTW = make([][]float64, nw)
+		}
+		nt := prog.ndiag * ws.val.Dim
+		for w := 0; w < nw; w++ {
+			if cap(ws.diagTW[w]) < nt {
+				ws.diagTW[w] = make([]float64, nt)
+			}
+			ws.diagTW[w] = ws.diagTW[w][:nt]
+			for i := range ws.diagTW[w] {
+				ws.diagTW[w][i] = 0
+			}
+		}
+	}
 
 	channels := 2 // val + λv
 	for k := 0; k < MaxTangents; k++ {
@@ -265,6 +354,17 @@ func (fusedEngine) Backward(p *PQC, ws *Workspace, gz []float64, gztans [][]floa
 	blk := blockSamples(ws.val.Dim, channels)
 	par.Run(n, func(w, lo, hi int) {
 		dth := ws.dthW[w]
+		if prog.level >= 2 {
+			sc := bwdScratch{dth: dth, diagT: ws.diagTW[w]}
+			for b := lo; b < hi; b += blk {
+				bwdBlockV2(ws, prog, b, min(b+blk, hi), gz, gztans, dAngles, dAngleTans, sc)
+			}
+			// Fused-diagonal gradients are linear in the per-basis adjoint
+			// products, so each worker accumulates them across its whole
+			// range and contracts against the sign tables once at the end.
+			reduceDiagNGrads(prog, sc.diagT, dth, ws.val.Dim)
+			return
+		}
 		for b := lo; b < hi; b += blk {
 			bwdBlock(ws, prog, gch, b, min(b+blk, hi), gz, gztans, dAngles, dAngleTans, dth)
 		}
@@ -276,13 +376,17 @@ func (fusedEngine) Backward(p *PQC, ws *Workspace, gz []float64, gztans [][]floa
 	}
 }
 
-// bwdBlock runs the complete adjoint pass — readout seeding, reverse gate
-// walk with per-parameter gradient accumulation, and reverse embedding —
-// over samples [lo, hi).
-func bwdBlock(ws *Workspace, prog *Program, gch []float64, lo, hi int, gz []float64, gztans [][]float64, dAngles []float64, dAngleTans [][]float64, dth []float64) {
-	dim := ws.val.Dim
+// bwdScratch bundles one worker's private accumulation buffers for the
+// level-2 backward walk.
+type bwdScratch struct {
+	dth   []float64 // per-parameter gradient partials
+	diagT []float64 // per-(opDiagN, basis) adjoint-product accumulators
+}
 
-	// Seed adjoints from the quadratic readout (see legacyEngine.Backward).
+// seedAdjointsRange seeds the adjoint states from the quadratic readout for
+// samples [lo, hi) (see legacyEngine.Backward for the derivation).
+func seedAdjointsRange(ws *Workspace, lo, hi int, gz []float64, gztans [][]float64) {
+	dim := ws.val.Dim
 	if ws.wbuf[0] != nil {
 		ws.buildWRange(0, gz, lo, hi)
 	}
@@ -310,16 +414,64 @@ func bwdBlock(ws *Workspace, prog *Program, gch []float64, lo, hi int, gz []floa
 		seed(ws.lamV, ws.wbuf[1+k], ws.tan[k])
 		seed(ws.lamT[k], ws.wbuf[1+k], ws.val)
 	}
+}
+
+// forChannelPairs runs f over every live (state, adjoint) channel pair.
+func (ws *Workspace) forChannelPairs(f func(psi, lam *State)) {
+	f(ws.val, ws.lamV)
+	for k := 0; k < MaxTangents; k++ {
+		if ws.active[k] {
+			f(ws.tan[k], ws.lamT[k])
+		}
+	}
+}
+
+// bwdBlock runs the complete level-1 adjoint pass — readout seeding, reverse
+// gate walk with per-parameter gradient accumulation, and reverse embedding —
+// over samples [lo, hi).
+func bwdBlock(ws *Workspace, prog *Program, gch []float64, lo, hi int, gz []float64, gztans [][]float64, dAngles []float64, dAngleTans [][]float64, dth []float64) {
+	seedAdjointsRange(ws, lo, hi, gz, gztans)
 
 	// Walk the program segments in reverse at per-gate granularity: the
-	// adjoint needs each parametrized gate's individual derivative and
-	// pre-gate state, so fused instructions don't apply here.
+	// level-1 adjoint needs each parametrized gate's individual derivative
+	// and pre-gate state, so fused instructions don't apply here.
 	for si := len(prog.segs) - 1; si >= 0; si-- {
 		seg := prog.segs[si]
 		if seg.embed {
 			reverseEmbedRange(ws, lo, hi, dAngles, dAngleTans)
 		} else {
 			reverseGatesRange(ws, seg.gates, gch, lo, hi, dth)
+		}
+	}
+}
+
+// bwdBlockV2 runs the level-2 adjoint pass over samples [lo, hi): it walks
+// the fused instruction stream itself in reverse, so every fused block pays
+// one inverse+gradient traversal instead of one per source gate, and the
+// embedding un-applies as a single fused instruction.
+func bwdBlockV2(ws *Workspace, prog *Program, lo, hi int, gz []float64, gztans [][]float64, dAngles []float64, dAngleTans [][]float64, sc bwdScratch) {
+	seedAdjointsRange(ws, lo, hi, gz, gztans)
+	coeff := ws.coeff[:prog.ncoef]
+	for i := len(prog.ins) - 1; i >= 0; i-- {
+		in := &prog.ins[i]
+		switch in.op {
+		case opEmbedAll:
+			reverseEmbedAllRange(ws, lo, hi, dAngles, dAngleTans)
+		case opCNOT:
+			g := in.gates[0]
+			ws.forChannelPairs(func(psi, lam *State) {
+				reverseStepRange(g, 0, 0, psi, lam, lo, hi)
+			})
+		case opU2:
+			revU2Range(ws, in, coeff, ws.dcoef, lo, hi, sc)
+		case opU4:
+			revU4Range(ws, in, coeff, ws.dcoef, lo, hi, sc)
+		case opDiag:
+			revDiagRange(ws, in, coeff, lo, hi, sc)
+		case opCtrlDiag:
+			revCtrlDiagRange(ws, in, coeff, lo, hi, sc)
+		case opDiagN:
+			revDiagNRange(ws, in, coeff, lo, hi, sc)
 		}
 	}
 }
@@ -557,6 +709,372 @@ func reverseEmbedRange(ws *Workspace, lo, hi int, dAngles []float64, dAngleTans 
 			ws.gatherTanRange(k, q, lo, hi)
 			axpyRange(ws.lamV, ws.scr2, ws.tmpN, lo, hi)
 			ws.lamT[k].applyIXPerSampleRange(lo, hi, q, ws.cbuf, negS)
+		}
+	}
+}
+
+// reverseEmbedAllRange is the fused embedding adjoint: the sample-major
+// analogue of reverseEmbedRange, un-applying the whole embedding block for
+// one sample — qubits in reverse order — before moving to the next, so the
+// sample's value, tangent, and adjoint amplitudes stay cache-hot across the
+// entire per-qubit sequence and the per-qubit scratch copies shrink to one
+// sample. See legacyEngine.reverseEmbedding for the derivation of the
+// gradient terms (a)–(c).
+func reverseEmbedAllRange(ws *Workspace, lo, hi int, dAngles []float64, dAngleTans [][]float64) {
+	nq := ws.nq
+	for smp := lo; smp < hi; smp++ {
+		for q := nq - 1; q >= 0; q-- {
+			c, s := cosSin(ws.angles[smp*nq+q] / 2)
+
+			// (c) second-derivative coupling on the post-gate value state.
+			for k := 0; k < MaxTangents; k++ {
+				if !ws.active[k] {
+					continue
+				}
+				t := innerReSample(ws.lamT[k], ws.val, smp)
+				dAngles[smp*nq+q] -= 0.25 * ws.angleTans[k][smp*nq+q] * t
+			}
+
+			// Recover v_pre and D·v_pre.
+			ws.val.applyIXSample(smp, q, c, -s) // U†: RX(−φ)
+			ws.scr1.copySample(ws.val, smp)
+			ws.scr1.applyIXSample(smp, q, -s/2, c/2) // D·v_pre
+
+			// (a) dφ += Re⟨λv, D v_pre⟩ ; dφ̇ₖ += Re⟨λtₖ, D v_pre⟩.
+			dAngles[smp*nq+q] += innerReSample(ws.lamV, ws.scr1, smp)
+			for k := 0; k < MaxTangents; k++ {
+				if !ws.active[k] {
+					continue
+				}
+				g := innerReSample(ws.lamT[k], ws.scr1, smp)
+				if dAngleTans != nil && k < len(dAngleTans) && dAngleTans[k] != nil {
+					dAngleTans[k][smp*nq+q] += g
+				}
+			}
+
+			// Recover tₖ_pre = U†(tₖ_post − φ̇ₖ·D v_pre), then
+			// (b) dφ += Re⟨λtₖ, D tₖ_pre⟩.
+			for k := 0; k < MaxTangents; k++ {
+				if !ws.active[k] {
+					continue
+				}
+				axpySample(ws.tan[k], ws.scr1, -ws.angleTans[k][smp*nq+q], smp)
+				ws.tan[k].applyIXSample(smp, q, c, -s)
+				ws.scr2.copySample(ws.tan[k], smp)
+				ws.scr2.applyIXSample(smp, q, -s/2, c/2)
+				dAngles[smp*nq+q] += innerReSample(ws.lamT[k], ws.scr2, smp)
+			}
+
+			// Propagate adjoints: λv ← U†λv + Σₖ φ̇ₖ·D†λtₖ ; λtₖ ← U†λtₖ.
+			ws.lamV.applyIXSample(smp, q, c, -s)
+			for k := 0; k < MaxTangents; k++ {
+				if !ws.active[k] {
+					continue
+				}
+				ws.scr2.copySample(ws.lamT[k], smp)
+				ws.scr2.applyIXSample(smp, q, -s/2, -c/2) // D†
+				axpySample(ws.lamV, ws.scr2, ws.angleTans[k][smp*nq+q], smp)
+				ws.lamT[k].applyIXSample(smp, q, c, -s)
+			}
+		}
+	}
+}
+
+// revU2Range is the fused adjoint step for one opU2 block over samples
+// [lo, hi): one traversal per channel pair recovers ψ_pre = U†ψ, propagates
+// λ ← U†λ, and accumulates the adjoint outer product
+// K[r,c] = Σ ψ_pre_c·conj(λ_post_r). Every source-gate gradient is linear
+// in K — Re⟨λ_post, (dU/dθᵢ)·ψ_pre⟩ = Re Σ (dU/dθᵢ)[r,c]·K[r,c] — so the
+// per-parameter work collapses to one tiny matrix contraction per block
+// instead of one state traversal per source gate.
+func revU2Range(ws *Workspace, in *instr, coeff, dcoef []float64, lo, hi int, sc bwdScratch) {
+	u := coeff[in.slot : in.slot+8]
+	// U† (conjugate transpose).
+	ar, ai := u[0], -u[1]
+	br, bi := u[4], -u[5]
+	cr, ci := u[2], -u[3]
+	dr, di := u[6], -u[7]
+	var K [8]float64
+	stride := 1 << in.q
+	step := stride << 1
+	dim := ws.val.Dim
+	ws.forChannelPairs(func(psi, lam *State) {
+		pr, pim := psi.Re, psi.Im
+		lr, lim := lam.Re, lam.Im
+		for smp := lo; smp < hi; smp++ {
+			off := smp * dim
+			for blk := 0; blk < dim; blk += step {
+				base := off + blk
+				for j := base; j < base+stride; j++ {
+					k := j + stride
+					r0, i0, r1, i1 := pr[j], pim[j], pr[k], pim[k]
+					p0r := ar*r0 - ai*i0 + br*r1 - bi*i1
+					p0i := ar*i0 + ai*r0 + br*i1 + bi*r1
+					p1r := cr*r0 - ci*i0 + dr*r1 - di*i1
+					p1i := cr*i0 + ci*r0 + dr*i1 + di*r1
+					l0r, l0i, l1r, l1i := lr[j], lim[j], lr[k], lim[k]
+					K[0] += p0r*l0r + p0i*l0i
+					K[1] += p0i*l0r - p0r*l0i
+					K[2] += p1r*l0r + p1i*l0i
+					K[3] += p1i*l0r - p1r*l0i
+					K[4] += p0r*l1r + p0i*l1i
+					K[5] += p0i*l1r - p0r*l1i
+					K[6] += p1r*l1r + p1i*l1i
+					K[7] += p1i*l1r - p1r*l1i
+					lr[j] = ar*l0r - ai*l0i + br*l1r - bi*l1i
+					lim[j] = ar*l0i + ai*l0r + br*l1i + bi*l1r
+					lr[k] = cr*l0r - ci*l0i + dr*l1r - di*l1i
+					lim[k] = cr*l0i + ci*l0r + dr*l1i + di*l1r
+					pr[j], pim[j], pr[k], pim[k] = p0r, p0i, p1r, p1i
+				}
+			}
+		}
+	})
+	for t, p := range in.params {
+		d := dcoef[in.dslot+8*t : in.dslot+8*t+8]
+		sc.dth[p] += d[0]*K[0] - d[1]*K[1] + d[2]*K[2] - d[3]*K[3] +
+			d[4]*K[4] - d[5]*K[5] + d[6]*K[6] - d[7]*K[7]
+	}
+}
+
+// revU4Range is the fused adjoint step for one opU4 entangler block: the
+// 4×4 analogue of revU2Range over the block's qubit pair, with the same
+// outer-product trick so per-group cost is independent of how many
+// parametrized gates the block fused.
+func revU4Range(ws *Workspace, in *instr, coeff, dcoef []float64, lo, hi int, sc bwdScratch) {
+	u := coeff[in.slot : in.slot+32]
+	var ud [32]float64 // U†
+	for r := 0; r < 4; r++ {
+		for c := 0; c < 4; c++ {
+			ud[(r*4+c)*2] = u[(c*4+r)*2]
+			ud[(r*4+c)*2+1] = -u[(c*4+r)*2+1]
+		}
+	}
+	var K [32]float64
+	sa, sb := 1<<in.q, 1<<in.c
+	dim := ws.val.Dim
+	ws.forChannelPairs(func(psi, lam *State) {
+		pr, pim := psi.Re, psi.Im
+		lr, lim := lam.Re, lam.Im
+		for smp := lo; smp < hi; smp++ {
+			off := smp * dim
+			for b1 := 0; b1 < dim; b1 += sb << 1 {
+				for b2 := b1; b2 < b1+sb; b2 += sa << 1 {
+					for j := b2; j < b2+sa; j++ {
+						i0 := off + j
+						i1, i2, i3 := i0+sa, i0+sb, i0+sa+sb
+						x0r, x0i := pr[i0], pim[i0]
+						x1r, x1i := pr[i1], pim[i1]
+						x2r, x2i := pr[i2], pim[i2]
+						x3r, x3i := pr[i3], pim[i3]
+						l0r, l0i := lr[i0], lim[i0]
+						l1r, l1i := lr[i1], lim[i1]
+						l2r, l2i := lr[i2], lim[i2]
+						l3r, l3i := lr[i3], lim[i3]
+						// ψ_pre = U†·ψ_post
+						p0r := ud[0]*x0r - ud[1]*x0i + ud[2]*x1r - ud[3]*x1i + ud[4]*x2r - ud[5]*x2i + ud[6]*x3r - ud[7]*x3i
+						p0i := ud[0]*x0i + ud[1]*x0r + ud[2]*x1i + ud[3]*x1r + ud[4]*x2i + ud[5]*x2r + ud[6]*x3i + ud[7]*x3r
+						p1r := ud[8]*x0r - ud[9]*x0i + ud[10]*x1r - ud[11]*x1i + ud[12]*x2r - ud[13]*x2i + ud[14]*x3r - ud[15]*x3i
+						p1i := ud[8]*x0i + ud[9]*x0r + ud[10]*x1i + ud[11]*x1r + ud[12]*x2i + ud[13]*x2r + ud[14]*x3i + ud[15]*x3r
+						p2r := ud[16]*x0r - ud[17]*x0i + ud[18]*x1r - ud[19]*x1i + ud[20]*x2r - ud[21]*x2i + ud[22]*x3r - ud[23]*x3i
+						p2i := ud[16]*x0i + ud[17]*x0r + ud[18]*x1i + ud[19]*x1r + ud[20]*x2i + ud[21]*x2r + ud[22]*x3i + ud[23]*x3r
+						p3r := ud[24]*x0r - ud[25]*x0i + ud[26]*x1r - ud[27]*x1i + ud[28]*x2r - ud[29]*x2i + ud[30]*x3r - ud[31]*x3i
+						p3i := ud[24]*x0i + ud[25]*x0r + ud[26]*x1i + ud[27]*x1r + ud[28]*x2i + ud[29]*x2r + ud[30]*x3i + ud[31]*x3r
+						// K[r,c] += ψ_pre_c·conj(λ_post_r)
+						K[0] += p0r*l0r + p0i*l0i
+						K[1] += p0i*l0r - p0r*l0i
+						K[2] += p1r*l0r + p1i*l0i
+						K[3] += p1i*l0r - p1r*l0i
+						K[4] += p2r*l0r + p2i*l0i
+						K[5] += p2i*l0r - p2r*l0i
+						K[6] += p3r*l0r + p3i*l0i
+						K[7] += p3i*l0r - p3r*l0i
+						K[8] += p0r*l1r + p0i*l1i
+						K[9] += p0i*l1r - p0r*l1i
+						K[10] += p1r*l1r + p1i*l1i
+						K[11] += p1i*l1r - p1r*l1i
+						K[12] += p2r*l1r + p2i*l1i
+						K[13] += p2i*l1r - p2r*l1i
+						K[14] += p3r*l1r + p3i*l1i
+						K[15] += p3i*l1r - p3r*l1i
+						K[16] += p0r*l2r + p0i*l2i
+						K[17] += p0i*l2r - p0r*l2i
+						K[18] += p1r*l2r + p1i*l2i
+						K[19] += p1i*l2r - p1r*l2i
+						K[20] += p2r*l2r + p2i*l2i
+						K[21] += p2i*l2r - p2r*l2i
+						K[22] += p3r*l2r + p3i*l2i
+						K[23] += p3i*l2r - p3r*l2i
+						K[24] += p0r*l3r + p0i*l3i
+						K[25] += p0i*l3r - p0r*l3i
+						K[26] += p1r*l3r + p1i*l3i
+						K[27] += p1i*l3r - p1r*l3i
+						K[28] += p2r*l3r + p2i*l3i
+						K[29] += p2i*l3r - p2r*l3i
+						K[30] += p3r*l3r + p3i*l3i
+						K[31] += p3i*l3r - p3r*l3i
+						// λ_pre = U†·λ_post
+						lr[i0] = ud[0]*l0r - ud[1]*l0i + ud[2]*l1r - ud[3]*l1i + ud[4]*l2r - ud[5]*l2i + ud[6]*l3r - ud[7]*l3i
+						lim[i0] = ud[0]*l0i + ud[1]*l0r + ud[2]*l1i + ud[3]*l1r + ud[4]*l2i + ud[5]*l2r + ud[6]*l3i + ud[7]*l3r
+						lr[i1] = ud[8]*l0r - ud[9]*l0i + ud[10]*l1r - ud[11]*l1i + ud[12]*l2r - ud[13]*l2i + ud[14]*l3r - ud[15]*l3i
+						lim[i1] = ud[8]*l0i + ud[9]*l0r + ud[10]*l1i + ud[11]*l1r + ud[12]*l2i + ud[13]*l2r + ud[14]*l3i + ud[15]*l3r
+						lr[i2] = ud[16]*l0r - ud[17]*l0i + ud[18]*l1r - ud[19]*l1i + ud[20]*l2r - ud[21]*l2i + ud[22]*l3r - ud[23]*l3i
+						lim[i2] = ud[16]*l0i + ud[17]*l0r + ud[18]*l1i + ud[19]*l1r + ud[20]*l2i + ud[21]*l2r + ud[22]*l3i + ud[23]*l3r
+						lr[i3] = ud[24]*l0r - ud[25]*l0i + ud[26]*l1r - ud[27]*l1i + ud[28]*l2r - ud[29]*l2i + ud[30]*l3r - ud[31]*l3i
+						lim[i3] = ud[24]*l0i + ud[25]*l0r + ud[26]*l1i + ud[27]*l1r + ud[28]*l2i + ud[29]*l2r + ud[30]*l3i + ud[31]*l3r
+						pr[i0], pim[i0] = p0r, p0i
+						pr[i1], pim[i1] = p1r, p1i
+						pr[i2], pim[i2] = p2r, p2i
+						pr[i3], pim[i3] = p3r, p3i
+					}
+				}
+			}
+		}
+	})
+	for t, p := range in.params {
+		d := dcoef[in.dslot+32*t : in.dslot+32*t+32]
+		var g float64
+		for i := 0; i < 32; i += 2 {
+			g += d[i]*K[i] - d[i+1]*K[i+1]
+		}
+		sc.dth[p] += g
+	}
+}
+
+// revDiagRange is the fused adjoint step for an opDiag RZ chain: all chain
+// members share the same logarithmic derivative diag(−i/2, +i/2), and the
+// per-basis adjoint product Re⟨λ, −i·ψ⟩ is invariant under the diagonal
+// inverse, so one traversal yields the common gradient T and un-applies the
+// phases for every channel pair.
+func revDiagRange(ws *Workspace, in *instr, coeff []float64, lo, hi int, sc bwdScratch) {
+	cc, ss := coeff[in.slot], coeff[in.slot+3] // p0 = c − i·s, p1 = c + i·s
+	stride := 1 << in.q
+	step := stride << 1
+	dim := ws.val.Dim
+	var T float64
+	ws.forChannelPairs(func(psi, lam *State) {
+		pr, pim := psi.Re, psi.Im
+		lr, lim := lam.Re, lam.Im
+		for smp := lo; smp < hi; smp++ {
+			off := smp * dim
+			for blk := 0; blk < dim; blk += step {
+				base := off + blk
+				for j := base; j < base+stride; j++ {
+					k := j + stride
+					T += 0.5 * (lr[j]*pim[j] - lim[j]*pr[j] - lr[k]*pim[k] + lim[k]*pr[k])
+					// Inverse phases: conj(p0) = c + i·s, conj(p1) = c − i·s.
+					r0, i0 := pr[j], pim[j]
+					pr[j] = cc*r0 - ss*i0
+					pim[j] = cc*i0 + ss*r0
+					r1, i1 := pr[k], pim[k]
+					pr[k] = cc*r1 + ss*i1
+					pim[k] = cc*i1 - ss*r1
+					r0, i0 = lr[j], lim[j]
+					lr[j] = cc*r0 - ss*i0
+					lim[j] = cc*i0 + ss*r0
+					r1, i1 = lr[k], lim[k]
+					lr[k] = cc*r1 + ss*i1
+					lim[k] = cc*i1 - ss*r1
+				}
+			}
+		}
+	})
+	for _, p := range in.params {
+		sc.dth[p] += T
+	}
+}
+
+// revCtrlDiagRange is revDiagRange restricted to the control-set subspace
+// (fused CRZ chains sharing one control/target pair).
+func revCtrlDiagRange(ws *Workspace, in *instr, coeff []float64, lo, hi int, sc bwdScratch) {
+	cc, ss := coeff[in.slot], coeff[in.slot+3]
+	strideT := 1 << in.q
+	stepT := strideT << 1
+	cMask := 1 << in.c
+	dim := ws.val.Dim
+	var T float64
+	ws.forChannelPairs(func(psi, lam *State) {
+		pr, pim := psi.Re, psi.Im
+		lr, lim := lam.Re, lam.Im
+		for smp := lo; smp < hi; smp++ {
+			off := smp * dim
+			for blk := 0; blk < dim; blk += stepT {
+				for j := blk; j < blk+strideT; j++ {
+					if j&cMask == 0 {
+						continue
+					}
+					a, b := off+j, off+j+strideT
+					T += 0.5 * (lr[a]*pim[a] - lim[a]*pr[a] - lr[b]*pim[b] + lim[b]*pr[b])
+					r0, i0 := pr[a], pim[a]
+					pr[a] = cc*r0 - ss*i0
+					pim[a] = cc*i0 + ss*r0
+					r1, i1 := pr[b], pim[b]
+					pr[b] = cc*r1 + ss*i1
+					pim[b] = cc*i1 - ss*r1
+					r0, i0 = lr[a], lim[a]
+					lr[a] = cc*r0 - ss*i0
+					lim[a] = cc*i0 + ss*r0
+					r1, i1 = lr[b], lim[b]
+					lr[b] = cc*r1 + ss*i1
+					lim[b] = cc*i1 - ss*r1
+				}
+			}
+		}
+	})
+	for _, p := range in.params {
+		sc.dth[p] += T
+	}
+}
+
+// revDiagNRange is the fused adjoint step for a full-register diagonal
+// super-op: one traversal per channel pair accumulates the per-basis
+// adjoint products T_j = Σ Re⟨λ_j, −i·ψ_j⟩ into the worker's accumulator
+// and un-applies the conjugate phases. The per-parameter gradients are the
+// sign-table contractions of T, deferred to reduceDiagNGrads so each worker
+// pays them once per pass instead of once per sample block.
+func revDiagNRange(ws *Workspace, in *instr, coeff []float64, lo, hi int, sc bwdScratch) {
+	dim := ws.val.Dim
+	ph := coeff[in.slot : in.slot+2*dim]
+	T := sc.diagT[in.tslot*dim : (in.tslot+1)*dim]
+	ws.forChannelPairs(func(psi, lam *State) {
+		pr, pim := psi.Re, psi.Im
+		lr, lim := lam.Re, lam.Im
+		for smp := lo; smp < hi; smp++ {
+			off := smp * dim
+			for j := 0; j < dim; j++ {
+				a := off + j
+				T[j] += lr[a]*pim[a] - lim[a]*pr[a]
+				cr, ci := ph[2*j], -ph[2*j+1] // conj phase
+				r, i := pr[a], pim[a]
+				pr[a] = cr*r - ci*i
+				pim[a] = cr*i + ci*r
+				r, i = lr[a], lim[a]
+				lr[a] = cr*r - ci*i
+				lim[a] = cr*i + ci*r
+			}
+		}
+	})
+}
+
+// reduceDiagNGrads contracts one worker's fused-diagonal accumulators
+// against the compile-time sign tables: dθ_p += ½·Σ_j s_pj·T_j.
+func reduceDiagNGrads(prog *Program, diagT, dth []float64, dim int) {
+	if prog.ndiag == 0 {
+		return
+	}
+	for i := range prog.ins {
+		in := &prog.ins[i]
+		if in.op != opDiagN {
+			continue
+		}
+		T := diagT[in.tslot*dim : (in.tslot+1)*dim]
+		for t, p := range in.params {
+			row := in.signs[t*dim : (t+1)*dim]
+			var g float64
+			for j, s := range row {
+				g += float64(s) * T[j]
+			}
+			dth[p] += 0.5 * g
 		}
 	}
 }

@@ -75,7 +75,7 @@ func TestEngineParity(t *testing.T) {
 			gztans := [][]float64{randAngles(rng, n, nq), nil, randAngles(rng, n, nq)}
 
 			ref := runEngine(EngineLegacy, circ, n, angles, tans, theta, gz, gztans)
-			for _, kind := range []EngineKind{EngineFused, EngineNaive} {
+			for _, kind := range []EngineKind{EngineFused, EngineFusedV1, EngineNaive} {
 				got := runEngine(kind, circ, n, angles, tans, theta, gz, gztans)
 				check := func(name string, want, have []float64) {
 					if d := maxAbsDiff(want, have); d > tol {
@@ -118,7 +118,7 @@ func TestEngineParityNoTangents(t *testing.T) {
 		return z, dA, dTheta
 	}
 	zL, daL, dtL := run(EngineLegacy)
-	for _, kind := range []EngineKind{EngineFused, EngineNaive} {
+	for _, kind := range []EngineKind{EngineFused, EngineFusedV1, EngineNaive} {
 		z, da, dt := run(kind)
 		for name, pair := range map[string][2][]float64{
 			"z": {zL, z}, "dAngles": {daL, da}, "dTheta": {dtL, dt},
@@ -157,25 +157,27 @@ func TestEngineParityRandomShapes(t *testing.T) {
 		gz := randAngles(rng, n, nq)
 
 		ref := runEngine(EngineLegacy, circ, n, angles, tans, theta, gz, gztans)
-		got := runEngine(EngineFused, circ, n, angles, tans, theta, gz, gztans)
-		if d := maxAbsDiff(ref.z, got.z); d > 1e-10 {
-			t.Fatalf("trial %d (%v nq=%d L=%d n=%d): z diverges by %v", trial, a, nq, layers, n, d)
-		}
-		if d := maxAbsDiff(ref.dAngles, got.dAngles); d > 1e-10 {
-			t.Fatalf("trial %d (%v nq=%d L=%d n=%d): dAngles diverges by %v", trial, a, nq, layers, n, d)
-		}
-		if d := maxAbsDiff(ref.dTheta, got.dTheta); d > 1e-10 {
-			t.Fatalf("trial %d (%v nq=%d L=%d n=%d): dTheta diverges by %v", trial, a, nq, layers, n, d)
-		}
-		for k := 0; k < MaxTangents; k++ {
-			if tans[k] == nil {
-				continue
+		for _, kind := range []EngineKind{EngineFused, EngineFusedV1} {
+			got := runEngine(kind, circ, n, angles, tans, theta, gz, gztans)
+			if d := maxAbsDiff(ref.z, got.z); d > 1e-10 {
+				t.Fatalf("trial %d (%v nq=%d L=%d n=%d %v): z diverges by %v", trial, a, nq, layers, n, kind, d)
 			}
-			if d := maxAbsDiff(ref.ztans[k], got.ztans[k]); d > 1e-10 {
-				t.Fatalf("trial %d: ztans[%d] diverges by %v", trial, k, d)
+			if d := maxAbsDiff(ref.dAngles, got.dAngles); d > 1e-10 {
+				t.Fatalf("trial %d (%v nq=%d L=%d n=%d %v): dAngles diverges by %v", trial, a, nq, layers, n, kind, d)
 			}
-			if d := maxAbsDiff(ref.dTans[k], got.dTans[k]); d > 1e-10 {
-				t.Fatalf("trial %d: dTans[%d] diverges by %v", trial, k, d)
+			if d := maxAbsDiff(ref.dTheta, got.dTheta); d > 1e-10 {
+				t.Fatalf("trial %d (%v nq=%d L=%d n=%d %v): dTheta diverges by %v", trial, a, nq, layers, n, kind, d)
+			}
+			for k := 0; k < MaxTangents; k++ {
+				if tans[k] == nil {
+					continue
+				}
+				if d := maxAbsDiff(ref.ztans[k], got.ztans[k]); d > 1e-10 {
+					t.Fatalf("trial %d %v: ztans[%d] diverges by %v", trial, kind, k, d)
+				}
+				if d := maxAbsDiff(ref.dTans[k], got.dTans[k]); d > 1e-10 {
+					t.Fatalf("trial %d %v: dTans[%d] diverges by %v", trial, kind, k, d)
+				}
 			}
 		}
 	}
@@ -193,7 +195,7 @@ func TestEngineParityNilValueGradient(t *testing.T) {
 	gztans := [][]float64{randAngles(rng, n, nq), nil, nil}
 
 	ref := runEngine(EngineLegacy, circ, n, angles, tans, theta, nil, gztans)
-	for _, kind := range []EngineKind{EngineFused, EngineNaive} {
+	for _, kind := range []EngineKind{EngineFused, EngineFusedV1, EngineNaive} {
 		got := runEngine(kind, circ, n, angles, tans, theta, nil, gztans)
 		if d := maxAbsDiff(ref.dAngles, got.dAngles); d > 1e-10 {
 			t.Errorf("engine=%v: dAngles diverges by %v", kind, d)
@@ -220,31 +222,33 @@ func TestEngineParityForcedParallel(t *testing.T) {
 	gz := randAngles(rng, n, nq)
 	gztans := [][]float64{randAngles(rng, n, nq), randAngles(rng, n, nq), randAngles(rng, n, nq)}
 
-	par.SetMaxWorkers(1)
-	serial := runEngine(EngineFused, circ, n, angles, tans, theta, gz, gztans)
-	for _, workers := range []int{3, 8} {
-		par.SetMaxWorkers(workers)
-		got := runEngine(EngineFused, circ, n, angles, tans, theta, gz, gztans)
-		for name, pair := range map[string][2][]float64{
-			"z": {serial.z, got.z}, "dAngles": {serial.dAngles, got.dAngles},
-			"dTheta": {serial.dTheta, got.dTheta},
-		} {
-			if d := maxAbsDiff(pair[0], pair[1]); d > 1e-12 {
-				t.Errorf("workers=%d: %s diverges from serial by %v", workers, name, d)
+	for _, kind := range []EngineKind{EngineFused, EngineFusedV1} {
+		par.SetMaxWorkers(1)
+		serial := runEngine(kind, circ, n, angles, tans, theta, gz, gztans)
+		for _, workers := range []int{3, 8} {
+			par.SetMaxWorkers(workers)
+			got := runEngine(kind, circ, n, angles, tans, theta, gz, gztans)
+			for name, pair := range map[string][2][]float64{
+				"z": {serial.z, got.z}, "dAngles": {serial.dAngles, got.dAngles},
+				"dTheta": {serial.dTheta, got.dTheta},
+			} {
+				if d := maxAbsDiff(pair[0], pair[1]); d > 1e-12 {
+					t.Errorf("%v workers=%d: %s diverges from serial by %v", kind, workers, name, d)
+				}
 			}
-		}
-		for k := 0; k < MaxTangents; k++ {
-			if d := maxAbsDiff(serial.ztans[k], got.ztans[k]); d > 1e-12 {
-				t.Errorf("workers=%d: ztans[%d] diverges by %v", workers, k, d)
-			}
-			if d := maxAbsDiff(serial.dTans[k], got.dTans[k]); d > 1e-12 {
-				t.Errorf("workers=%d: dTans[%d] diverges by %v", workers, k, d)
+			for k := 0; k < MaxTangents; k++ {
+				if d := maxAbsDiff(serial.ztans[k], got.ztans[k]); d > 1e-12 {
+					t.Errorf("%v workers=%d: ztans[%d] diverges by %v", kind, workers, k, d)
+				}
+				if d := maxAbsDiff(serial.dTans[k], got.dTans[k]); d > 1e-12 {
+					t.Errorf("%v workers=%d: dTans[%d] diverges by %v", kind, workers, k, d)
+				}
 			}
 		}
 	}
 }
 
-// TestProgramFusionShrinksStream pins the compiler's fusion wins: the
+// TestProgramFusionShrinksStream pins the pass-1 (level-1) fusion wins: the
 // Rot-based ansätze collapse each RZ·RY·RZ triple into one U2 instruction,
 // and Cross-Mesh-2-Rotations fuses its RX·RZ pairs.
 func TestProgramFusionShrinksStream(t *testing.T) {
@@ -264,21 +268,66 @@ func TestProgramFusionShrinksStream(t *testing.T) {
 		{NoEntanglement, 7, 4, 7 + 4*7},
 	}
 	for _, c := range cases {
-		prog := CompileProgram(c.ansatz.Build(c.nq, c.l))
+		prog := CompileProgramV1(c.ansatz.Build(c.nq, c.l))
 		if got := prog.NumInstructions(); got != c.want {
 			t.Errorf("%v: %d instructions, want %d", c.ansatz, got, c.want)
 		}
 	}
 	// Fusion must not cross embedding boundaries under re-uploading.
-	reup := CompileProgram(StronglyEntangling.Build(7, 4).WithReupload())
+	reup := CompileProgramV1(StronglyEntangling.Build(7, 4).WithReupload())
 	if got, want := reup.NumInstructions(), 4*(7+14); got != want {
 		t.Errorf("reupload: %d instructions, want %d", got, want)
 	}
 }
 
+// TestProgramV2GoldenCounts pins the level-2 entangler-fusion wins per
+// ansatz so a fusion regression fails loudly. The hand-derived structure at
+// 7 qubits, 4 layers:
+//   - CrossMesh / CrossMesh2Rot: each layer's 42-CRZ mesh collapses into ONE
+//     full-register diagonal: 1 embed + 4·(7 rotations + 1 diagonal) = 33.
+//   - BasicEntangling: each CNOT chain absorbs the neighbouring rotations
+//     into 4×4 blocks: 1 + 4·(6 U4 + 1 lone CNOT) = 29.
+//   - StronglyEntangling: as above, but the growing control-target gap lets
+//     trailing lone CNOTs absorb the next layer's leading rotations
+//     (cross-layer fusion), landing at 26.
+//   - CrossMeshCNOT: the all-pairs CNOT mesh only pair-fuses its first
+//     sweep: 1 + 4·(6 U4 + 36 CNOT) = 169.
+//   - NoEntanglement: only the embedding fuses: 1 + 4·7 = 29.
+//   - Re-uploading StronglyEntangling: embedding barriers stop cross-layer
+//     fusion: 4·(1 embed + 7 blocks) = 32.
+func TestProgramV2GoldenCounts(t *testing.T) {
+	cases := []struct {
+		ansatz AnsatzKind
+		reup   bool
+		want   int
+	}{
+		{CrossMesh, false, 33},
+		{CrossMesh2Rot, false, 33},
+		{CrossMeshCNOT, false, 169},
+		{NoEntanglement, false, 29},
+		{BasicEntangling, false, 29},
+		{StronglyEntangling, false, 26},
+		{StronglyEntangling, true, 32},
+		{CrossMesh, true, 36},
+	}
+	for _, c := range cases {
+		circ := c.ansatz.Build(7, 4)
+		if c.reup {
+			circ = circ.WithReupload()
+		}
+		prog := CompileProgram(circ)
+		if got := prog.NumInstructions(); got != c.want {
+			t.Errorf("%v reupload=%v: %d instructions, want %d", c.ansatz, c.reup, got, c.want)
+		}
+		if prog.Level() != 2 {
+			t.Errorf("%v: CompileProgram level = %d, want 2", c.ansatz, prog.Level())
+		}
+	}
+}
+
 // TestEngineKindRoundTrip covers flag parsing.
 func TestEngineKindRoundTrip(t *testing.T) {
-	for _, k := range []EngineKind{EngineFused, EngineLegacy, EngineNaive} {
+	for _, k := range []EngineKind{EngineFused, EngineFusedV1, EngineLegacy, EngineNaive} {
 		got, err := ParseEngine(k.String())
 		if err != nil || got != k {
 			t.Errorf("round trip %v: got %v, err %v", k, got, err)

@@ -302,6 +302,71 @@ var naiveHooks = applyHooks{
 	},
 }
 
+// instrMatrix expands one compiled non-embedding instruction into its dense
+// 2^nq×2^nq matrix from the filled coefficient slots — the brute-force
+// oracle the compiler-level parity tests use to check that every fusion
+// pass (single-qubit runs, diagonal merges, entangler blocks, full-register
+// diagonals) preserves the circuit's net unitary exactly.
+func (p *Program) instrMatrix(in instr, coeff []float64) cmat {
+	nq := p.circ.NumQubits
+	dim := 1 << nq
+	m := newCmat(dim)
+	switch in.op {
+	case opU2:
+		u := coeff[in.slot : in.slot+8]
+		place1Q(m, in.q, [2][2]complex128{
+			{complex(u[0], u[1]), complex(u[2], u[3])},
+			{complex(u[4], u[5]), complex(u[6], u[7])},
+		})
+	case opDiag:
+		u := coeff[in.slot : in.slot+4]
+		tMask := 1 << in.q
+		for j := 0; j < dim; j++ {
+			if j&tMask == 0 {
+				m.data[j*dim+j] = complex(u[0], u[1])
+			} else {
+				m.data[j*dim+j] = complex(u[2], u[3])
+			}
+		}
+	case opCtrlDiag:
+		u := coeff[in.slot : in.slot+4]
+		cMask, tMask := 1<<in.c, 1<<in.q
+		for j := 0; j < dim; j++ {
+			switch {
+			case j&cMask == 0:
+				m.data[j*dim+j] = 1
+			case j&tMask == 0:
+				m.data[j*dim+j] = complex(u[0], u[1])
+			default:
+				m.data[j*dim+j] = complex(u[2], u[3])
+			}
+		}
+	case opCNOT:
+		return expandAngle(in.gates[0], 0, nq)
+	case opU4:
+		u := coeff[in.slot : in.slot+32]
+		qa, qb := in.q, in.c
+		for col := 0; col < dim; col++ {
+			la := (col >> qa) & 1
+			lb := (col >> qb) & 1
+			lc := la | lb<<1
+			base := col &^ (1<<qa | 1<<qb)
+			for lr := 0; lr < 4; lr++ {
+				row := base | (lr&1)<<qa | (lr>>1)<<qb
+				m.data[row*dim+col] = complex(u[(lr*4+lc)*2], u[(lr*4+lc)*2+1])
+			}
+		}
+	case opDiagN:
+		u := coeff[in.slot : in.slot+2*dim]
+		for j := 0; j < dim; j++ {
+			m.data[j*dim+j] = complex(u[2*j], u[2*j+1])
+		}
+	default:
+		panic("qsim: instrMatrix on embedding instruction")
+	}
+	return m
+}
+
 // MemoryPerPoint reports bytes of statevector storage per collocation point
 // for each simulator architecture, used for the Table 2 "largest grid"
 // comparison: the adjoint simulator keeps O(channels) statevectors, the

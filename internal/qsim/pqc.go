@@ -42,11 +42,17 @@ func (p *PQC) Backward(ws *Workspace, gz []float64, gztans [][]float64, dAngles 
 	p.Eng.engine().Backward(p, ws, gz, gztans, dAngles, dAngleTans, dTheta)
 }
 
-// Program returns the compiled instruction stream for the current circuit,
-// compiling on first use. Not safe for concurrent first calls.
+// Program returns the compiled instruction stream for the current circuit
+// and engine, compiling on first use. EngineFusedV1 compiles at fusion
+// level 1 (the PR-1 compiler); every other engine gets the full level-2
+// entangler fusion. Not safe for concurrent first calls.
 func (p *PQC) Program() *Program {
-	if p.prog == nil || p.prog.circ != p.Circ {
-		p.prog = CompileProgram(p.Circ)
+	level := 2
+	if p.Eng == EngineFusedV1 {
+		level = 1
+	}
+	if p.prog == nil || p.prog.circ != p.Circ || p.prog.level != level {
+		p.prog = CompileProgramLevel(p.Circ, level)
 	}
 	return p.prog
 }
@@ -80,10 +86,14 @@ type Workspace struct {
 	wbuf                     [1 + MaxTangents][]float64
 
 	// Fused-engine scratch: program coefficient slots, the per-parameter
-	// cos/sin table for the backward walk, and per-worker dTheta partials.
-	coeff []float64
-	gch   []float64
-	dthW  [][]float64
+	// cos/sin table for the level-1 backward walk, the fused-block
+	// derivative slots for the level-2 walk, and per-worker partials
+	// (dTheta, fused-block gradient sums, fused-diagonal accumulators).
+	coeff  []float64
+	gch    []float64
+	dcoef  []float64
+	dthW   [][]float64
+	diagTW [][]float64
 }
 
 // NewWorkspace allocates buffers for batches of n samples over nq qubits.

@@ -1,59 +1,102 @@
 package qsim
 
+import (
+	"math"
+	"sort"
+)
+
 // This file is the compile stage of the compile/execute split: it lowers a
 // Circuit plus its RX angle embedding into a flat instruction stream the
-// fused engine can stream sample-block by sample-block. Lowering fuses runs
-// of adjacent single-qubit gates on the same qubit into a single 2×2
-// unitary, collapses all-diagonal runs (RZ chains) into one phase pair, and
-// merges consecutive CRZ gates sharing a control/target pair. Instruction
-// operands live in coefficient slots that are refreshed from theta once per
-// pass — per-gate trigonometry is paid once per program execution, not once
-// per sample.
+// fused engine can stream sample-block by sample-block.
+//
+// Lowering runs up to two fusion passes:
+//
+// Pass 1 (level ≥ 1) fuses runs of adjacent single-qubit gates on the same
+// qubit into a single 2×2 unitary, collapses all-diagonal runs (RZ chains)
+// into one phase pair, and merges consecutive CRZ gates sharing a
+// control/target pair.
+//
+// Pass 2 (level ≥ 2) fuses entangler blocks. Consecutive runs of diagonal
+// instructions — CRZ meshes, whatever their control/target pairs — collapse
+// into one full-register diagonal super-op (opDiagN) whose per-basis phases
+// and per-parameter derivative signs are laid out at compile time. Remaining
+// two-qubit gates (CNOT-conjugated diagonals and adjacent two-qubit runs)
+// greedily absorb the neighbouring single-qubit runs on their qubit pair
+// into fused 4×4 super-ops (opU4). The per-qubit embedding walk is replaced
+// by a single fused embedding instruction (opEmbedAll) so forward and
+// adjoint passes stream one instruction sequence end-to-end.
+//
+// Instruction operands live in coefficient slots that are refreshed from
+// theta once per pass — per-gate trigonometry is paid once per program
+// execution, not once per sample. Backward derivative operands (the dU/dθ
+// matrices of fused unitaries) live in a separate slot array filled only
+// when a gradient pass runs.
 
 // opcode enumerates fused-program instructions.
 type opcode uint8
 
 const (
-	opEmbed    opcode = iota // per-sample RX embedding on qubit Q
+	opEmbed    opcode = iota // per-sample RX embedding on qubit Q (level-1)
+	opEmbedAll               // fused whole-register embedding block (level-2)
 	opU2                     // 2×2 unitary on Q; 8 coefficient floats
 	opDiag                   // diag(p0, p1) on Q; 4 coefficient floats
 	opCNOT                   // CNOT control C, target Q; no coefficients
 	opCtrlDiag               // diag(p0, p1) on Q over control-set C; 4 floats
+	opU4                     // 4×4 unitary on qubit pair (Q=low, C=high); 32 floats
+	opDiagN                  // full-register diagonal; 2·dim floats
 )
 
-// instr is one fused instruction. Slot indexes the program's coefficient
-// array; gates are the source gates the instruction was fused from, kept to
-// refresh the slot when theta changes.
+// instr is one fused instruction. slot indexes the program's forward
+// coefficient array and dslot the backward derivative array; gates are the
+// source gates the instruction was fused from, kept to refresh the slots
+// when theta changes.
 type instr struct {
-	op    opcode
-	q, c  int
-	slot  int
-	gates []Gate
+	op     opcode
+	q, c   int // primary/secondary qubit (meaning depends on op; -1 unused)
+	slot   int
+	dslot  int
+	tslot  int    // opDiagN: index of this instr's gradient accumulator
+	gates  []Gate // source gates in application order
+	params []int  // theta indices of parametrized source gates, in order
+	signs  []int8 // opDiagN: per (param, basis) derivative sign in {-1,0,+1}
 }
 
 // segment mirrors the forward phase structure at per-gate granularity for
-// the adjoint backward walk, which cannot use fused instructions because it
-// needs each parametrized gate's individual derivative and pre-gate state.
+// the level-1 adjoint backward walk, which runs per source gate. Level-2
+// programs drive the backward from the fused instruction stream instead and
+// carry no segments.
 type segment struct {
 	embed bool
 	gates []Gate // nil for embedding segments
 }
 
-// Program is a compiled circuit: the fused forward instruction stream, the
-// per-gate segment list for the backward walk, and the coefficient-slot
-// count. Compilation depends only on circuit structure; coefficients are
-// filled per pass by FillCoeffs.
+// Program is a compiled circuit: the fused instruction stream (driving both
+// the forward and — at level 2 — the adjoint backward), the level-1 per-gate
+// segment list, and the coefficient-slot layout. Compilation depends only on
+// circuit structure; coefficients are filled per pass by FillCoeffs and
+// FillDerivCoeffs.
 type Program struct {
-	circ  *Circuit
-	ins   []instr
-	segs  []segment
-	ncoef int
+	circ   *Circuit
+	level  int
+	ins    []instr
+	segs   []segment // level-1 backward walk only
+	ncoef  int       // forward coefficient floats
+	nderiv int       // backward derivative floats
+	ndiag  int       // number of opDiagN instructions (gradient accumulators)
 }
 
 // CompileProgram lowers circ (and its embedding placement, honouring data
-// re-uploading) into a fused program.
-func CompileProgram(circ *Circuit) *Program {
-	p := &Program{circ: circ}
+// re-uploading) into a fused program with full (level-2) entangler fusion.
+func CompileProgram(circ *Circuit) *Program { return CompileProgramLevel(circ, 2) }
+
+// CompileProgramV1 compiles with only the first fusion pass (single-qubit
+// runs and same-pair diagonal merges) — the PR-1 compiler, kept as an A/B
+// comparator behind EngineFusedV1.
+func CompileProgramV1(circ *Circuit) *Program { return CompileProgramLevel(circ, 1) }
+
+// CompileProgramLevel compiles circ at the given fusion level (1 or 2).
+func CompileProgramLevel(circ *Circuit, level int) *Program {
+	p := &Program{circ: circ, level: level}
 	if circ.Reupload && circ.Layers > 0 {
 		for l := 0; l < circ.Layers; l++ {
 			p.addEmbed()
@@ -63,17 +106,29 @@ func CompileProgram(circ *Circuit) *Program {
 		p.addEmbed()
 		p.addGates(circ.Gates)
 	}
+	if level >= 2 {
+		p.fuseDiagRuns()
+		p.fusePairs()
+	}
+	p.layout()
 	return p
 }
 
-// NumInstructions reports the fused forward stream length (embedding ops
+// Level reports the fusion level the program was compiled at.
+func (p *Program) Level() int { return p.level }
+
+// NumInstructions reports the fused instruction stream length (embedding ops
 // included) — the quantity gate fusion shrinks.
 func (p *Program) NumInstructions() int { return len(p.ins) }
 
-// NumCoeffs reports the coefficient-slot floats a pass must provide.
+// NumCoeffs reports the forward coefficient-slot floats a pass must provide.
 func (p *Program) NumCoeffs() int { return p.ncoef }
 
 func (p *Program) addEmbed() {
+	if p.level >= 2 {
+		p.ins = append(p.ins, instr{op: opEmbedAll, q: -1, c: -1})
+		return
+	}
 	p.segs = append(p.segs, segment{embed: true})
 	for q := 0; q < p.circ.NumQubits; q++ {
 		p.ins = append(p.ins, instr{op: opEmbed, q: q, c: -1})
@@ -84,16 +139,13 @@ func isSingleQubit(g Gate) bool {
 	return g.Kind == RX || g.Kind == RY || g.Kind == RZ
 }
 
-func (p *Program) emit(op opcode, q, c, width int, gates []Gate) {
-	p.ins = append(p.ins, instr{op: op, q: q, c: c, slot: p.ncoef, gates: gates})
-	p.ncoef += width
-}
-
 func (p *Program) addGates(gates []Gate) {
 	if len(gates) == 0 {
 		return
 	}
-	p.segs = append(p.segs, segment{gates: gates})
+	if p.level < 2 {
+		p.segs = append(p.segs, segment{gates: gates})
+	}
 	for i := 0; i < len(gates); {
 		g := gates[i]
 		switch {
@@ -111,21 +163,203 @@ func (p *Program) addGates(gates []Gate) {
 				}
 			}
 			if allDiag {
-				p.emit(opDiag, g.Q, -1, 4, run)
+				p.ins = append(p.ins, instr{op: opDiag, q: g.Q, c: -1, gates: run})
 			} else {
-				p.emit(opU2, g.Q, -1, 8, run)
+				p.ins = append(p.ins, instr{op: opU2, q: g.Q, c: -1, gates: run})
 			}
 			i = j
 		case g.Kind == CNOT:
-			p.ins = append(p.ins, instr{op: opCNOT, q: g.Q, c: g.C})
+			p.ins = append(p.ins, instr{op: opCNOT, q: g.Q, c: g.C, gates: gates[i : i+1]})
 			i++
 		default: // CRZ
 			j := i + 1
 			for j < len(gates) && gates[j].Kind == CRZ && gates[j].Q == g.Q && gates[j].C == g.C {
 				j++
 			}
-			p.emit(opCtrlDiag, g.Q, g.C, 4, gates[i:j])
+			p.ins = append(p.ins, instr{op: opCtrlDiag, q: g.Q, c: g.C, gates: gates[i:j]})
 			i = j
+		}
+	}
+}
+
+// fuseDiagRuns collapses every run of ≥2 consecutive diagonal instructions
+// (RZ chains, CRZ meshes — regardless of control/target pairs, since all
+// diagonal operators commute) into one full-register diagonal super-op.
+func (p *Program) fuseDiagRuns() {
+	isDiag := func(op opcode) bool { return op == opDiag || op == opCtrlDiag }
+	out := p.ins[:0:0]
+	for i := 0; i < len(p.ins); {
+		if !isDiag(p.ins[i].op) {
+			out = append(out, p.ins[i])
+			i++
+			continue
+		}
+		j := i
+		var gates []Gate
+		for j < len(p.ins) && isDiag(p.ins[j].op) {
+			gates = append(gates, p.ins[j].gates...)
+			j++
+		}
+		if j-i >= 2 {
+			out = append(out, instr{op: opDiagN, q: -1, c: -1, gates: gates})
+		} else {
+			out = append(out, p.ins[i])
+		}
+		i = j
+	}
+	p.ins = out
+}
+
+// fusePairs greedily fuses each two-qubit instruction with the neighbouring
+// single-qubit runs on its qubit pair — and with adjacent two-qubit
+// instructions on the same pair — into one 4×4 super-op. A fused block stays
+// open while the stream touches neither of its qubits; any instruction
+// touching exactly one of them closes it. The fused instruction is emitted
+// at the position of the block's last member: every non-member between two
+// members touches neither block qubit (or the block would have closed), so
+// it commutes with the whole block and the move is exact.
+func (p *Program) fusePairs() {
+	nq := p.circ.NumQubits
+	type block struct {
+		qa, qb  int // qa < qb; qa is local bit 0 of the 4-dim subspace
+		members []int
+		open    bool
+	}
+	owner := make([]*block, nq)
+	pend := make([][]int, nq)
+	memberOf := make([]*block, len(p.ins))
+	var blocks []*block
+	closeBlk := func(b *block) {
+		if b == nil || !b.open {
+			return
+		}
+		b.open = false
+		if owner[b.qa] == b {
+			owner[b.qa] = nil
+		}
+		if owner[b.qb] == b {
+			owner[b.qb] = nil
+		}
+	}
+	for idx := range p.ins {
+		in := &p.ins[idx]
+		switch in.op {
+		case opU2, opDiag:
+			q := in.q
+			if b := owner[q]; b != nil {
+				b.members = append(b.members, idx)
+				memberOf[idx] = b
+			} else {
+				pend[q] = append(pend[q], idx)
+			}
+		case opCNOT, opCtrlDiag:
+			a, b := in.q, in.c
+			if blk := owner[a]; blk != nil && blk == owner[b] {
+				blk.members = append(blk.members, idx)
+				memberOf[idx] = blk
+				continue
+			}
+			closeBlk(owner[a])
+			closeBlk(owner[b])
+			nb := &block{qa: min(a, b), qb: max(a, b), open: true}
+			nb.members = append(nb.members, pend[a]...)
+			nb.members = append(nb.members, pend[b]...)
+			sort.Ints(nb.members)
+			nb.members = append(nb.members, idx)
+			pend[a], pend[b] = pend[a][:0], pend[b][:0]
+			for _, m := range nb.members {
+				memberOf[m] = nb
+			}
+			owner[a], owner[b] = nb, nb
+			blocks = append(blocks, nb)
+		default: // opEmbed, opEmbedAll, opDiagN: full-width barriers
+			for q := 0; q < nq; q++ {
+				closeBlk(owner[q])
+				pend[q] = pend[q][:0]
+			}
+		}
+	}
+	// Blocks that absorbed nothing stay in their original single-instr form.
+	for _, b := range blocks {
+		if len(b.members) < 2 {
+			for _, m := range b.members {
+				memberOf[m] = nil
+			}
+		}
+	}
+	out := p.ins[:0:0]
+	for idx := range p.ins {
+		b := memberOf[idx]
+		if b == nil {
+			out = append(out, p.ins[idx])
+			continue
+		}
+		if idx != b.members[len(b.members)-1] {
+			continue
+		}
+		var gates []Gate
+		for _, m := range b.members {
+			gates = append(gates, p.ins[m].gates...)
+		}
+		out = append(out, instr{op: opU4, q: b.qa, c: b.qb, gates: gates})
+	}
+	p.ins = out
+}
+
+// layout assigns coefficient slots, derivative slots, parameter lists and —
+// for full-register diagonals — the compile-time derivative sign tables.
+func (p *Program) layout() {
+	dim := 1 << p.circ.NumQubits
+	for i := range p.ins {
+		in := &p.ins[i]
+		for _, g := range in.gates {
+			if g.P >= 0 {
+				in.params = append(in.params, g.P)
+			}
+		}
+		switch in.op {
+		case opU2:
+			in.slot = p.ncoef
+			p.ncoef += 8
+			in.dslot = p.nderiv
+			p.nderiv += 8 * len(in.params)
+		case opDiag, opCtrlDiag:
+			in.slot = p.ncoef
+			p.ncoef += 4
+		case opU4:
+			in.slot = p.ncoef
+			p.ncoef += 32
+			in.dslot = p.nderiv
+			p.nderiv += 32 * len(in.params)
+		case opDiagN:
+			in.slot = p.ncoef
+			p.ncoef += 2 * dim
+			in.tslot = p.ndiag
+			p.ndiag++
+			in.signs = make([]int8, len(in.params)*dim)
+			pi := 0
+			for _, g := range in.gates {
+				if g.P < 0 {
+					continue
+				}
+				row := in.signs[pi*dim : (pi+1)*dim]
+				tMask := 1 << g.Q
+				cMask := 0
+				if g.Kind == CRZ {
+					cMask = 1 << g.C
+				}
+				for j := 0; j < dim; j++ {
+					if cMask != 0 && j&cMask == 0 {
+						continue
+					}
+					if j&tMask == 0 {
+						row[j] = 1
+					} else {
+						row[j] = -1
+					}
+				}
+				pi++
+			}
 		}
 	}
 }
@@ -133,6 +367,8 @@ func (p *Program) addGates(gates []Gate) {
 // mat2 is a 2×2 complex matrix as interleaved re/im pairs, row-major:
 // [u00r, u00i, u01r, u01i, u10r, u10i, u11r, u11i].
 type mat2 [8]float64
+
+var ident2 = mat2{1, 0, 0, 0, 0, 0, 1, 0}
 
 // gateMat2 returns the 2×2 matrix of a single-qubit rotation gate.
 func gateMat2(g Gate, theta []float64) mat2 {
@@ -146,6 +382,20 @@ func gateMat2(g Gate, theta []float64) mat2 {
 		return mat2{c, -s, 0, 0, 0, 0, c, s}
 	}
 	panic("qsim: gateMat2 on non-single-qubit gate")
+}
+
+// dgateMat2 returns dU/dθ of a single-qubit rotation gate.
+func dgateMat2(g Gate, theta []float64) mat2 {
+	c, s := cosHalf(theta[g.P]), sinHalf(theta[g.P])
+	switch g.Kind {
+	case RX:
+		return mat2{-s / 2, 0, 0, -c / 2, 0, -c / 2, -s / 2, 0}
+	case RY:
+		return mat2{-s / 2, 0, -c / 2, 0, c / 2, 0, -s / 2, 0}
+	case RZ:
+		return mat2{-s / 2, -c / 2, 0, 0, 0, 0, -s / 2, c / 2}
+	}
+	panic("qsim: dgateMat2 on non-single-qubit gate")
 }
 
 // mul2 returns a·b.
@@ -166,10 +416,126 @@ func mul2(a, b mat2) mat2 {
 	return out
 }
 
-// FillCoeffs refreshes the coefficient slots for the given parameters; dst
-// must have at least NumCoeffs elements. For a fused run g1, g2, …, gk (in
-// application order) the slot holds the product U_k·…·U_2·U_1.
+// mat4 is a 4×4 complex matrix as interleaved re/im pairs, row-major; the
+// local basis index of the 4-dim subspace has the pair's low qubit as bit 0.
+type mat4 [32]float64
+
+var ident4 = mat4{
+	1, 0, 0, 0, 0, 0, 0, 0,
+	0, 0, 1, 0, 0, 0, 0, 0,
+	0, 0, 0, 0, 1, 0, 0, 0,
+	0, 0, 0, 0, 0, 0, 1, 0,
+}
+
+// mul4 returns a·b.
+func mul4(a, b mat4) mat4 {
+	var out mat4
+	for r := 0; r < 4; r++ {
+		for c := 0; c < 4; c++ {
+			var re, im float64
+			for k := 0; k < 4; k++ {
+				ar, ai := a[(r*4+k)*2], a[(r*4+k)*2+1]
+				br, bi := b[(k*4+c)*2], b[(k*4+c)*2+1]
+				re += ar*br - ai*bi
+				im += ar*bi + ai*br
+			}
+			out[(r*4+c)*2], out[(r*4+c)*2+1] = re, im
+		}
+	}
+	return out
+}
+
+// embed2in4 lifts a 2×2 matrix acting on local bit pos (0 or 1) into the
+// 4-dim pair subspace.
+func embed2in4(u mat2, pos int) mat4 {
+	var out mat4
+	mask := 1 << pos
+	for r := 0; r < 4; r++ {
+		for c := 0; c < 4; c++ {
+			if r&^mask != c&^mask {
+				continue
+			}
+			rb, cb := (r>>pos)&1, (c>>pos)&1
+			out[(r*4+c)*2] = u[rb*4+cb*2]
+			out[(r*4+c)*2+1] = u[rb*4+cb*2+1]
+		}
+	}
+	return out
+}
+
+// localBit returns the local bit position of qubit q within pair (qa, qb).
+func localBit(q, qa, qb int) int {
+	if q == qa {
+		return 0
+	}
+	if q == qb {
+		return 1
+	}
+	panic("qsim: gate qubit outside fused pair")
+}
+
+// gateMat4 returns the 4×4 matrix of gate g within the pair (qa, qb).
+func gateMat4(g Gate, theta []float64, qa, qb int) mat4 {
+	switch g.Kind {
+	case RX, RY, RZ:
+		return embed2in4(gateMat2(g, theta), localBit(g.Q, qa, qb))
+	case CNOT:
+		pc, pt := localBit(g.C, qa, qb), localBit(g.Q, qa, qb)
+		var m mat4
+		for col := 0; col < 4; col++ {
+			row := col
+			if col&(1<<pc) != 0 {
+				row = col ^ (1 << pt)
+			}
+			m[(row*4+col)*2] = 1
+		}
+		return m
+	case CRZ:
+		c, s := cosHalf(theta[g.P]), sinHalf(theta[g.P])
+		pc, pt := localBit(g.C, qa, qb), localBit(g.Q, qa, qb)
+		var m mat4
+		for j := 0; j < 4; j++ {
+			switch {
+			case j&(1<<pc) == 0:
+				m[(j*4+j)*2] = 1
+			case j&(1<<pt) == 0:
+				m[(j*4+j)*2], m[(j*4+j)*2+1] = c, -s
+			default:
+				m[(j*4+j)*2], m[(j*4+j)*2+1] = c, s
+			}
+		}
+		return m
+	}
+	panic("qsim: gateMat4 on unsupported gate")
+}
+
+// dgateMat4 returns dU/dθ of gate g within the pair (qa, qb).
+func dgateMat4(g Gate, theta []float64, qa, qb int) mat4 {
+	if g.Kind == CRZ {
+		c, s := cosHalf(theta[g.P]), sinHalf(theta[g.P])
+		pc, pt := localBit(g.C, qa, qb), localBit(g.Q, qa, qb)
+		var m mat4
+		for j := 0; j < 4; j++ {
+			if j&(1<<pc) == 0 {
+				continue
+			}
+			if j&(1<<pt) == 0 {
+				m[(j*4+j)*2], m[(j*4+j)*2+1] = -s/2, -c/2
+			} else {
+				m[(j*4+j)*2], m[(j*4+j)*2+1] = -s/2, c/2
+			}
+		}
+		return m
+	}
+	return embed2in4(dgateMat2(g, theta), localBit(g.Q, qa, qb))
+}
+
+// FillCoeffs refreshes the forward coefficient slots for the given
+// parameters; dst must have at least NumCoeffs elements. For a fused run
+// g1, g2, …, gk (in application order) the slot holds the product
+// U_k·…·U_2·U_1.
 func (p *Program) FillCoeffs(theta, dst []float64) {
+	dim := 1 << p.circ.NumQubits
 	for _, in := range p.ins {
 		switch in.op {
 		case opU2:
@@ -189,6 +555,88 @@ func (p *Program) FillCoeffs(theta, dst []float64) {
 			dst[in.slot+1] = -s
 			dst[in.slot+2] = c
 			dst[in.slot+3] = s
+		case opU4:
+			u := gateMat4(in.gates[0], theta, in.q, in.c)
+			for _, g := range in.gates[1:] {
+				u = mul4(gateMat4(g, theta, in.q, in.c), u)
+			}
+			copy(dst[in.slot:in.slot+32], u[:])
+		case opDiagN:
+			// Per-basis half-angle accumulation via the sign table, then one
+			// cos/sin per basis state: phase_j = exp(−i·Σ s_pj·θ_p/2).
+			ph := dst[in.slot : in.slot+2*dim]
+			for j := 0; j < dim; j++ {
+				ph[2*j] = 0
+			}
+			for pi, pidx := range in.params {
+				row := in.signs[pi*dim : (pi+1)*dim]
+				half := theta[pidx] / 2
+				for j := 0; j < dim; j++ {
+					ph[2*j] += float64(row[j]) * half
+				}
+			}
+			for j := 0; j < dim; j++ {
+				a := ph[2*j]
+				ph[2*j] = math.Cos(a)
+				ph[2*j+1] = -math.Sin(a)
+			}
+		}
+	}
+}
+
+// FillDerivCoeffs refreshes the backward derivative slots: for every
+// parametrized source gate i of a fused unitary U = G_k·…·G_1 it stores
+// dU/dθ_i = G_k·…·G_{i+1}·(dG_i/dθ)·G_{i-1}·…·G_1, so the adjoint kernel
+// can take every gradient of a fused block in a single traversal. dst must
+// have at least nderiv elements. Only gradient passes pay this cost.
+func (p *Program) FillDerivCoeffs(theta, dst []float64) {
+	for _, in := range p.ins {
+		if len(in.params) == 0 {
+			continue
+		}
+		switch in.op {
+		case opU2:
+			k := len(in.gates)
+			mats := make([]mat2, k)
+			for i, g := range in.gates {
+				mats[i] = gateMat2(g, theta)
+			}
+			suf := make([]mat2, k)
+			suf[k-1] = ident2
+			for i := k - 2; i >= 0; i-- {
+				suf[i] = mul2(suf[i+1], mats[i+1])
+			}
+			pre := ident2
+			di := 0
+			for i, g := range in.gates {
+				if g.P >= 0 {
+					d := mul2(suf[i], mul2(dgateMat2(g, theta), pre))
+					copy(dst[in.dslot+8*di:in.dslot+8*di+8], d[:])
+					di++
+				}
+				pre = mul2(mats[i], pre)
+			}
+		case opU4:
+			k := len(in.gates)
+			mats := make([]mat4, k)
+			for i, g := range in.gates {
+				mats[i] = gateMat4(g, theta, in.q, in.c)
+			}
+			suf := make([]mat4, k)
+			suf[k-1] = ident4
+			for i := k - 2; i >= 0; i-- {
+				suf[i] = mul4(suf[i+1], mats[i+1])
+			}
+			pre := ident4
+			di := 0
+			for i, g := range in.gates {
+				if g.P >= 0 {
+					d := mul4(suf[i], mul4(dgateMat4(g, theta, in.q, in.c), pre))
+					copy(dst[in.dslot+32*di:in.dslot+32*di+32], d[:])
+					di++
+				}
+				pre = mul4(mats[i], pre)
+			}
 		}
 	}
 }

@@ -228,6 +228,67 @@ func (s *State) applyU2Range(lo, hi, q int, u *[8]float64) {
 	}
 }
 
+// ApplyU4 applies an arbitrary 4×4 unitary on the qubit pair (qa, qb),
+// qa < qb, given row-major as interleaved re/im pairs with qa as bit 0 of
+// the local basis index — the kernel behind fused entangler blocks.
+func (s *State) ApplyU4(qa, qb int, u *[32]float64) {
+	par.ForGrain(s.N, s.gateCost(), func(lo, hi int) {
+		s.applyU4Range(lo, hi, qa, qb, u)
+	})
+}
+
+func (s *State) applyU4Range(lo, hi, qa, qb int, u *[32]float64) {
+	sa, sb := 1<<qa, 1<<qb
+	dim := s.Dim
+	re, im := s.Re, s.Im
+	for smp := lo; smp < hi; smp++ {
+		off := smp * dim
+		for b1 := 0; b1 < dim; b1 += sb << 1 {
+			for b2 := b1; b2 < b1+sb; b2 += sa << 1 {
+				for j := b2; j < b2+sa; j++ {
+					i0 := off + j
+					i1, i2, i3 := i0+sa, i0+sb, i0+sa+sb
+					x0r, x0i := re[i0], im[i0]
+					x1r, x1i := re[i1], im[i1]
+					x2r, x2i := re[i2], im[i2]
+					x3r, x3i := re[i3], im[i3]
+					re[i0] = u[0]*x0r - u[1]*x0i + u[2]*x1r - u[3]*x1i + u[4]*x2r - u[5]*x2i + u[6]*x3r - u[7]*x3i
+					im[i0] = u[0]*x0i + u[1]*x0r + u[2]*x1i + u[3]*x1r + u[4]*x2i + u[5]*x2r + u[6]*x3i + u[7]*x3r
+					re[i1] = u[8]*x0r - u[9]*x0i + u[10]*x1r - u[11]*x1i + u[12]*x2r - u[13]*x2i + u[14]*x3r - u[15]*x3i
+					im[i1] = u[8]*x0i + u[9]*x0r + u[10]*x1i + u[11]*x1r + u[12]*x2i + u[13]*x2r + u[14]*x3i + u[15]*x3r
+					re[i2] = u[16]*x0r - u[17]*x0i + u[18]*x1r - u[19]*x1i + u[20]*x2r - u[21]*x2i + u[22]*x3r - u[23]*x3i
+					im[i2] = u[16]*x0i + u[17]*x0r + u[18]*x1i + u[19]*x1r + u[20]*x2i + u[21]*x2r + u[22]*x3i + u[23]*x3r
+					re[i3] = u[24]*x0r - u[25]*x0i + u[26]*x1r - u[27]*x1i + u[28]*x2r - u[29]*x2i + u[30]*x3r - u[31]*x3i
+					im[i3] = u[24]*x0i + u[25]*x0r + u[26]*x1i + u[27]*x1r + u[28]*x2i + u[29]*x2r + u[30]*x3i + u[31]*x3r
+				}
+			}
+		}
+	}
+}
+
+// ApplyDiagN applies a full-register diagonal with per-basis complex phases
+// ph (interleaved re/im, length 2·Dim) — the kernel behind fused diagonal
+// chains (CRZ meshes).
+func (s *State) ApplyDiagN(ph []float64) {
+	par.ForGrain(s.N, s.gateCost(), func(lo, hi int) {
+		s.applyDiagNRange(lo, hi, ph)
+	})
+}
+
+func (s *State) applyDiagNRange(lo, hi int, ph []float64) {
+	dim := s.Dim
+	re, im := s.Re, s.Im
+	for smp := lo; smp < hi; smp++ {
+		off := smp * dim
+		for j := 0; j < dim; j++ {
+			pr, pi := ph[2*j], ph[2*j+1]
+			r, i := re[off+j], im[off+j]
+			re[off+j] = pr*r - pi*i
+			im[off+j] = pr*i + pi*r
+		}
+	}
+}
+
 // ApplyDiag applies diag(p0, p1) on qubit q with complex phases given as
 // (p0r + i·p0i, p1r + i·p1i): covers RZ(θ) with p0 = e^{−iθ/2},
 // p1 = e^{+iθ/2}, its derivative, and its inverse.
@@ -444,6 +505,58 @@ func axpyRange(dst, src *State, c []float64, lo, hi int) {
 			dst.Re[j] += f * src.Re[j]
 			dst.Im[j] += f * src.Im[j]
 		}
+	}
+}
+
+// applyIXSample applies a·I − i·b·X on qubit q to one sample — the scalar
+// building block of the fused embedding kernels, which walk sample-major so
+// one sample's amplitudes stay register/cache-hot across the whole
+// per-qubit embedding sequence.
+func (s *State) applyIXSample(smp, q int, a, b float64) {
+	stride := 1 << q
+	step := stride << 1
+	dim := s.Dim
+	re, im := s.Re, s.Im
+	off := smp * dim
+	for blk := 0; blk < dim; blk += step {
+		base := off + blk
+		for j := base; j < base+stride; j++ {
+			k := j + stride
+			r0, i0, r1, i1 := re[j], im[j], re[k], im[k]
+			re[j] = a*r0 + b*i1
+			im[j] = a*i0 - b*r1
+			re[k] = b*i0 + a*r1
+			im[k] = -b*r0 + a*i1
+		}
+	}
+}
+
+// copySample copies one sample of src into s.
+func (s *State) copySample(src *State, smp int) {
+	dim := s.Dim
+	copy(s.Re[smp*dim:(smp+1)*dim], src.Re[smp*dim:(smp+1)*dim])
+	copy(s.Im[smp*dim:(smp+1)*dim], src.Im[smp*dim:(smp+1)*dim])
+}
+
+// innerReSample returns Re⟨a|b⟩ for one sample.
+func innerReSample(a, b *State, smp int) float64 {
+	dim := a.Dim
+	var sum float64
+	for j := smp * dim; j < (smp+1)*dim; j++ {
+		sum += a.Re[j]*b.Re[j] + a.Im[j]*b.Im[j]
+	}
+	return sum
+}
+
+// axpySample computes dst += c·src on one sample.
+func axpySample(dst, src *State, c float64, smp int) {
+	if c == 0 {
+		return
+	}
+	dim := dst.Dim
+	for j := smp * dim; j < (smp+1)*dim; j++ {
+		dst.Re[j] += c * src.Re[j]
+		dst.Im[j] += c * src.Im[j]
 	}
 }
 
