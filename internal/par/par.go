@@ -13,14 +13,19 @@ package par
 import (
 	"runtime"
 	"sync"
+	"sync/atomic"
 )
 
 // grain is the minimum number of items a goroutine must receive before the
 // loop is worth splitting. Below this, scheduling overhead dominates.
 const grain = 2048
 
-// maxWorkers bounds concurrency to the number of usable CPUs.
-var maxWorkers = runtime.GOMAXPROCS(0)
+// maxWorkers bounds concurrency to the number of usable CPUs. It is read on
+// every loop entry — possibly from inside pool workers while a benchmark
+// goroutine toggles the bound — so access is atomic.
+var maxWorkers atomic.Int64
+
+func init() { maxWorkers.Store(int64(runtime.GOMAXPROCS(0))) }
 
 // SetMaxWorkers overrides the worker bound (primarily for tests and
 // benchmarks that measure serial baselines). n < 1 resets to GOMAXPROCS.
@@ -28,11 +33,11 @@ func SetMaxWorkers(n int) {
 	if n < 1 {
 		n = runtime.GOMAXPROCS(0)
 	}
-	maxWorkers = n
+	maxWorkers.Store(int64(n))
 }
 
 // MaxWorkers reports the current worker bound.
-func MaxWorkers() int { return maxWorkers }
+func MaxWorkers() int { return int(maxWorkers.Load()) }
 
 // pool is the persistent worker set. The job channel is unbuffered: a send
 // succeeds only when a worker is parked and ready to run the job now, so a
@@ -111,7 +116,7 @@ func ForGrain(n, itemCost int, fn func(start, end int)) {
 	if itemCost < 1 {
 		itemCost = 1
 	}
-	workers := maxWorkers
+	workers := MaxWorkers()
 	if w := n * itemCost / grain; w < workers {
 		workers = w
 	}
@@ -134,7 +139,7 @@ func Run(n int, fn func(worker, lo, hi int)) {
 	if n <= 0 {
 		return
 	}
-	workers := maxWorkers
+	workers := MaxWorkers()
 	if workers > n {
 		workers = n
 	}

@@ -115,6 +115,40 @@ func TestRunNested(t *testing.T) {
 	}
 }
 
+// TestSetMaxWorkersConcurrent hammers the worker bound from one goroutine
+// while parallel regions are in flight on another — the exact interleaving
+// the CI race job sees when benchmarks toggle the bound. Run under -race
+// this pins that the bound is accessed atomically; the coverage invariant
+// (every region still visits its whole range) must hold for every bound the
+// regions observe.
+func TestSetMaxWorkersConcurrent(t *testing.T) {
+	defer SetMaxWorkers(0)
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 500; i++ {
+			SetMaxWorkers(i%4 + 1)
+		}
+	}()
+	for i := 0; i < 200; i++ {
+		var total int64
+		Run(64, func(_, lo, hi int) {
+			atomic.AddInt64(&total, int64(hi-lo))
+		})
+		if total != 64 {
+			t.Fatalf("iteration %d: coverage %d", i, total)
+		}
+		var count int64
+		ForGrain(3*grain, 1, func(lo, hi int) {
+			atomic.AddInt64(&count, int64(hi-lo))
+		})
+		if count != int64(3*grain) {
+			t.Fatalf("iteration %d: grain coverage %d", i, count)
+		}
+	}
+	<-done
+}
+
 func TestSetMaxWorkers(t *testing.T) {
 	defer SetMaxWorkers(0)
 	SetMaxWorkers(1)

@@ -75,7 +75,7 @@ func TestEngineParity(t *testing.T) {
 			gztans := [][]float64{randAngles(rng, n, nq), nil, randAngles(rng, n, nq)}
 
 			ref := runEngine(EngineLegacy, circ, n, angles, tans, theta, gz, gztans)
-			for _, kind := range []EngineKind{EngineFused, EngineFusedV1, EngineNaive} {
+			for _, kind := range []EngineKind{EngineFused, EngineFusedV2, EngineFusedV1, EngineNaive} {
 				got := runEngine(kind, circ, n, angles, tans, theta, gz, gztans)
 				check := func(name string, want, have []float64) {
 					if d := maxAbsDiff(want, have); d > tol {
@@ -118,7 +118,7 @@ func TestEngineParityNoTangents(t *testing.T) {
 		return z, dA, dTheta
 	}
 	zL, daL, dtL := run(EngineLegacy)
-	for _, kind := range []EngineKind{EngineFused, EngineFusedV1, EngineNaive} {
+	for _, kind := range []EngineKind{EngineFused, EngineFusedV2, EngineFusedV1, EngineNaive} {
 		z, da, dt := run(kind)
 		for name, pair := range map[string][2][]float64{
 			"z": {zL, z}, "dAngles": {daL, da}, "dTheta": {dtL, dt},
@@ -157,7 +157,7 @@ func TestEngineParityRandomShapes(t *testing.T) {
 		gz := randAngles(rng, n, nq)
 
 		ref := runEngine(EngineLegacy, circ, n, angles, tans, theta, gz, gztans)
-		for _, kind := range []EngineKind{EngineFused, EngineFusedV1} {
+		for _, kind := range []EngineKind{EngineFused, EngineFusedV2, EngineFusedV1} {
 			got := runEngine(kind, circ, n, angles, tans, theta, gz, gztans)
 			if d := maxAbsDiff(ref.z, got.z); d > 1e-10 {
 				t.Fatalf("trial %d (%v nq=%d L=%d n=%d %v): z diverges by %v", trial, a, nq, layers, n, kind, d)
@@ -195,7 +195,7 @@ func TestEngineParityNilValueGradient(t *testing.T) {
 	gztans := [][]float64{randAngles(rng, n, nq), nil, nil}
 
 	ref := runEngine(EngineLegacy, circ, n, angles, tans, theta, nil, gztans)
-	for _, kind := range []EngineKind{EngineFused, EngineFusedV1, EngineNaive} {
+	for _, kind := range []EngineKind{EngineFused, EngineFusedV2, EngineFusedV1, EngineNaive} {
 		got := runEngine(kind, circ, n, angles, tans, theta, nil, gztans)
 		if d := maxAbsDiff(ref.dAngles, got.dAngles); d > 1e-10 {
 			t.Errorf("engine=%v: dAngles diverges by %v", kind, d)
@@ -222,7 +222,7 @@ func TestEngineParityForcedParallel(t *testing.T) {
 	gz := randAngles(rng, n, nq)
 	gztans := [][]float64{randAngles(rng, n, nq), randAngles(rng, n, nq), randAngles(rng, n, nq)}
 
-	for _, kind := range []EngineKind{EngineFused, EngineFusedV1} {
+	for _, kind := range []EngineKind{EngineFused, EngineFusedV2, EngineFusedV1} {
 		par.SetMaxWorkers(1)
 		serial := runEngine(kind, circ, n, angles, tans, theta, gz, gztans)
 		for _, workers := range []int{3, 8} {
@@ -315,19 +315,70 @@ func TestProgramV2GoldenCounts(t *testing.T) {
 		if c.reup {
 			circ = circ.WithReupload()
 		}
-		prog := CompileProgram(circ)
+		prog := CompileProgramV2(circ)
 		if got := prog.NumInstructions(); got != c.want {
 			t.Errorf("%v reupload=%v: %d instructions, want %d", c.ansatz, c.reup, got, c.want)
 		}
 		if prog.Level() != 2 {
-			t.Errorf("%v: CompileProgram level = %d, want 2", c.ansatz, prog.Level())
+			t.Errorf("%v: CompileProgramV2 level = %d, want 2", c.ansatz, prog.Level())
 		}
+	}
+}
+
+// TestProgramV3GoldenCounts pins the level-3 fusion wins at 7 qubits,
+// 4 layers. Relative to the level-2 stream:
+//   - CrossMesh / CrossMesh2Rot: each layer's 7-rotation wall in front of
+//     the fused diagonal mesh groups into two U2x3 triples + one U2:
+//     1 + 4·(3 + 1 diagonal) = 17 (the ROADMAP target was ≤ 20).
+//   - CrossMeshCNOT: the all-pairs CNOT mesh collapses 169 → 105 — the 147
+//     surviving bare CNOTs become 64 zero-arithmetic basis permutations
+//     (consecutive CNOTs sharing a control, two per opPerm8) plus 16 lone
+//     CNOTs, while the rotation-bearing sweeps stay as 4×4 blocks (the cost
+//     gate keeps them out of dense 8×8 form, which would cost more than the
+//     instructions it absorbs).
+//   - NoEntanglement: the 28 fused rotations group into 9 triples + 1: 11.
+//   - BasicEntangling / StronglyEntangling: cyclic CNOT chains offer only
+//     the occasional cost-justified triple: 29 → 27, 26 → 25.
+//   - Re-uploading variants keep their embedding barriers; Cross-Mesh still
+//     drops 36 → 20.
+func TestProgramV3GoldenCounts(t *testing.T) {
+	cases := []struct {
+		ansatz AnsatzKind
+		reup   bool
+		want   int
+	}{
+		{CrossMesh, false, 17},
+		{CrossMesh2Rot, false, 17},
+		{CrossMeshCNOT, false, 105},
+		{NoEntanglement, false, 11},
+		{BasicEntangling, false, 27},
+		{StronglyEntangling, false, 25},
+		{StronglyEntangling, true, 32},
+		{CrossMesh, true, 20},
+	}
+	for _, c := range cases {
+		circ := c.ansatz.Build(7, 4)
+		if c.reup {
+			circ = circ.WithReupload()
+		}
+		prog := CompileProgram(circ)
+		if got := prog.NumInstructions(); got != c.want {
+			t.Errorf("%v reupload=%v: %d instructions, want %d", c.ansatz, c.reup, got, c.want)
+		}
+		if prog.Level() != 3 {
+			t.Errorf("%v: CompileProgram level = %d, want 3", c.ansatz, prog.Level())
+		}
+	}
+	// The acceptance bar this PR was cut against: Cross-Mesh at 7q/4L must
+	// compile to at most 20 instructions under level 3.
+	if got := CompileProgram(CrossMesh.Build(7, 4)).NumInstructions(); got > 20 {
+		t.Errorf("CrossMesh level-3 instruction count %d exceeds the ≤20 target", got)
 	}
 }
 
 // TestEngineKindRoundTrip covers flag parsing.
 func TestEngineKindRoundTrip(t *testing.T) {
-	for _, k := range []EngineKind{EngineFused, EngineFusedV1, EngineLegacy, EngineNaive} {
+	for _, k := range []EngineKind{EngineFused, EngineFusedV2, EngineFusedV1, EngineLegacy, EngineNaive} {
 		got, err := ParseEngine(k.String())
 		if err != nil || got != k {
 			t.Errorf("round trip %v: got %v, err %v", k, got, err)

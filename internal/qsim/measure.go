@@ -3,6 +3,7 @@ package qsim
 import (
 	"math"
 	"math/rand"
+	"sort"
 )
 
 // EvalZ is the plain (no-gradient) execution path: embedding + ansatz +
@@ -49,22 +50,47 @@ func FinalState(circ *Circuit, angles, theta []float64, n int) *State {
 }
 
 // ParameterShiftGrad computes d⟨Z⟩/dθ_p for every ansatz parameter via the
-// hardware-compatible parameter-shift rule (shift ±π/2, valid for all gates
-// in the set: RX/RY/RZ/CRZ have eigenvalue spectrum ±1/2). The result is
-// indexed [p][i*nq+q]. This is the differentiation method the paper notes
-// would replace backpropagation on real quantum hardware (§2.3).
+// hardware-compatible parameter-shift rule. The result is indexed
+// [p][i*nq+q]. This is the differentiation method the paper notes would
+// replace backpropagation on real quantum hardware (§2.3).
+//
+// Single-qubit rotations have generator spectrum ±1/2 (one frequency), so
+// the two-term ±π/2 rule is exact. A controlled rotation's generator
+// |1⟩⟨1|⊗Z/2 has spectrum {0, ±1/2} — two frequencies {1/2, 1} — for which
+// the two-term rule is NOT valid; CRZ parameters use the exact four-term
+// rule with shifts ±π/2, ±3π/2 and coefficients (√2±1)/(4√2).
 func ParameterShiftGrad(circ *Circuit, angles, theta []float64, n int) [][]float64 {
+	kinds := make([]GateKind, circ.NumParams)
+	for _, g := range circ.Gates {
+		if g.P >= 0 {
+			kinds[g.P] = g.Kind
+		}
+	}
 	grads := make([][]float64, circ.NumParams)
 	shifted := append([]float64(nil), theta...)
 	for p := 0; p < circ.NumParams; p++ {
-		shifted[p] = theta[p] + math.Pi/2
-		zp := EvalZ(circ, angles, shifted, n)
-		shifted[p] = theta[p] - math.Pi/2
-		zm := EvalZ(circ, angles, shifted, n)
-		shifted[p] = theta[p]
-		g := make([]float64, len(zp))
-		for i := range g {
-			g[i] = (zp[i] - zm[i]) / 2
+		evalAt := func(d float64) []float64 {
+			shifted[p] = theta[p] + d
+			z := EvalZ(circ, angles, shifted, n)
+			shifted[p] = theta[p]
+			return z
+		}
+		var g []float64
+		if kinds[p] == CRZ {
+			zp1, zm1 := evalAt(math.Pi/2), evalAt(-math.Pi/2)
+			zp3, zm3 := evalAt(3*math.Pi/2), evalAt(-3*math.Pi/2)
+			cPlus := (math.Sqrt2 + 1) / (4 * math.Sqrt2)
+			cMinus := (math.Sqrt2 - 1) / (4 * math.Sqrt2)
+			g = make([]float64, len(zp1))
+			for i := range g {
+				g[i] = cPlus*(zp1[i]-zm1[i]) - cMinus*(zp3[i]-zm3[i])
+			}
+		} else {
+			zp, zm := evalAt(math.Pi/2), evalAt(-math.Pi/2)
+			g = make([]float64, len(zp))
+			for i := range g {
+				g[i] = (zp[i] - zm[i]) / 2
+			}
 		}
 		grads[p] = g
 	}
@@ -74,29 +100,28 @@ func ParameterShiftGrad(circ *Circuit, angles, theta []float64, n int) [][]float
 // SampleZ estimates per-qubit ⟨Z⟩ from a finite number of measurement shots
 // drawn from the final state's Born distribution — the execution model on
 // real hardware, as opposed to the analytic expectations used throughout
-// the paper's simulator runs.
+// the paper's simulator runs. Each sample builds its cumulative distribution
+// once and draws shots by binary search, so the per-shot cost is O(log dim)
+// rather than the O(dim) linear scan that made large shot counts quadratic
+// in practice.
 func SampleZ(circ *Circuit, angles, theta []float64, n, shots int, rng *rand.Rand) []float64 {
 	st := FinalState(circ, angles, theta, n)
 	nq, dim := st.NQ, st.Dim
 	out := make([]float64, n*nq)
-	probs := make([]float64, dim)
+	cdf := make([]float64, dim)
 	for i := 0; i < n; i++ {
 		off := i * dim
 		var total float64
 		for j := 0; j < dim; j++ {
-			probs[j] = st.Re[off+j]*st.Re[off+j] + st.Im[off+j]*st.Im[off+j]
-			total += probs[j]
+			total += st.Re[off+j]*st.Re[off+j] + st.Im[off+j]*st.Im[off+j]
+			cdf[j] = total
 		}
 		counts := make([]int, dim)
 		for s := 0; s < shots; s++ {
 			r := rng.Float64() * total
-			acc := 0.0
-			k := 0
-			for ; k < dim-1; k++ {
-				acc += probs[k]
-				if r < acc {
-					break
-				}
+			k := sort.Search(dim, func(j int) bool { return cdf[j] > r })
+			if k == dim { // r landed on the rounding tail of the last bin
+				k = dim - 1
 			}
 			counts[k]++
 		}

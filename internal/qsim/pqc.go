@@ -44,12 +44,16 @@ func (p *PQC) Backward(ws *Workspace, gz []float64, gztans [][]float64, dAngles 
 
 // Program returns the compiled instruction stream for the current circuit
 // and engine, compiling on first use. EngineFusedV1 compiles at fusion
-// level 1 (the PR-1 compiler); every other engine gets the full level-2
-// entangler fusion. Not safe for concurrent first calls.
+// level 1 (the PR-1 compiler) and EngineFusedV2 at level 2 (the PR-2
+// compiler); every other engine gets the full level-3 fusion. Not safe for
+// concurrent first calls.
 func (p *PQC) Program() *Program {
-	level := 2
-	if p.Eng == EngineFusedV1 {
+	level := 3
+	switch p.Eng {
+	case EngineFusedV1:
 		level = 1
+	case EngineFusedV2:
+		level = 2
 	}
 	if p.prog == nil || p.prog.circ != p.Circ || p.prog.level != level {
 		p.prog = CompileProgramLevel(p.Circ, level)

@@ -2,6 +2,7 @@ package qsim
 
 import (
 	"math"
+	"math/bits"
 	"sort"
 )
 
@@ -9,7 +10,7 @@ import (
 // Circuit plus its RX angle embedding into a flat instruction stream the
 // fused engine can stream sample-block by sample-block.
 //
-// Lowering runs up to two fusion passes:
+// Lowering runs up to three fusion passes:
 //
 // Pass 1 (level ≥ 1) fuses runs of adjacent single-qubit gates on the same
 // qubit into a single 2×2 unitary, collapses all-diagonal runs (RZ chains)
@@ -25,6 +26,20 @@ import (
 // into fused 4×4 super-ops (opU4). The per-qubit embedding walk is replaced
 // by a single fused embedding instruction (opEmbedAll) so forward and
 // adjoint passes stream one instruction sequence end-to-end.
+//
+// Pass 3 (level ≥ 3) widens both ideas. Diagonal absorption becomes
+// commutation-aware: a fused diagonal group may absorb non-adjacent diagonal
+// instructions by commuting them past intervening blocks with disjoint
+// support (all diagonal operators commute with each other, so only the
+// non-diagonal instructions in between constrain the move). Block fusion
+// grows from qubit pairs to qubit triples: a two-qubit instruction sharing a
+// qubit with an open pair block extends it to a dense 8×8 three-qubit
+// super-op (opU8), collapsing the all-pairs CNOT sweeps that pair fusion
+// leaves as bare instructions. Finally, leftover runs of single-qubit
+// instructions on distinct qubits are grouped three at a time into a
+// Kronecker-structured triple (opU2x3) that applies all three 2×2 factors in
+// one pass over each 8-amplitude group — same arithmetic as three separate
+// applications, one third of the memory passes and dispatches.
 //
 // Instruction operands live in coefficient slots that are refreshed from
 // theta once per pass — per-gate trigonometry is paid once per program
@@ -44,6 +59,9 @@ const (
 	opCtrlDiag               // diag(p0, p1) on Q over control-set C; 4 floats
 	opU4                     // 4×4 unitary on qubit pair (Q=low, C=high); 32 floats
 	opDiagN                  // full-register diagonal; 2·dim floats
+	opU8                     // 8×8 unitary on triple (Q<C<Q2); 128 floats (level-3)
+	opU2x3                   // three independent 2×2 factors on (Q, C, Q2); 24 floats
+	opPerm8                  // compile-time basis permutation on (Q, C, Q2); no floats
 )
 
 // instr is one fused instruction. slot indexes the program's forward
@@ -53,12 +71,22 @@ const (
 type instr struct {
 	op     opcode
 	q, c   int // primary/secondary qubit (meaning depends on op; -1 unused)
+	q2     int // third qubit of three-qubit ops (q < c < q2); 0 otherwise
 	slot   int
 	dslot  int
-	tslot  int    // opDiagN: index of this instr's gradient accumulator
-	gates  []Gate // source gates in application order
-	params []int  // theta indices of parametrized source gates, in order
-	signs  []int8 // opDiagN: per (param, basis) derivative sign in {-1,0,+1}
+	tslot  int      // opDiagN: index of this instr's gradient accumulator
+	gates  []Gate   // source gates in application order
+	params []int    // theta indices of parametrized source gates, in order
+	signs  []int8   // opDiagN: per (param, basis) derivative sign in {-1,0,+1}
+	perm   [8]uint8 // opPerm8: local basis map, new[perm[j]] = old[j]
+	// opPerm8: the permutation's non-trivial cycles and their inverses, so
+	// the kernels rotate only the amplitudes that actually move.
+	cycles, invCycles [][]uint8
+	// opU2x3: every factor is a single parametrized rotation, so the
+	// adjoint can read each gradient off the recovered states through the
+	// factor's logarithmic derivative (dU/dθ = U·dlogU) instead of
+	// accumulating 2×2 adjoint outer products.
+	logDeriv bool
 }
 
 // segment mirrors the forward phase structure at per-gate granularity for
@@ -86,15 +114,22 @@ type Program struct {
 }
 
 // CompileProgram lowers circ (and its embedding placement, honouring data
-// re-uploading) into a fused program with full (level-2) entangler fusion.
-func CompileProgram(circ *Circuit) *Program { return CompileProgramLevel(circ, 2) }
+// re-uploading) into a fused program with full (level-3) fusion:
+// commutation-aware diagonal absorption, three-qubit entangler super-ops,
+// and grouped single-qubit triples.
+func CompileProgram(circ *Circuit) *Program { return CompileProgramLevel(circ, 3) }
+
+// CompileProgramV2 compiles with the pass-1 and pass-2 fusions only
+// (consecutive diagonal runs, 4×4 entangler blocks) — the PR-2 compiler,
+// kept as an A/B comparator behind EngineFusedV2.
+func CompileProgramV2(circ *Circuit) *Program { return CompileProgramLevel(circ, 2) }
 
 // CompileProgramV1 compiles with only the first fusion pass (single-qubit
 // runs and same-pair diagonal merges) — the PR-1 compiler, kept as an A/B
 // comparator behind EngineFusedV1.
 func CompileProgramV1(circ *Circuit) *Program { return CompileProgramLevel(circ, 1) }
 
-// CompileProgramLevel compiles circ at the given fusion level (1 or 2).
+// CompileProgramLevel compiles circ at the given fusion level (1, 2 or 3).
 func CompileProgramLevel(circ *Circuit, level int) *Program {
 	p := &Program{circ: circ, level: level}
 	if circ.Reupload && circ.Layers > 0 {
@@ -106,9 +141,14 @@ func CompileProgramLevel(circ *Circuit, level int) *Program {
 		p.addEmbed()
 		p.addGates(circ.Gates)
 	}
-	if level >= 2 {
+	switch {
+	case level >= 3:
+		p.fuseDiagGroups()
+		p.fuseBlocks(3)
+		p.fuseSingleTriples()
+	case level == 2:
 		p.fuseDiagRuns()
-		p.fusePairs()
+		p.fuseBlocks(2)
 	}
 	p.layout()
 	return p
@@ -210,20 +250,141 @@ func (p *Program) fuseDiagRuns() {
 	p.ins = out
 }
 
-// fusePairs greedily fuses each two-qubit instruction with the neighbouring
-// single-qubit runs on its qubit pair — and with adjacent two-qubit
-// instructions on the same pair — into one 4×4 super-op. A fused block stays
-// open while the stream touches neither of its qubits; any instruction
-// touching exactly one of them closes it. The fused instruction is emitted
-// at the position of the block's last member: every non-member between two
-// members touches neither block qubit (or the block would have closed), so
-// it commutes with the whole block and the move is exact.
-func (p *Program) fusePairs() {
+// fuseDiagGroups is the commutation-aware generalization of fuseDiagRuns
+// (level ≥ 3): a group of diagonal instructions may absorb NON-adjacent
+// members by commuting them backward past intervening blocks whose support
+// is disjoint from the member being moved. Diagonal operators all commute
+// with each other, so a diagonal instruction joins a group exactly when its
+// support avoids the union of the supports of every non-diagonal instruction
+// seen since the group opened (the group's blocked mask) — that guarantees
+// it commutes past each obstacle individually and the move is exact. Groups
+// of ≥ 2 members collapse into one full-register diagonal super-op emitted
+// at the first member's position; singleton groups stay in place (and remain
+// available to entangler-block fusion).
+func (p *Program) fuseDiagGroups() {
+	type group struct {
+		members []int
+		blocked int // union support mask of non-diagonal instrs since open
+	}
+	var groups, open []*group
+	support := func(in *instr) int {
+		m := 1 << in.q
+		if in.c >= 0 {
+			m |= 1 << in.c
+		}
+		return m
+	}
+	for idx := range p.ins {
+		in := &p.ins[idx]
+		switch in.op {
+		case opDiag, opCtrlDiag:
+			s := support(in)
+			joined := false
+			for _, g := range open {
+				if g.blocked&s == 0 {
+					g.members = append(g.members, idx)
+					joined = true
+					break
+				}
+			}
+			if !joined {
+				g := &group{members: []int{idx}}
+				open = append(open, g)
+				groups = append(groups, g)
+			}
+		case opEmbed, opEmbedAll: // embedding barriers close every group
+			open = open[:0]
+		default:
+			s := support(in)
+			for _, g := range open {
+				g.blocked |= s
+			}
+		}
+	}
+	drop := make([]bool, len(p.ins))
+	fused := make(map[int]instr)
+	for _, g := range groups {
+		if len(g.members) < 2 {
+			continue
+		}
+		var gates []Gate
+		for _, m := range g.members {
+			gates = append(gates, p.ins[m].gates...)
+		}
+		fused[g.members[0]] = instr{op: opDiagN, q: -1, c: -1, gates: gates}
+		for _, m := range g.members[1:] {
+			drop[m] = true
+		}
+	}
+	out := p.ins[:0:0]
+	for idx := range p.ins {
+		if drop[idx] {
+			continue
+		}
+		if in, ok := fused[idx]; ok {
+			out = append(out, in)
+			continue
+		}
+		out = append(out, p.ins[idx])
+	}
+	p.ins = out
+}
+
+// instrCost is a rough per-amplitude execution-cost model (complex-multiply
+// units) used to decide whether collapsing a three-qubit block into a dense
+// 8×8 super-op pays: the dense forward costs 8 units per amplitude, so a
+// block is only worth densifying when the instructions it replaces cost at
+// least as much. CNOTs count 1 (a pure memory pass), diagonals 1, generic
+// 2×2 unitaries 2.
+func instrCost(op opcode) int {
+	switch op {
+	case opU2:
+		return 2
+	default: // opDiag, opCtrlDiag, opCNOT
+		return 1
+	}
+}
+
+// u8FuseCost is the minimum summed instrCost a mixed three-qubit block must
+// replace before it is densified into an opU8. Below it, the dense 8×8
+// forward (8 units/amp) and its K-outer-product adjoint would cost more
+// than the instructions it absorbs, so the pass leaves the level-2 pair
+// fusion in place instead. Pure-CNOT blocks are exempt: they compile to a
+// zero-arithmetic basis permutation (opPerm8), which is cheaper than the
+// swap passes it replaces at any size.
+const u8FuseCost = 10
+
+// fuseBlocks greedily fuses each two-qubit instruction with the neighbouring
+// single-qubit runs on its qubits — and with adjacent two-qubit instructions
+// sharing its qubits — into one super-op over at most maxQ qubits. With
+// maxQ = 2 this is exactly the level-2 pair fusion (opU4). With maxQ = 3 a
+// two-qubit instruction that shares one qubit with an open pair block may
+// extend the block to a qubit triple, which is what collapses all-pairs
+// CNOT meshes: consecutive CNOTs sharing a control land in one three-qubit
+// block. Growth is gated by a cost model: CNOT-only blocks always grow
+// (they emit as a compile-time basis permutation, opPerm8, one pass and no
+// arithmetic), while mixed blocks grow only when the instructions they
+// absorb cost at least as much as the dense 8×8 super-op (opU8) that
+// replaces them.
+//
+// A fused block stays open while the stream touches none of its qubits; any
+// instruction touching some but not all of the qubits it needs closes it.
+// The fused instruction is emitted at the position of the block's last
+// member. The move is exact: when a member is placed (joining, opening, or
+// absorbed from a pending list or a grow), every non-member instruction
+// between it and the emission point is known to touch none of that member's
+// qubits — instructions touching an open block's qubits either join it or
+// close it, and pending single-qubit instructions are absorbed or discarded
+// the moment anything else touches their qubit — so each member commutes
+// past the instructions it skips.
+func (p *Program) fuseBlocks(maxQ int) {
 	nq := p.circ.NumQubits
 	type block struct {
-		qa, qb  int // qa < qb; qa is local bit 0 of the 4-dim subspace
-		members []int
-		open    bool
+		mask     int // qubit set; local bit order follows ascending qubit index
+		members  []int
+		cost     int  // summed instrCost of the members
+		cnotOnly bool // every member is a bare CNOT
+		open     bool
 	}
 	owner := make([]*block, nq)
 	pend := make([][]int, nq)
@@ -234,43 +395,104 @@ func (p *Program) fusePairs() {
 			return
 		}
 		b.open = false
-		if owner[b.qa] == b {
-			owner[b.qa] = nil
-		}
-		if owner[b.qb] == b {
-			owner[b.qb] = nil
+		for q := 0; q < nq; q++ {
+			if owner[q] == b {
+				owner[q] = nil
+			}
 		}
 	}
+	// absorb attaches qubit q (and its pending single-qubit instructions)
+	// to block b.
+	absorb := func(b *block, q int) {
+		b.mask |= 1 << q
+		for _, m := range pend[q] {
+			b.members = append(b.members, m)
+			b.cost += instrCost(p.ins[m].op)
+			b.cnotOnly = false
+			memberOf[m] = b
+		}
+		pend[q] = pend[q][:0]
+		owner[q] = b
+	}
+	addMember := func(b *block, idx int, op opcode) {
+		b.members = append(b.members, idx)
+		b.cost += instrCost(op)
+		if op != opCNOT {
+			b.cnotOnly = false
+		}
+		memberOf[idx] = b
+	}
+	pendCost := func(q int) int {
+		c := 0
+		for _, m := range pend[q] {
+			c += instrCost(p.ins[m].op)
+		}
+		return c
+	}
+	triple := func(b *block) bool { return b != nil && bits.OnesCount(uint(b.mask)) >= 3 }
 	for idx := range p.ins {
 		in := &p.ins[idx]
 		switch in.op {
 		case opU2, opDiag:
 			q := in.q
-			if b := owner[q]; b != nil {
-				b.members = append(b.members, idx)
-				memberOf[idx] = b
+			b := owner[q]
+			// A single-qubit instruction would turn a pure-CNOT triple into
+			// a dense 8×8 block; close the cheap permutation instead.
+			if b != nil && b.cnotOnly && triple(b) {
+				closeBlk(b)
+				b = nil
+			}
+			if b != nil {
+				addMember(b, idx, in.op)
 			} else {
 				pend[q] = append(pend[q], idx)
 			}
 		case opCNOT, opCtrlDiag:
 			a, b := in.q, in.c
-			if blk := owner[a]; blk != nil && blk == owner[b] {
-				blk.members = append(blk.members, idx)
-				memberOf[idx] = blk
+			ba, bb := owner[a], owner[b]
+			if ba != nil && ba == bb {
+				// Keep pure-CNOT triples pure: a controlled diagonal joining
+				// one would force densification, so it closes the block and
+				// starts a fresh pair instead.
+				if !(ba.cnotOnly && triple(ba) && in.op != opCNOT) {
+					addMember(ba, idx, in.op)
+					continue
+				}
+				closeBlk(ba)
+				ba, bb = nil, nil
+			}
+			// Grow an open block by the unowned endpoint when the result
+			// still fits in maxQ qubits (a no-op for maxQ = 2) AND the grown
+			// block is worth emitting: as a zero-arithmetic permutation
+			// (everything involved is a bare CNOT) or as a dense 8×8 block
+			// replacing at least u8FuseCost of standalone work.
+			grow := func(blk *block, other int) bool {
+				if blk == nil || bits.OnesCount(uint(blk.mask))+1 > maxQ {
+					return false
+				}
+				if blk.cnotOnly && in.op == opCNOT && len(pend[other]) == 0 {
+					return true
+				}
+				return blk.cost+pendCost(other)+instrCost(in.op) >= u8FuseCost
+			}
+			if bb == nil && grow(ba, b) {
+				absorb(ba, b)
+				addMember(ba, idx, in.op)
 				continue
 			}
-			closeBlk(owner[a])
-			closeBlk(owner[b])
-			nb := &block{qa: min(a, b), qb: max(a, b), open: true}
-			nb.members = append(nb.members, pend[a]...)
-			nb.members = append(nb.members, pend[b]...)
-			sort.Ints(nb.members)
-			nb.members = append(nb.members, idx)
-			pend[a], pend[b] = pend[a][:0], pend[b][:0]
-			for _, m := range nb.members {
-				memberOf[m] = nb
+			if ba == nil && grow(bb, a) {
+				absorb(bb, a)
+				addMember(bb, idx, in.op)
+				continue
 			}
-			owner[a], owner[b] = nb, nb
+			closeBlk(ba)
+			closeBlk(bb)
+			nb := &block{open: true, cnotOnly: in.op == opCNOT}
+			absorb(nb, a)
+			absorb(nb, b)
+			nb.members = append(nb.members, idx)
+			nb.cost += instrCost(in.op)
+			memberOf[idx] = nb
 			blocks = append(blocks, nb)
 		default: // opEmbed, opEmbedAll, opDiagN: full-width barriers
 			for q := 0; q < nq; q++ {
@@ -279,13 +501,18 @@ func (p *Program) fusePairs() {
 			}
 		}
 	}
-	// Blocks that absorbed nothing stay in their original single-instr form.
+	// Blocks that absorbed nothing stay in their original single-instr form,
+	// as do CNOT-only pair blocks at level 3: a dense 4×4 costs more than
+	// the swap passes it would replace, and the permutation path needs a
+	// third qubit to pay off.
 	for _, b := range blocks {
-		if len(b.members) < 2 {
+		if len(b.members) < 2 || (maxQ > 2 && b.cnotOnly && !triple(b)) {
 			for _, m := range b.members {
 				memberOf[m] = nil
 			}
+			b.members = b.members[:0]
 		}
+		sort.Ints(b.members)
 	}
 	out := p.ins[:0:0]
 	for idx := range p.ins {
@@ -301,8 +528,131 @@ func (p *Program) fusePairs() {
 		for _, m := range b.members {
 			gates = append(gates, p.ins[m].gates...)
 		}
-		out = append(out, instr{op: opU4, q: b.qa, c: b.qb, gates: gates})
+		qs := maskQubits(b.mask)
+		switch {
+		case len(qs) == 2:
+			out = append(out, instr{op: opU4, q: qs[0], c: qs[1], gates: gates})
+		case b.cnotOnly:
+			in := instr{
+				op: opPerm8, q: qs[0], c: qs[1], q2: qs[2], gates: gates,
+				perm: cnotPerm8(gates, qs[0], qs[1], qs[2]),
+			}
+			in.cycles, in.invCycles = permCycles(in.perm)
+			out = append(out, in)
+		default:
+			out = append(out, instr{op: opU8, q: qs[0], c: qs[1], q2: qs[2], gates: gates})
+		}
 	}
+	p.ins = out
+}
+
+// cnotPerm8 composes a CNOT sequence on the triple (qa, qb, qc) into one
+// local basis permutation P with new[P[j]] = old[j].
+func cnotPerm8(gates []Gate, qa, qb, qc int) [8]uint8 {
+	var perm [8]uint8
+	for j := range perm {
+		perm[j] = uint8(j)
+	}
+	for _, g := range gates {
+		pc, pt := localBit3(g.C, qa, qb, qc), localBit3(g.Q, qa, qb, qc)
+		for j := range perm {
+			if perm[j]&(1<<pc) != 0 {
+				perm[j] ^= 1 << pt
+			}
+		}
+	}
+	return perm
+}
+
+// permCycles decomposes a local permutation into its non-trivial cycles
+// (each cycle c satisfies perm[c[i]] = c[(i+1) mod len]) and the reversed
+// cycles of the inverse permutation. Fixed points are omitted, so the
+// execution kernels never touch amplitudes the block leaves in place.
+func permCycles(perm [8]uint8) (cycles, inv [][]uint8) {
+	var seen [8]bool
+	for s := 0; s < 8; s++ {
+		if seen[s] || int(perm[s]) == s {
+			continue
+		}
+		var cyc []uint8
+		for j := uint8(s); !seen[j]; j = perm[j] {
+			seen[j] = true
+			cyc = append(cyc, j)
+		}
+		cycles = append(cycles, cyc)
+		rev := make([]uint8, len(cyc))
+		for i, v := range cyc {
+			rev[len(cyc)-1-i] = v
+		}
+		inv = append(inv, rev)
+	}
+	return cycles, inv
+}
+
+// maskQubits lists the set bits of a qubit mask in ascending order.
+func maskQubits(mask int) []int {
+	var qs []int
+	for q := 0; mask != 0; q++ {
+		if mask&1 != 0 {
+			qs = append(qs, q)
+		}
+		mask >>= 1
+	}
+	return qs
+}
+
+// fuseSingleTriples groups consecutive surviving single-qubit instructions
+// on three distinct qubits into one Kronecker-structured triple (opU2x3):
+// the executor applies all three 2×2 factors during a single pass over each
+// 8-amplitude group, trading nothing arithmetically (the factors act on
+// disjoint qubits) for a 3× reduction in memory passes and dispatches. This
+// is what collapses rotation layers that pair/triple entangler fusion cannot
+// touch — e.g. Cross-Mesh's per-layer RX wall in front of the fused
+// diagonal mesh. Runs shorter than three stay as-is.
+func (p *Program) fuseSingleTriples() {
+	out := p.ins[:0:0]
+	var run []int // pending single-qubit instr indices on distinct qubits
+	flush := func() {
+		for _, m := range run {
+			out = append(out, p.ins[m])
+		}
+		run = run[:0]
+	}
+	emit := func() {
+		qs := []int{p.ins[run[0]].q, p.ins[run[1]].q, p.ins[run[2]].q}
+		sort.Ints(qs)
+		var gates []Gate
+		logDeriv := true
+		for _, m := range run {
+			gates = append(gates, p.ins[m].gates...)
+			if g := p.ins[m].gates; len(g) != 1 || g[0].P < 0 || !isSingleQubit(g[0]) {
+				logDeriv = false
+			}
+		}
+		out = append(out, instr{
+			op: opU2x3, q: qs[0], c: qs[1], q2: qs[2], gates: gates, logDeriv: logDeriv,
+		})
+		run = run[:0]
+	}
+	for idx := range p.ins {
+		in := &p.ins[idx]
+		if in.op != opU2 && in.op != opDiag {
+			flush()
+			out = append(out, p.ins[idx])
+			continue
+		}
+		for _, m := range run {
+			if p.ins[m].q == in.q {
+				flush() // same-qubit clash: close the run, start a new one
+				break
+			}
+		}
+		run = append(run, idx)
+		if len(run) == 3 {
+			emit()
+		}
+	}
+	flush()
 	p.ins = out
 }
 
@@ -331,6 +681,22 @@ func (p *Program) layout() {
 			p.ncoef += 32
 			in.dslot = p.nderiv
 			p.nderiv += 32 * len(in.params)
+		case opU8:
+			in.slot = p.ncoef
+			p.ncoef += 128
+			in.dslot = p.nderiv
+			p.nderiv += 128 * len(in.params)
+		case opU2x3:
+			// Three 2×2 factors in ascending-qubit order; each parameter's
+			// derivative is the 2×2 derivative of its own factor. The
+			// log-derivative adjoint reads gradients off the recovered
+			// states instead, so those triples need no derivative slots.
+			in.slot = p.ncoef
+			p.ncoef += 24
+			if !in.logDeriv {
+				in.dslot = p.nderiv
+				p.nderiv += 8 * len(in.params)
+			}
 		case opDiagN:
 			in.slot = p.ncoef
 			p.ncoef += 2 * dim
@@ -474,6 +840,124 @@ func localBit(q, qa, qb int) int {
 	panic("qsim: gate qubit outside fused pair")
 }
 
+// mat8 is an 8×8 complex matrix as interleaved re/im pairs, row-major; the
+// local basis index has the triple's lowest qubit as bit 0.
+type mat8 [128]float64
+
+var ident8 = func() mat8 {
+	var m mat8
+	for i := 0; i < 8; i++ {
+		m[(i*8+i)*2] = 1
+	}
+	return m
+}()
+
+// mul8 returns a·b.
+func mul8(a, b mat8) mat8 {
+	var out mat8
+	for r := 0; r < 8; r++ {
+		for c := 0; c < 8; c++ {
+			var re, im float64
+			for k := 0; k < 8; k++ {
+				ar, ai := a[(r*8+k)*2], a[(r*8+k)*2+1]
+				br, bi := b[(k*8+c)*2], b[(k*8+c)*2+1]
+				re += ar*br - ai*bi
+				im += ar*bi + ai*br
+			}
+			out[(r*8+c)*2], out[(r*8+c)*2+1] = re, im
+		}
+	}
+	return out
+}
+
+// embed2in8 lifts a 2×2 matrix acting on local bit pos (0, 1 or 2) into the
+// 8-dim triple subspace.
+func embed2in8(u mat2, pos int) mat8 {
+	var out mat8
+	mask := 1 << pos
+	for r := 0; r < 8; r++ {
+		for c := 0; c < 8; c++ {
+			if r&^mask != c&^mask {
+				continue
+			}
+			rb, cb := (r>>pos)&1, (c>>pos)&1
+			out[(r*8+c)*2] = u[rb*4+cb*2]
+			out[(r*8+c)*2+1] = u[rb*4+cb*2+1]
+		}
+	}
+	return out
+}
+
+// localBit3 returns the local bit position of qubit q within the triple
+// (qa, qb, qc), qa < qb < qc.
+func localBit3(q, qa, qb, qc int) int {
+	switch q {
+	case qa:
+		return 0
+	case qb:
+		return 1
+	case qc:
+		return 2
+	}
+	panic("qsim: gate qubit outside fused triple")
+}
+
+// gateMat8 returns the 8×8 matrix of gate g within the triple (qa, qb, qc).
+func gateMat8(g Gate, theta []float64, qa, qb, qc int) mat8 {
+	switch g.Kind {
+	case RX, RY, RZ:
+		return embed2in8(gateMat2(g, theta), localBit3(g.Q, qa, qb, qc))
+	case CNOT:
+		pc, pt := localBit3(g.C, qa, qb, qc), localBit3(g.Q, qa, qb, qc)
+		var m mat8
+		for col := 0; col < 8; col++ {
+			row := col
+			if col&(1<<pc) != 0 {
+				row = col ^ (1 << pt)
+			}
+			m[(row*8+col)*2] = 1
+		}
+		return m
+	case CRZ:
+		c, s := cosHalf(theta[g.P]), sinHalf(theta[g.P])
+		pc, pt := localBit3(g.C, qa, qb, qc), localBit3(g.Q, qa, qb, qc)
+		var m mat8
+		for j := 0; j < 8; j++ {
+			switch {
+			case j&(1<<pc) == 0:
+				m[(j*8+j)*2] = 1
+			case j&(1<<pt) == 0:
+				m[(j*8+j)*2], m[(j*8+j)*2+1] = c, -s
+			default:
+				m[(j*8+j)*2], m[(j*8+j)*2+1] = c, s
+			}
+		}
+		return m
+	}
+	panic("qsim: gateMat8 on unsupported gate")
+}
+
+// dgateMat8 returns dU/dθ of gate g within the triple (qa, qb, qc).
+func dgateMat8(g Gate, theta []float64, qa, qb, qc int) mat8 {
+	if g.Kind == CRZ {
+		c, s := cosHalf(theta[g.P]), sinHalf(theta[g.P])
+		pc, pt := localBit3(g.C, qa, qb, qc), localBit3(g.Q, qa, qb, qc)
+		var m mat8
+		for j := 0; j < 8; j++ {
+			if j&(1<<pc) == 0 {
+				continue
+			}
+			if j&(1<<pt) == 0 {
+				m[(j*8+j)*2], m[(j*8+j)*2+1] = -s/2, -c/2
+			} else {
+				m[(j*8+j)*2], m[(j*8+j)*2+1] = -s/2, c/2
+			}
+		}
+		return m
+	}
+	return embed2in8(dgateMat2(g, theta), localBit3(g.Q, qa, qb, qc))
+}
+
 // gateMat4 returns the 4×4 matrix of gate g within the pair (qa, qb).
 func gateMat4(g Gate, theta []float64, qa, qb int) mat4 {
 	switch g.Kind {
@@ -561,6 +1045,25 @@ func (p *Program) FillCoeffs(theta, dst []float64) {
 				u = mul4(gateMat4(g, theta, in.q, in.c), u)
 			}
 			copy(dst[in.slot:in.slot+32], u[:])
+		case opU8:
+			u := gateMat8(in.gates[0], theta, in.q, in.c, in.q2)
+			for _, g := range in.gates[1:] {
+				u = mul8(gateMat8(g, theta, in.q, in.c, in.q2), u)
+			}
+			copy(dst[in.slot:in.slot+128], u[:])
+		case opU2x3:
+			// Three independent factors: each is the product of the fused
+			// run's gates on its own qubit (the factors commute, so splitting
+			// the stream-ordered gate list per qubit is exact).
+			for f, q := range [3]int{in.q, in.c, in.q2} {
+				u := ident2
+				for _, g := range in.gates {
+					if g.Q == q {
+						u = mul2(gateMat2(g, theta), u)
+					}
+				}
+				copy(dst[in.slot+8*f:in.slot+8*f+8], u[:])
+			}
 		case opDiagN:
 			// Per-basis half-angle accumulation via the sign table, then one
 			// cos/sin per basis state: phase_j = exp(−i·Σ s_pj·θ_p/2).
@@ -636,6 +1139,71 @@ func (p *Program) FillDerivCoeffs(theta, dst []float64) {
 					di++
 				}
 				pre = mul4(mats[i], pre)
+			}
+		case opU8:
+			k := len(in.gates)
+			mats := make([]mat8, k)
+			for i, g := range in.gates {
+				mats[i] = gateMat8(g, theta, in.q, in.c, in.q2)
+			}
+			suf := make([]mat8, k)
+			suf[k-1] = ident8
+			for i := k - 2; i >= 0; i-- {
+				suf[i] = mul8(suf[i+1], mats[i+1])
+			}
+			pre := ident8
+			di := 0
+			for i, g := range in.gates {
+				if g.P >= 0 {
+					d := mul8(suf[i], mul8(dgateMat8(g, theta, in.q, in.c, in.q2), pre))
+					copy(dst[in.dslot+128*di:in.dslot+128*di+128], d[:])
+					di++
+				}
+				pre = mul8(mats[i], pre)
+			}
+		case opU2x3:
+			if in.logDeriv {
+				continue // the adjoint fast path never reads these slots
+			}
+			// Each parameter's derivative slot holds the 2×2 derivative of
+			// its own factor, in the instruction's global parameter order
+			// (the gate walk below matches how layout() collected params).
+			for _, q := range [3]int{in.q, in.c, in.q2} {
+				// Per-factor run derivative: same algorithm as opU2 but over
+				// the subsequence of gates on qubit q.
+				var fgates []Gate
+				var ords []int
+				di := 0
+				for _, g := range in.gates {
+					if g.Q == q {
+						fgates = append(fgates, g)
+						ords = append(ords, di)
+					}
+					if g.P >= 0 {
+						di++
+					}
+				}
+				k := len(fgates)
+				if k == 0 {
+					continue
+				}
+				mats := make([]mat2, k)
+				for i, g := range fgates {
+					mats[i] = gateMat2(g, theta)
+				}
+				suf := make([]mat2, k)
+				suf[k-1] = ident2
+				for i := k - 2; i >= 0; i-- {
+					suf[i] = mul2(suf[i+1], mats[i+1])
+				}
+				pre := ident2
+				for i, g := range fgates {
+					if g.P >= 0 {
+						d := mul2(suf[i], mul2(dgateMat2(g, theta), pre))
+						copy(dst[in.dslot+8*ords[i]:in.dslot+8*ords[i]+8], d[:])
+					}
+					pre = mul2(mats[i], pre)
+				}
 			}
 		}
 	}

@@ -21,12 +21,12 @@ func progNetMatrix(p *Program, coeff []float64) cmat {
 	return u
 }
 
-// TestProgramNetUnitaryOracle is the compiler-level parity oracle: at both
-// fusion levels, the composed dense matrix of the compiled instruction
+// TestProgramNetUnitaryOracle is the compiler-level parity oracle: at every
+// fusion level, the composed dense matrix of the compiled instruction
 // stream must equal the gate-by-gate dense product of the source circuit.
-// This pins every fusion pass — single-qubit runs, diagonal merges, 4×4
-// entangler blocks, full-register diagonals — independently of the
-// execution kernels.
+// This pins every fusion pass — single-qubit runs, diagonal merges, 4×4/8×8
+// entangler blocks, grouped triples, full-register diagonals — independently
+// of the execution kernels.
 func TestProgramNetUnitaryOracle(t *testing.T) {
 	rng := rand.New(rand.NewSource(99))
 	for _, a := range AllAnsatze {
@@ -37,7 +37,7 @@ func TestProgramNetUnitaryOracle(t *testing.T) {
 		for _, g := range circ.Gates {
 			ref = expand(g, theta, circ.NumQubits).mul(ref)
 		}
-		for _, level := range []int{1, 2} {
+		for _, level := range []int{1, 2, 3} {
 			prog := CompileProgramLevel(circ, level)
 			coeff := make([]float64, prog.NumCoeffs())
 			prog.FillCoeffs(theta, coeff)
@@ -58,42 +58,253 @@ func TestProgramNetUnitaryOracle(t *testing.T) {
 // TestProgramDerivCoeffsOracle checks the fused-block derivative matrices
 // against central finite differences of the forward coefficients: for every
 // fused unitary instruction, dU/dθ_p from FillDerivCoeffs must match
-// (U(θ+ε) − U(θ−ε)) / 2ε.
+// (U(θ+ε) − U(θ−ε)) / 2ε. For the Kronecker-structured triples only the
+// parameter's own 2×2 factor moves, so the comparison targets that factor's
+// slot window. Runs at both fused compile levels so the 4×4-only and the
+// 8×8/triple instruction mixes are each exercised.
 func TestProgramDerivCoeffsOracle(t *testing.T) {
 	rng := rand.New(rand.NewSource(123))
 	const eps = 1e-6
 	for _, a := range []AnsatzKind{StronglyEntangling, CrossMesh2Rot, CrossMeshCNOT} {
-		circ := a.Build(4, 2)
-		theta := randTheta(rng, circ.NumParams)
-		prog := CompileProgram(circ)
-		deriv := make([]float64, prog.nderiv)
-		plus := make([]float64, prog.ncoef)
-		minus := make([]float64, prog.ncoef)
-		prog.FillDerivCoeffs(theta, deriv)
-		tweak := append([]float64(nil), theta...)
-		for _, in := range prog.ins {
-			var width int
-			switch in.op {
-			case opU2:
-				width = 8
-			case opU4:
-				width = 32
-			default:
-				continue
-			}
-			for pi, p := range in.params {
-				tweak[p] = theta[p] + eps
-				prog.FillCoeffs(tweak, plus)
-				tweak[p] = theta[p] - eps
-				prog.FillCoeffs(tweak, minus)
-				tweak[p] = theta[p]
-				for i := 0; i < width; i++ {
-					fd := (plus[in.slot+i] - minus[in.slot+i]) / (2 * eps)
-					an := deriv[in.dslot+width*pi+i]
-					if math.Abs(fd-an) > 1e-8 {
-						t.Fatalf("%v op=%d param %d coeff %d: analytic %v vs finite-diff %v", a, in.op, p, i, an, fd)
+		for _, level := range []int{2, 3} {
+			circ := a.Build(4, 2)
+			theta := randTheta(rng, circ.NumParams)
+			prog := CompileProgramLevel(circ, level)
+			deriv := make([]float64, prog.nderiv)
+			plus := make([]float64, prog.ncoef)
+			minus := make([]float64, prog.ncoef)
+			prog.FillDerivCoeffs(theta, deriv)
+			tweak := append([]float64(nil), theta...)
+			for _, in := range prog.ins {
+				if in.op == opU2x3 && in.logDeriv {
+					continue // no derivative slots: the adjoint reads the states
+				}
+				var width int
+				switch in.op {
+				case opU2, opU2x3:
+					width = 8
+				case opU4:
+					width = 32
+				case opU8:
+					width = 128
+				default:
+					continue
+				}
+				// Factor slot offset per parameter: zero except for triples,
+				// where each parameter differentiates its own factor.
+				offs := make([]int, len(in.params))
+				if in.op == opU2x3 {
+					pi := 0
+					for _, g := range in.gates {
+						if g.P >= 0 {
+							offs[pi] = 8 * localBit3(g.Q, in.q, in.c, in.q2)
+							pi++
+						}
 					}
 				}
+				for pi, p := range in.params {
+					tweak[p] = theta[p] + eps
+					prog.FillCoeffs(tweak, plus)
+					tweak[p] = theta[p] - eps
+					prog.FillCoeffs(tweak, minus)
+					tweak[p] = theta[p]
+					for i := 0; i < width; i++ {
+						fd := (plus[in.slot+offs[pi]+i] - minus[in.slot+offs[pi]+i]) / (2 * eps)
+						an := deriv[in.dslot+width*pi+i]
+						if math.Abs(fd-an) > 1e-8 {
+							t.Fatalf("%v level=%d op=%d param %d coeff %d: analytic %v vs finite-diff %v", a, level, in.op, p, i, an, fd)
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestProgramDiagCommutationAbsorb pins the level-3 commutation-aware
+// diagonal absorption: diagonal instructions separated by blocks with
+// disjoint support merge into one full-register diagonal (the level-2 pass
+// only fuses consecutive runs), while a blocker touching the diagonal's
+// support keeps it out of the group. Both the instruction shapes and full
+// numerical parity against the legacy engine are checked.
+func TestProgramDiagCommutationAbsorb(t *testing.T) {
+	// CRZ(0→1), CNOT(2→3), RZ(0), CRZ(0→1): the CNOT's support {2,3} is
+	// disjoint from every diagonal's support, so all three diagonals commute
+	// into one group.
+	circ := &Circuit{
+		Name:      "diag-commute",
+		NumQubits: 4,
+		Gates: []Gate{
+			{CRZ, 1, 0, 0},
+			{CNOT, 3, 2, -1},
+			{RZ, 0, -1, 1},
+			{CRZ, 1, 0, 2},
+		},
+		NumParams: 3,
+	}
+	prog := CompileProgram(circ)
+	if got := prog.NumInstructions(); got != 3 { // embed + diagN + CNOT
+		t.Fatalf("commuting diagonals: %d instructions, want 3", got)
+	}
+	var dn *instr
+	for i := range prog.ins {
+		if prog.ins[i].op == opDiagN {
+			dn = &prog.ins[i]
+		}
+	}
+	if dn == nil || len(dn.params) != 3 {
+		t.Fatalf("expected one fused diagonal absorbing all 3 parameters, got %+v", dn)
+	}
+	if v2 := CompileProgramV2(circ).NumInstructions(); v2 != 4 {
+		t.Fatalf("level-2 baseline: %d instructions, want 4 (no non-adjacent fusion)", v2)
+	}
+
+	// RZ(0), CNOT(0→1), RZ(0): the CNOT touches qubit 0, so the diagonals
+	// must NOT commute past it into one group — instead pair fusion absorbs
+	// all three into a single two-qubit block.
+	blocked := &Circuit{
+		Name:      "diag-blocked",
+		NumQubits: 2,
+		Gates: []Gate{
+			{RZ, 0, -1, 0},
+			{CNOT, 1, 0, -1},
+			{RZ, 0, -1, 1},
+		},
+		NumParams: 2,
+	}
+	bprog := CompileProgram(blocked)
+	for i := range bprog.ins {
+		if bprog.ins[i].op == opDiagN {
+			t.Fatalf("blocked diagonals fused across a non-commuting CNOT")
+		}
+	}
+
+	// Numerical parity on both shapes, all engines.
+	rng := rand.New(rand.NewSource(321))
+	for _, c := range []*Circuit{circ, blocked} {
+		n, nq := 3, c.NumQubits
+		angles := randAngles(rng, n, nq)
+		theta := randTheta(rng, c.NumParams)
+		tans := [][]float64{randAngles(rng, n, nq), nil, nil}
+		gz := randAngles(rng, n, nq)
+		gztans := [][]float64{randAngles(rng, n, nq), nil, nil}
+		ref := runEngine(EngineLegacy, c, n, angles, tans, theta, gz, gztans)
+		for _, kind := range []EngineKind{EngineFused, EngineFusedV2, EngineNaive} {
+			got := runEngine(kind, c, n, angles, tans, theta, gz, gztans)
+			for name, pair := range map[string][2][]float64{
+				"z": {ref.z, got.z}, "dAngles": {ref.dAngles, got.dAngles},
+				"dTheta": {ref.dTheta, got.dTheta},
+			} {
+				if d := maxAbsDiff(pair[0], pair[1]); d > 1e-10 {
+					t.Errorf("%s engine=%v: %s diverges by %v", c.Name, kind, name, d)
+				}
+			}
+		}
+	}
+}
+
+// denseTripleCircuit builds a rotation-dense three-qubit block: two full
+// rotation walls around a CNOT make the couple-then-grow step pass the
+// u8FuseCost gate, so the whole sequence collapses into one dense 8×8
+// super-op. Used to pin the opU8 path now that the cost model keeps the
+// standard ansätze on cheaper forms (pair blocks, permutations, triples).
+func denseTripleCircuit() *Circuit {
+	var gates []Gate
+	p := 0
+	rot := func(q int) {
+		gates = append(gates,
+			Gate{RZ, q, -1, p}, Gate{RY, q, -1, p + 1}, Gate{RZ, q, -1, p + 2})
+		p += 3
+	}
+	rot(0)
+	rot(1)
+	gates = append(gates, Gate{CNOT, 1, 0, -1})
+	rot(0)
+	rot(1)
+	gates = append(gates, Gate{CNOT, 2, 1, -1})
+	rot(2)
+	gates = append(gates, Gate{CRZ, 2, 0, p})
+	p++
+	return &Circuit{Name: "dense-triple", NumQubits: 3, Gates: gates, NumParams: p}
+}
+
+// TestProgramDenseTripleBlock pins the dense 8×8 super-op: the
+// rotation-dense probe circuit must compile into a single opU8 whose
+// net unitary matches the gate product, whose derivative slots match
+// finite differences, and whose execution agrees with every other engine.
+func TestProgramDenseTripleBlock(t *testing.T) {
+	circ := denseTripleCircuit()
+	prog := CompileProgram(circ)
+	nU8 := 0
+	for i := range prog.ins {
+		if prog.ins[i].op == opU8 {
+			nU8++
+		}
+	}
+	if nU8 != 1 || prog.NumInstructions() != 2 { // embed + one dense block
+		t.Fatalf("dense triple: %d instructions, %d opU8 (want 2, 1)", prog.NumInstructions(), nU8)
+	}
+
+	rng := rand.New(rand.NewSource(77))
+	theta := randTheta(rng, circ.NumParams)
+
+	// Net-unitary oracle.
+	dim := 1 << circ.NumQubits
+	ref := eye(dim)
+	for _, g := range circ.Gates {
+		ref = expand(g, theta, circ.NumQubits).mul(ref)
+	}
+	coeff := make([]float64, prog.NumCoeffs())
+	prog.FillCoeffs(theta, coeff)
+	got := progNetMatrix(prog, coeff)
+	for i := range ref.data {
+		if cmplx.Abs(got.data[i]-ref.data[i]) > 1e-12 {
+			t.Fatalf("dense triple net unitary diverges at %d", i)
+		}
+	}
+
+	// Derivative-slot oracle against central finite differences.
+	const eps = 1e-6
+	deriv := make([]float64, prog.nderiv)
+	prog.FillDerivCoeffs(theta, deriv)
+	plus := make([]float64, prog.ncoef)
+	minus := make([]float64, prog.ncoef)
+	tweak := append([]float64(nil), theta...)
+	for _, in := range prog.ins {
+		if in.op != opU8 {
+			continue
+		}
+		for pi, p := range in.params {
+			tweak[p] = theta[p] + eps
+			prog.FillCoeffs(tweak, plus)
+			tweak[p] = theta[p] - eps
+			prog.FillCoeffs(tweak, minus)
+			tweak[p] = theta[p]
+			for i := 0; i < 128; i++ {
+				fd := (plus[in.slot+i] - minus[in.slot+i]) / (2 * eps)
+				if math.Abs(fd-deriv[in.dslot+128*pi+i]) > 1e-8 {
+					t.Fatalf("opU8 param %d coeff %d: analytic %v vs finite-diff %v",
+						p, i, deriv[in.dslot+128*pi+i], fd)
+				}
+			}
+		}
+	}
+
+	// Full engine parity (forward, tangents, adjoint gradients).
+	n, nq := 4, 3
+	angles := randAngles(rng, n, nq)
+	tans := [][]float64{randAngles(rng, n, nq), nil, randAngles(rng, n, nq)}
+	gz := randAngles(rng, n, nq)
+	gztans := [][]float64{randAngles(rng, n, nq), nil, randAngles(rng, n, nq)}
+	refRes := runEngine(EngineLegacy, circ, n, angles, tans, theta, gz, gztans)
+	for _, kind := range []EngineKind{EngineFused, EngineFusedV2, EngineNaive} {
+		gotRes := runEngine(kind, circ, n, angles, tans, theta, gz, gztans)
+		for name, pair := range map[string][2][]float64{
+			"z": {refRes.z, gotRes.z}, "dAngles": {refRes.dAngles, gotRes.dAngles},
+			"dTheta": {refRes.dTheta, gotRes.dTheta},
+		} {
+			if d := maxAbsDiff(pair[0], pair[1]); d > 1e-10 {
+				t.Errorf("engine=%v: %s diverges by %v", kind, name, d)
 			}
 		}
 	}

@@ -206,34 +206,41 @@ func TestPQCBackwardMatchesFD(t *testing.T) {
 }
 
 // TestParameterShiftMatchesAdjoint: the hardware-compatible parameter-shift
-// gradient must equal the adjoint gradient for the value readout.
+// gradient must equal the adjoint gradient for the value readout on EVERY
+// ansatz — in particular the CRZ-bearing ones (Cross-Mesh and
+// Cross-Mesh-2-Rotations), whose controlled rotations have generator
+// spectrum {0, ±1/2} and therefore require the four-term shift rule: the
+// two-term rule applied to a CRZ parameter is simply a wrong gradient, which
+// this parity pins at 1e-8 against the adjoint engine.
 func TestParameterShiftMatchesAdjoint(t *testing.T) {
 	rng := rand.New(rand.NewSource(25))
-	circ := StronglyEntangling.Build(4, 2)
-	n, nq := 2, 4
-	angles := randAngles(rng, n, nq)
-	theta := randTheta(rng, circ.NumParams)
+	for _, a := range AllAnsatze {
+		circ := a.Build(4, 2)
+		n, nq := 2, 4
+		angles := randAngles(rng, n, nq)
+		theta := randTheta(rng, circ.NumParams)
 
-	shift := ParameterShiftGrad(circ, angles, theta, n)
+		shift := ParameterShiftGrad(circ, angles, theta, n)
 
-	// Adjoint gradient of L = Σ z via Backward with unit upstream weights.
-	ws := NewWorkspace(n, nq)
-	(&PQC{Circ: circ}).Forward(ws, angles, nil, theta)
-	gz := make([]float64, n*nq)
-	for i := range gz {
-		gz[i] = 1
-	}
-	dAngles := make([]float64, n*nq)
-	dTheta := make([]float64, circ.NumParams)
-	(&PQC{Circ: circ}).Backward(ws, gz, nil, dAngles, nil, dTheta)
-
-	for p := 0; p < circ.NumParams; p++ {
-		var want float64
-		for i := range shift[p] {
-			want += shift[p][i]
+		// Adjoint gradient of L = Σ z via Backward with unit upstream weights.
+		ws := NewWorkspace(n, nq)
+		(&PQC{Circ: circ}).Forward(ws, angles, nil, theta)
+		gz := make([]float64, n*nq)
+		for i := range gz {
+			gz[i] = 1
 		}
-		if math.Abs(dTheta[p]-want) > 1e-9*(1+math.Abs(want)) {
-			t.Errorf("param %d: adjoint %v vs shift %v", p, dTheta[p], want)
+		dAngles := make([]float64, n*nq)
+		dTheta := make([]float64, circ.NumParams)
+		(&PQC{Circ: circ}).Backward(ws, gz, nil, dAngles, nil, dTheta)
+
+		for p := 0; p < circ.NumParams; p++ {
+			var want float64
+			for i := range shift[p] {
+				want += shift[p][i]
+			}
+			if math.Abs(dTheta[p]-want) > 1e-8*(1+math.Abs(want)) {
+				t.Errorf("%v param %d: adjoint %v vs shift %v", a, p, dTheta[p], want)
+			}
 		}
 	}
 }
@@ -426,6 +433,87 @@ func TestNoisyEvalZ(t *testing.T) {
 	}
 	if maxDiff > 0.2 {
 		t.Fatalf("weak noise shifted expectations too much: %v", maxDiff)
+	}
+}
+
+// TestNoisyEvalZTwoQubitChannel pins the two-qubit depolarizing fix: noise
+// after an entangling gate must act on BOTH of its qubits. The probe circuit
+// entangles and then leaves qubit 0 (every CNOT's control) untouched by any
+// single-qubit gate, so under the old target-only insertion qubit 0 could
+// never receive an error and its ⟨Z⟩ survived arbitrary noise unshrunk.
+func TestNoisyEvalZTwoQubitChannel(t *testing.T) {
+	circ := &Circuit{
+		Name:      "control-noise-probe",
+		NumQubits: 2,
+		Gates: []Gate{
+			{CNOT, 1, 0, -1},
+			{CNOT, 1, 0, -1},
+			{CNOT, 1, 0, -1},
+			{CNOT, 1, 0, -1},
+		},
+		NumParams: 0,
+	}
+	n := 1
+	angles := make([]float64, 2) // zero angles: state stays |00⟩, ⟨Z_0⟩ = 1
+	rng := rand.New(rand.NewSource(88))
+	exact := EvalZ(circ, angles, nil, n)
+	if math.Abs(exact[0]-1) > 1e-12 {
+		t.Fatalf("noiseless control ⟨Z⟩ = %v, want 1", exact[0])
+	}
+
+	// p = 0 path must remain bit-exact.
+	zero := NoisyEvalZ(circ, angles, nil, n, NoiseModel{P: 0, Trajectories: 50}, rng)
+	for i := range exact {
+		if zero[i] != exact[i] {
+			t.Fatalf("p=0 path diverged at %d", i)
+		}
+	}
+
+	// Strong noise must damp the control qubit too: a depolarizing channel
+	// on the pair hits qubit 0 with X or Y in 8 of 15 branches.
+	noisy := NoisyEvalZ(circ, angles, nil, n, NoiseModel{P: 0.9, Trajectories: 600}, rng)
+	if noisy[0] > 0.75 {
+		t.Errorf("control qubit saw no depolarizing noise: ⟨Z_0⟩ = %v", noisy[0])
+	}
+
+	// Trajectory averages converge back to the analytic value as P → 0.
+	prev := math.Inf(1)
+	for _, p := range []float64{0.2, 0.02, 0.002} {
+		got := NoisyEvalZ(circ, angles, nil, n, NoiseModel{P: p, Trajectories: 800}, rng)
+		var dev float64
+		for i := range exact {
+			dev = math.Max(dev, math.Abs(got[i]-exact[i]))
+		}
+		if dev > prev+0.05 { // allow shot-level wiggle, require the trend
+			t.Errorf("P=%v: deviation %v did not shrink (prev %v)", p, dev, prev)
+		}
+		prev = dev
+	}
+	if prev > 0.05 {
+		t.Errorf("P=0.002 deviation %v too large", prev)
+	}
+}
+
+// TestSampleZShotNoiseScaling is the seeded statistical check for the
+// CDF/binary-search sampler: the shot estimate converges to the analytic
+// expectation within a few standard errors, and tightens as shots grow.
+func TestSampleZShotNoiseScaling(t *testing.T) {
+	rng := rand.New(rand.NewSource(97))
+	circ := StronglyEntangling.Build(4, 2)
+	n, nq := 2, 4
+	angles := randAngles(rng, n, nq)
+	theta := randTheta(rng, circ.NumParams)
+	exact := EvalZ(circ, angles, theta, n)
+	for _, shots := range []int{2000, 200000} {
+		est := SampleZ(circ, angles, theta, n, shots, rng)
+		// Var(⟨Z⟩_est) ≤ 1/shots, so 5σ = 5/√shots bounds every qubit with
+		// large margin for a fixed seed.
+		tol := 5 / math.Sqrt(float64(shots))
+		for i := range exact {
+			if math.Abs(est[i]-exact[i]) > tol {
+				t.Errorf("shots=%d qubit %d: |%v − %v| > %v", shots, i, est[i], exact[i], tol)
+			}
+		}
 	}
 }
 
