@@ -26,6 +26,7 @@ import (
 	"regexp"
 	"sort"
 	"strconv"
+	"strings"
 )
 
 type baseline struct {
@@ -62,6 +63,7 @@ func main() {
 	ref := flag.String("ref", "TorqEpochLegacy", "reference benchmark used to normalize machine speed")
 	tol := flag.Float64("tol", 0.5, "allowed relative-cost drift before failing (0.5 = +50%)")
 	warnOnly := flag.Bool("warn-only", false, "report regressions without failing (slow matrix runners)")
+	require := flag.String("require", "", "comma-separated substrings that must each match a benchmark present in BOTH the baseline and the fresh output (e.g. \"Sharded\") — a variant that silently stops being measured fails the gate instead of being skipped")
 	flag.Parse()
 
 	raw, err := os.ReadFile(*basePath)
@@ -84,6 +86,33 @@ func main() {
 	if !okB || !okF || baseRef <= 0 || freshRef <= 0 {
 		fmt.Fprintf(os.Stderr, "bench-gate: reference %q missing from baseline or fresh output\n", *ref)
 		os.Exit(2)
+	}
+
+	// Required variants must be covered on BOTH sides: the per-baseline check
+	// below only catches benchmarks that vanish from the fresh output, not a
+	// whole family (e.g. the sharded engine) that was never added to the
+	// committed baseline in the first place.
+	for _, req := range strings.Split(*require, ",") {
+		req = strings.TrimSpace(req)
+		if req == "" {
+			continue
+		}
+		matches := func(m map[string]float64) bool {
+			for name := range m {
+				if strings.Contains(name, req) {
+					return true
+				}
+			}
+			return false
+		}
+		if !matches(base.Benchmarks) {
+			fmt.Fprintf(os.Stderr, "bench-gate: required variant %q missing from baseline %s\n", req, *basePath)
+			os.Exit(2)
+		}
+		if !matches(fresh) {
+			fmt.Fprintf(os.Stderr, "bench-gate: required variant %q missing from fresh output %s\n", req, *benchPath)
+			os.Exit(2)
+		}
 	}
 
 	// Every baseline benchmark must appear in the fresh output: a unit that

@@ -16,7 +16,7 @@ import (
 
 func main() {
 	preset := flag.String("preset", "smoke", "smoke | paper")
-	engine := flag.String("engine", "fused", "circuit-execution engine for the batched simulator: fused (v3: three-qubit super-ops + commuted diagonals) | fused2 (PR-2 compiler) | fused1 (PR-1 compiler) | legacy | naive")
+	engine := flag.String("engine", "fused", "circuit-execution engine for the batched simulator: fused (v3: three-qubit super-ops + commuted diagonals) | sharded (level-3 program as work-stealing sample shards, worker-count-independent gradients) | fused2 (PR-2 compiler) | fused1 (PR-1 compiler) | legacy | naive")
 	flag.Parse()
 	o := experiments.Options{Preset: experiments.Smoke, Out: os.Stdout}
 	if *preset == "paper" {

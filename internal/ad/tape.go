@@ -104,9 +104,17 @@ func (v Value) Scalar() float64 {
 // Tape is the gradient tape. It is not safe for concurrent graph building;
 // the kernels inside individual operations parallelize internally.
 type Tape struct {
-	nodes []node
-	pool  pool
+	nodes   []node
+	pool    pool
+	onReset []func()
 }
+
+// OnReset registers fn to run at the start of the next Reset, after which it
+// is forgotten. Owners of Custom nodes use it to reclaim resources their
+// backward closure would normally release — a tape that is reset without
+// Backward ever running (an inference-only probe on a trainable graph, an
+// abandoned step) otherwise strands them.
+func (t *Tape) OnReset(fn func()) { t.onReset = append(t.onReset, fn) }
 
 // NewTape returns an empty tape.
 func NewTape() *Tape { return &Tape{} }
@@ -119,6 +127,10 @@ func (t *Tape) Len() int { return len(t.nodes) }
 // by the caller and must never enter the pool: recycling them would zero
 // live caller data on the next allocation.
 func (t *Tape) Reset() {
+	for _, fn := range t.onReset {
+		fn()
+	}
+	t.onReset = t.onReset[:0]
 	for i := range t.nodes {
 		n := &t.nodes[i]
 		if n.op != OpLeaf && n.op != OpConst && n.val != nil {

@@ -2,10 +2,13 @@ package core
 
 import (
 	"bytes"
+	"encoding/gob"
 	"math"
 	"testing"
 
 	"repro/internal/maxwell"
+	"repro/internal/opt"
+	"repro/internal/par"
 	"repro/internal/qsim"
 	"repro/internal/refsol"
 )
@@ -209,6 +212,173 @@ func TestCheckpointRoundTrip(t *testing.T) {
 	// Truncated stream must fail loudly, not load garbage.
 	if _, err := Load(bytes.NewReader(buf.Bytes()[:10])); err == nil {
 		t.Fatal("truncated checkpoint loaded without error")
+	}
+}
+
+// TestTrainEvalEveryZero: a hand-built TrainConfig that leaves EvalEvery at
+// its zero value used to crash on epoch%EvalEvery; it must instead train and
+// evaluate only at the final epoch.
+func TestTrainEvalEveryZero(t *testing.T) {
+	p := maxwell.NewSmokeProblem(maxwell.VacuumCase)
+	mcfg := SmokeModel(ClassicalReduced, qsim.BasicEntangling, qsim.ScaleNone)
+	tcfg := TrainConfig{
+		Epochs: 3, Schedule: opt.PaperSchedule(), Grid: 4, TimeBins: 2,
+		Kappa: 2, Loss: maxwell.PaperConfig(false, true),
+		// EvalEvery deliberately left zero.
+	}
+	ref := NewReference(p, 6, []float64{0, 0.75}, 32)
+	res := Train(p, mcfg, tcfg, ref)
+	for i, st := range res.History[:len(res.History)-1] {
+		if !math.IsNaN(st.L2) {
+			t.Errorf("epoch %d evaluated L2 (%v) despite EvalEvery=0", i, st.L2)
+		}
+	}
+	if last := res.History[len(res.History)-1]; math.IsNaN(last.L2) {
+		t.Error("final epoch not evaluated under EvalEvery=0")
+	}
+}
+
+// TestWarmRestartEquivalence: training k1 epochs, checkpointing, and resuming
+// from the restored model must match continuing the in-memory model
+// bit-for-bit — i.e. the checkpoint carries the Adam moments, step count,
+// schedule position, and curriculum weights, not just the parameters. The
+// worker bound is pinned to 1 so both continuations see identical
+// floating-point reduction orders.
+func TestWarmRestartEquivalence(t *testing.T) {
+	defer par.SetMaxWorkers(0)
+	par.SetMaxWorkers(1)
+
+	p := maxwell.NewSmokeProblem(maxwell.VacuumCase)
+	mcfg := SmokeModel(QPINN, qsim.StronglyEntangling, qsim.ScaleAcos)
+	mcfg.Seed = 21
+	phase1 := SmokeTrain(6, maxwell.PaperConfig(false, true))
+	phase1.Grid = 4
+	phase2 := SmokeTrain(4, maxwell.PaperConfig(false, true))
+	phase2.Grid = 4
+
+	model := NewModel(mcfg)
+	TrainModel(model, p, phase1, nil)
+	if model.TrainState == nil || model.TrainState.Opt.Step != 6 || model.TrainState.Epochs != 6 {
+		t.Fatalf("training did not record state: %+v", model.TrainState)
+	}
+	var buf bytes.Buffer
+	if err := model.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+
+	restored, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if restored.TrainState == nil || restored.TrainState.Opt.Step != 6 {
+		t.Fatalf("checkpoint dropped optimizer state: %+v", restored.TrainState)
+	}
+
+	resMem := TrainModel(model, p, phase2, nil)
+	resCkpt := TrainModel(restored, p, phase2, nil)
+
+	for i := range model.Reg.Params {
+		a, b := model.Reg.Params[i], restored.Reg.Params[i]
+		for j := range a.W {
+			if a.W[j] != b.W[j] {
+				t.Fatalf("resumed parameter %s[%d] differs: %v vs %v", a.Name, j, a.W[j], b.W[j])
+			}
+		}
+	}
+	for i := range resMem.History {
+		if resMem.History[i].Total != resCkpt.History[i].Total {
+			t.Fatalf("epoch %d loss differs after restore: %v vs %v",
+				i, resMem.History[i].Total, resCkpt.History[i].Total)
+		}
+		// The resumed history continues the global epoch numbering.
+		if want := 6 + i; resMem.History[i].Epoch != want {
+			t.Fatalf("resumed epoch numbered %d, want %d", resMem.History[i].Epoch, want)
+		}
+	}
+}
+
+// TestWarmRestartChangesFirstStep guards the original bug directly: the
+// first post-restore update must use the restored Adam moments, so it must
+// differ from the update a cold optimizer would take from the same
+// parameters.
+func TestWarmRestartChangesFirstStep(t *testing.T) {
+	defer par.SetMaxWorkers(0)
+	par.SetMaxWorkers(1)
+
+	p := maxwell.NewSmokeProblem(maxwell.VacuumCase)
+	mcfg := SmokeModel(ClassicalReduced, qsim.BasicEntangling, qsim.ScaleNone)
+	mcfg.Seed = 5
+	phase1 := SmokeTrain(5, maxwell.PaperConfig(false, true))
+	phase1.Grid = 4
+	phase2 := SmokeTrain(1, maxwell.PaperConfig(false, true))
+	phase2.Grid = 4
+
+	model := NewModel(mcfg)
+	TrainModel(model, p, phase1, nil)
+	var buf bytes.Buffer
+	if err := model.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	warm, err := Load(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cold, err := Load(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cold.TrainState = nil // simulate the old parameters-only restore
+
+	TrainModel(warm, p, phase2, nil)
+	TrainModel(cold, p, phase2, nil)
+	same := true
+	for i := range warm.Reg.Params {
+		a, b := warm.Reg.Params[i], cold.Reg.Params[i]
+		for j := range a.W {
+			if a.W[j] != b.W[j] {
+				same = false
+			}
+		}
+	}
+	if same {
+		t.Fatal("warm and cold restarts took identical first steps — optimizer state had no effect")
+	}
+}
+
+// TestCheckpointV1StillLoads: a parameters-only stream in the pre-version
+// layout (no Version/opt fields) must still load — with no training state
+// attached — so existing checkpoints survive the format change.
+func TestCheckpointV1StillLoads(t *testing.T) {
+	mcfg := SmokeModel(ClassicalReduced, qsim.BasicEntangling, qsim.ScaleNone)
+	mcfg.Seed = 17
+	model := NewModel(mcfg)
+
+	// Encode the historical struct shape: Cfg + Params only.
+	v1 := struct {
+		Cfg    ModelConfig
+		Params map[string][]float64
+	}{Cfg: mcfg, Params: map[string][]float64{}}
+	for _, p := range model.Reg.Params {
+		v1.Params[p.Name] = append([]float64(nil), p.W...)
+	}
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(v1); err != nil {
+		t.Fatal(err)
+	}
+	restored, err := Load(&buf)
+	if err != nil {
+		t.Fatalf("v1 checkpoint failed to load: %v", err)
+	}
+	if restored.TrainState != nil {
+		t.Fatal("v1 checkpoint conjured optimizer state from nowhere")
+	}
+	coords := []float64{0.2, -0.1, 0.4, -0.3, 0.6, 0.9}
+	a := model.EvalEz(coords, 2)
+	b := restored.EvalEz(coords, 2)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("v1-restored prediction %d differs: %v vs %v", i, a[i], b[i])
+		}
 	}
 }
 

@@ -89,6 +89,11 @@ type Model struct {
 	Layers  []nn.Layer
 	Quantum *nn.Quantum // nil for classical architectures
 	Circ    *qsim.Circuit
+
+	// TrainState carries the optimizer/curriculum state across warm restarts
+	// (nil until the model has been trained or restored from a v2
+	// checkpoint). See core.TrainState.
+	TrainState *TrainState
 }
 
 // NewModel builds the network. Layer sizes follow §2.2/§2.3: input (x,y,t) →

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"fmt"
 	"math"
 	"math/rand"
 
@@ -21,7 +22,7 @@ type TrainConfig struct {
 
 	Loss maxwell.Config
 
-	EvalEvery          int  // epochs between L2/energy evaluations
+	EvalEvery          int  // epochs between L2/energy evaluations; <= 0 evaluates only at the final epoch
 	QuantumDiagnostics bool // track Meyer–Wallach during training
 }
 
@@ -66,6 +67,18 @@ type RunResult struct {
 	Model     *Model
 }
 
+// TrainState is the mutable cross-epoch training state a warm restart needs
+// beyond the parameter buffers: the Adam moments and step count, the
+// temporal-curriculum weights, and the number of epochs completed (so the
+// learning-rate schedule resumes instead of rewinding). TrainModel populates
+// it on the model after every run and resumes from it when present;
+// checkpoints persist it (version 2).
+type TrainState struct {
+	Opt        opt.AdamState
+	Curriculum []float64
+	Epochs     int
+}
+
 // Train runs the full loop: build collocation, iterate epochs (bind params,
 // assemble the eq. 26 loss, backprop, Adam step, curriculum update), and
 // evaluate the L2 error and black-hole index against the reference.
@@ -75,10 +88,35 @@ func Train(p maxwell.Problem, mcfg ModelConfig, tcfg TrainConfig, ref *Reference
 }
 
 // TrainModel trains an existing model (exposed for warm starts and tests).
+// A model carrying TrainState — one previously trained in this process, or
+// restored from a version-2 checkpoint — resumes with its Adam moments, step
+// count, curriculum weights, and schedule position intact; a fresh model
+// cold-starts all of them.
 func TrainModel(model *Model, p maxwell.Problem, tcfg TrainConfig, ref *Reference) *RunResult {
 	coll := maxwell.NewCollocation(p, tcfg.Grid, tcfg.TimeBins)
 	curriculum := maxwell.NewTimeCurriculum(tcfg.TimeBins, tcfg.Kappa)
 	adam := opt.NewAdam(tcfg.Schedule.LR0, model.Reg.Buffers(), model.Reg.Grads)
+
+	// Warm-restart policy: optimizer state must match the model's parameter
+	// shapes — a mismatch cannot come from Load (which validates against the
+	// rebuilt model), only from hand-built state, so it fails loudly.
+	// Curriculum weights, by contrast, legitimately stop applying when the
+	// new run changes TimeBins (old per-bin weights are meaningless for a
+	// different binning), so that case deliberately cold-starts instead.
+	startEpoch := 0
+	if st := model.TrainState; st != nil {
+		if st.Opt.M != nil {
+			if err := adam.Restore(st.Opt); err != nil {
+				panic(fmt.Sprintf("core: warm restart with mismatched optimizer state: %v", err))
+			}
+		}
+		if len(st.Curriculum) == tcfg.TimeBins {
+			if err := curriculum.Restore(st.Curriculum); err != nil {
+				panic(fmt.Sprintf("core: warm restart curriculum: %v", err)) // unreachable: length checked above
+			}
+		}
+		startEpoch = st.Epochs
+	}
 
 	res := &RunResult{Model: model}
 	tp := ad.NewTape()
@@ -94,7 +132,7 @@ func TrainModel(model *Model, p maxwell.Problem, tcfg TrainConfig, ref *Referenc
 	}
 
 	for epoch := 0; epoch < tcfg.Epochs; epoch++ {
-		adam.LR = tcfg.Schedule.At(epoch)
+		adam.LR = tcfg.Schedule.At(startEpoch + epoch)
 
 		cfg := tcfg.Loss
 		if !curriculum.Converged(1e-3) {
@@ -110,7 +148,7 @@ func TrainModel(model *Model, p maxwell.Problem, tcfg TrainConfig, ref *Referenc
 		curriculum.Update(terms.BinResiduals)
 
 		st := EpochStats{
-			Epoch: epoch,
+			Epoch: startEpoch + epoch,
 			Total: terms.Total.Scalar(),
 			Phys:  terms.Phys.Scalar(),
 			IC:    terms.IC.Scalar(),
@@ -124,13 +162,22 @@ func TrainModel(model *Model, p maxwell.Problem, tcfg TrainConfig, ref *Referenc
 		}
 		st.GradNorm, st.GradVar = model.Reg.GradNormAndVar()
 
-		if ref != nil && (epoch%tcfg.EvalEvery == 0 || epoch == tcfg.Epochs-1) {
+		// EvalEvery <= 0 (a hand-built config) means "evaluate only at the
+		// final epoch" — the modulo below would otherwise divide by zero.
+		evalNow := epoch == tcfg.Epochs-1 || (tcfg.EvalEvery > 0 && epoch%tcfg.EvalEvery == 0)
+		if ref != nil && evalNow {
 			st.L2, st.IBH = Evaluate(model, ref)
 		}
-		if mwProbe != nil && epoch%tcfg.EvalEvery == 0 {
+		if mwProbe != nil && evalNow {
 			st.MW = modelMeyerWallach(model, mwProbe, 64)
 		}
 		res.History = append(res.History, st)
+	}
+
+	model.TrainState = &TrainState{
+		Opt:        adam.Export(),
+		Curriculum: append([]float64(nil), curriculum.Weights()...),
+		Epochs:     startEpoch + tcfg.Epochs,
 	}
 
 	if ref != nil {

@@ -217,23 +217,23 @@ func weightedMSESubset(tp *ad.Tape, res ad.Value, idx []int, w []float64) ad.Val
 
 // binResiduals averages the unweighted squared residuals per time bin
 // (plain floats; feeds the curriculum update, not the gradient). The
-// accumulation runs as a par.Run region — one fork/join for all residual
-// vectors — with per-worker bin partials reduced in worker order, like the
-// fused engine's dTheta reduction, so results are deterministic for a fixed
-// worker bound.
+// accumulation runs as a par.RunChunk region — one fork/join for all
+// residual vectors — with per-CHUNK bin partials merged in chunk order.
+// Because the chunk partition depends only on (N, chunk), the result is
+// bit-identical for every worker bound and scheduler mode, so the
+// curriculum weights (and with EngineSharded, the whole training loop) stay
+// worker-count-independent.
 func binResiduals(c *Collocation, rs ...ad.Value) []float64 {
 	out := make([]float64, c.Bins)
 	datas := make([][]float64, len(rs))
 	for i, r := range rs {
 		datas[i] = r.Data()
 	}
-	parts := make([][]float64, par.MaxWorkers())
-	par.Run(c.N, func(w, lo, hi int) {
-		p := parts[w]
-		if p == nil {
-			p = make([]float64, c.Bins)
-			parts[w] = p
-		}
+	const chunk = 2048
+	nch := (c.N + chunk - 1) / chunk
+	parts := make([]float64, nch*c.Bins)
+	par.RunChunk(c.N, chunk, func(_, lo, hi int) {
+		p := parts[(lo/chunk)*c.Bins : (lo/chunk+1)*c.Bins]
 		for _, d := range datas {
 			for i := lo; i < hi; i++ {
 				v := d[i]
@@ -241,9 +241,9 @@ func binResiduals(c *Collocation, rs ...ad.Value) []float64 {
 			}
 		}
 	})
-	for _, p := range parts {
-		for b, v := range p {
-			out[b] += v
+	for s := 0; s < nch; s++ {
+		for b := 0; b < c.Bins; b++ {
+			out[b] += parts[s*c.Bins+b]
 		}
 	}
 	for b := range out {

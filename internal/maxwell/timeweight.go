@@ -1,6 +1,9 @@
 package maxwell
 
-import "math"
+import (
+	"fmt"
+	"math"
+)
 
 // TimeCurriculum implements the adaptive temporal weighting of §2.2: the
 // collocation points are split into M time bins; later bins start with low
@@ -28,6 +31,18 @@ func NewTimeCurriculum(bins int, kappa float64) *TimeCurriculum {
 
 // Weights returns the current per-bin weights (live slice; do not mutate).
 func (tc *TimeCurriculum) Weights() []float64 { return tc.weights }
+
+// Restore replaces the current weights with a previously captured snapshot
+// (a copy of Weights), so a warm-restarted run resumes the curriculum where
+// it left off instead of re-locking the later time bins. len(w) must equal
+// Bins.
+func (tc *TimeCurriculum) Restore(w []float64) error {
+	if len(w) != tc.Bins {
+		return fmt.Errorf("maxwell: curriculum snapshot has %d bins, want %d", len(w), tc.Bins)
+	}
+	copy(tc.weights, w)
+	return nil
+}
 
 // Update recomputes the weights from the latest per-bin residuals.
 func (tc *TimeCurriculum) Update(binResiduals []float64) {

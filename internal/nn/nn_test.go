@@ -239,3 +239,50 @@ func TestTrigControlLayer(t *testing.T) {
 		}
 	}
 }
+
+// TestQuantumWorkspaceRecycledWithoutBackward guards the free-list leak: on
+// the needsGrad path the workspace used to be released only inside the
+// backward closure, so every tape reset without a Backward call stranded one
+// workspace and forced a fresh allocation on the next forward. With the
+// reset hook, repeated grad-bound forwards that never run Backward must keep
+// recycling a single workspace.
+func TestQuantumWorkspaceRecycledWithoutBackward(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	reg := &Registry{}
+	circ := qsim.StronglyEntangling.Build(3, 2)
+	q := NewQuantum(reg, rng, circ, qsim.ScaleNone, qsim.InitRegular, qsim.EngineFused)
+
+	n := 4
+	coords := make([]float64, n*3)
+	for i := range coords {
+		coords[i] = rng.Float64()*2 - 1
+	}
+	tp := ad.NewTape()
+	const iters = 20
+	for iter := 0; iter < iters; iter++ {
+		tp.Reset()
+		reg.Bind(tp, true)
+		x := dual.FromValue(tp.Leaf(n, 3, coords, true))
+		out := q.Forward(tp, x)
+		if !out.V.NeedsGrad() {
+			t.Fatal("forward did not take the needsGrad path")
+		}
+		// No Backward: the tape is abandoned and reset on the next iteration.
+	}
+	tp.Reset()
+	if got := len(q.free[n]); got != 1 {
+		t.Fatalf("free list holds %d workspaces after %d backward-less forwards, want 1 (recycled)", got, iters)
+	}
+
+	// The normal path still releases exactly once: a forward+backward cycle
+	// must not double-release the workspace the reset hook already knows.
+	tp.Reset()
+	reg.Bind(tp, true)
+	x := dual.FromValue(tp.Leaf(n, 3, coords, true))
+	out := q.Forward(tp, x)
+	tp.Backward(tp.SumAll(out.V))
+	tp.Reset()
+	if got := len(q.free[n]); got != 1 {
+		t.Fatalf("free list holds %d workspaces after forward+backward+reset, want 1", got)
+	}
+}

@@ -98,6 +98,21 @@ func (q *Quantum) Forward(tp *ad.Tape, x dual.D) dual.D {
 		return out
 	}
 
+	// The workspace is normally recycled by the backward closure, but a tape
+	// that is reset without Backward ever running (an abandoned step, an
+	// inference probe on a trainable graph) would strand it — one fresh
+	// workspace allocation per call, forever. Register a reset hook so
+	// whichever of (backward, reset) happens first returns it to the free
+	// list, and the other is a no-op.
+	released := false
+	releaseOnce := func() {
+		if !released {
+			released = true
+			q.release(n, ws)
+		}
+	}
+	tp.OnReset(releaseOnce)
+
 	// Publish tangent outputs first, value output last: the reverse sweep
 	// visits the value node *after* all tangent nodes, so its backward
 	// closure sees fully accumulated upstream gradients for every channel
@@ -138,7 +153,7 @@ func (q *Quantum) Forward(tp *ad.Tape, x dual.D) dual.D {
 			}
 		}
 		q.pqc.Backward(ws, gz, gztans, angleGrad, angleTanGrads, thetaGrad)
-		q.release(n, ws)
+		releaseOnce()
 	})
 	return out
 }

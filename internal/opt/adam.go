@@ -3,7 +3,10 @@
 // learning-rate schedule (decay ×0.85 every 2000 epochs).
 package opt
 
-import "math"
+import (
+	"fmt"
+	"math"
+)
 
 // Adam holds first/second-moment state for a set of parameter buffers.
 type Adam struct {
@@ -52,6 +55,45 @@ func (a *Adam) Step() {
 
 // StepCount reports the number of updates applied.
 func (a *Adam) StepCount() int { return a.step }
+
+// AdamState is a portable deep copy of the optimizer's mutable state —
+// first/second moments in parameter order plus the step count — so
+// checkpointing can survive warm restarts without resetting bias correction.
+type AdamState struct {
+	Step int
+	M, V [][]float64
+}
+
+// Export snapshots the optimizer state. The returned buffers are copies and
+// stay valid across further Step calls.
+func (a *Adam) Export() AdamState {
+	s := AdamState{Step: a.step, M: make([][]float64, len(a.m)), V: make([][]float64, len(a.v))}
+	for i := range a.m {
+		s.M[i] = append([]float64(nil), a.m[i]...)
+		s.V[i] = append([]float64(nil), a.v[i]...)
+	}
+	return s
+}
+
+// Restore replaces the optimizer state with a previously exported snapshot.
+// The snapshot must have been taken over parameter buffers of identical
+// shape (same count, same lengths, same order).
+func (a *Adam) Restore(s AdamState) error {
+	if len(s.M) != len(a.m) || len(s.V) != len(a.v) {
+		return fmt.Errorf("opt: snapshot covers %d/%d buffers, optimizer has %d", len(s.M), len(s.V), len(a.m))
+	}
+	for i := range a.m {
+		if len(s.M[i]) != len(a.m[i]) || len(s.V[i]) != len(a.v[i]) {
+			return fmt.Errorf("opt: snapshot buffer %d has %d/%d values, optimizer expects %d", i, len(s.M[i]), len(s.V[i]), len(a.m[i]))
+		}
+	}
+	a.step = s.Step
+	for i := range a.m {
+		copy(a.m[i], s.M[i])
+		copy(a.v[i], s.V[i])
+	}
+	return nil
+}
 
 // ExpDecay is the paper's LR schedule: lr0 · factor^⌊epoch/every⌋.
 type ExpDecay struct {

@@ -5,9 +5,18 @@
 //
 // All entry points dispatch onto a persistent worker pool, so a parallel
 // region costs one synchronization rather than one goroutine spawn per
-// block. For/ForGrain are the per-kernel loops; Run is the region API used
-// by the fused circuit-execution engine to pay a single fork/join for an
-// entire compiled program instead of one per gate.
+// block. For/ForGrain are the per-kernel loops; Run and RunChunk are the
+// region APIs used by the fused and sharded circuit-execution engines to pay
+// a single fork/join for an entire compiled program instead of one per gate.
+//
+// Regions are scheduled by a chunked work-stealing scheduler: the range is
+// split into chunks, each worker owns a deque seeded with a contiguous span
+// of them, and a worker whose deque runs dry steals the top half of a
+// victim's remaining span. Uniform workloads execute exactly as the old
+// static split did (every chunk is consumed by its seeded owner); irregular
+// workloads — noise trajectories, mixed fused/legacy comparators — no longer
+// idle the pool behind the slowest block. SetScheduler(SchedStatic) restores
+// the fixed PR-1 split for A/B measurements.
 package par
 
 import (
@@ -19,6 +28,11 @@ import (
 // grain is the minimum number of items a goroutine must receive before the
 // loop is worth splitting. Below this, scheduling overhead dominates.
 const grain = 2048
+
+// stealSpread is how many chunks per worker Run carves a region into when
+// the caller does not pick a chunk size: enough slack for stealing to
+// rebalance, coarse enough that deque traffic stays negligible.
+const stealSpread = 8
 
 // maxWorkers bounds concurrency to the number of usable CPUs. It is read on
 // every loop entry — possibly from inside pool workers while a benchmark
@@ -38,6 +52,34 @@ func SetMaxWorkers(n int) {
 
 // MaxWorkers reports the current worker bound.
 func MaxWorkers() int { return int(maxWorkers.Load()) }
+
+// Scheduler selects how region APIs distribute chunks across workers.
+type Scheduler uint8
+
+const (
+	// SchedSteal is the default: per-worker deques with chunked stealing.
+	SchedSteal Scheduler = iota
+	// SchedStatic is the PR-1 fixed contiguous split, kept selectable as the
+	// A/B baseline for the stealing scheduler.
+	SchedStatic
+)
+
+func (s Scheduler) String() string {
+	if s == SchedStatic {
+		return "static"
+	}
+	return "steal"
+}
+
+// schedMode holds the current Scheduler. Like maxWorkers it may be toggled
+// by a benchmark goroutine while regions are in flight, so access is atomic.
+var schedMode atomic.Int64
+
+// SetScheduler selects the region scheduling strategy.
+func SetScheduler(s Scheduler) { schedMode.Store(int64(s)) }
+
+// CurrentScheduler reports the active region scheduling strategy.
+func CurrentScheduler() Scheduler { return Scheduler(schedMode.Load()) }
 
 // pool is the persistent worker set. The job channel is unbuffered: a send
 // succeeds only when a worker is parked and ready to run the job now, so a
@@ -74,30 +116,127 @@ func dispatch(f func()) {
 	}
 }
 
-// forBlocks splits [0,n) into `workers` contiguous blocks, runs all but the
-// last on the pool and the last inline on the caller, and waits for all.
-func forBlocks(n, workers int, fn func(worker, lo, hi int)) {
-	block := (n + workers - 1) / workers
+// chunkDeque is one worker's share of a region: a contiguous range of chunk
+// indices [lo, hi). The owner pops single chunks from the bottom; thieves
+// remove the top half of the remaining range in one operation (chunked
+// stealing), so a steal costs one lock acquisition regardless of how much
+// work it transfers. A plain mutex suffices at this granularity — each chunk
+// is a whole sample block streamed through a compiled program, so deque
+// operations are orders of magnitude rarer than amplitude updates.
+type chunkDeque struct {
+	mu     sync.Mutex
+	lo, hi int
+}
+
+// pop removes the bottom chunk for the owning worker.
+func (d *chunkDeque) pop() (int, bool) {
+	d.mu.Lock()
+	if d.lo >= d.hi {
+		d.mu.Unlock()
+		return 0, false
+	}
+	c := d.lo
+	d.lo++
+	d.mu.Unlock()
+	return c, true
+}
+
+// stealHalf removes the top half (rounded up) of the victim's remaining
+// chunks and returns the stolen index range.
+func (d *chunkDeque) stealHalf() (lo, hi int, ok bool) {
+	d.mu.Lock()
+	rem := d.hi - d.lo
+	if rem <= 0 {
+		d.mu.Unlock()
+		return 0, 0, false
+	}
+	take := (rem + 1) / 2
+	lo, hi = d.hi-take, d.hi
+	d.hi = lo
+	d.mu.Unlock()
+	return lo, hi, true
+}
+
+// refill publishes a stolen chunk range as the (empty) deque's new content.
+func (d *chunkDeque) refill(lo, hi int) {
+	d.mu.Lock()
+	d.lo, d.hi = lo, hi
+	d.mu.Unlock()
+}
+
+// region executes fn once per chunk of [0, n) on `workers` goroutines with
+// dense worker ids. Chunk c covers [c*chunk, min((c+1)*chunk, n)). Deques
+// are seeded with contiguous chunk spans split as evenly as possible; when
+// steal is set, a worker that drains its own deque takes half of a victim's
+// remaining span and continues. Work is never orphaned: chunks live in
+// exactly one deque until popped, a thief immediately republishes what it
+// stole into its own (empty) deque, and a worker only exits with an empty
+// deque after a full scan finds every other deque empty — any chunks that
+// appear after that scan belong to a still-live worker that drains its own
+// deque before exiting.
+func region(n, chunk, workers int, steal bool, fn func(worker, lo, hi int)) {
+	nch := (n + chunk - 1) / chunk
+	if workers > nch {
+		workers = nch
+	}
+	if workers <= 1 {
+		for lo := 0; lo < n; lo += chunk {
+			fn(0, lo, min(lo+chunk, n))
+		}
+		return
+	}
+	deques := make([]chunkDeque, workers)
+	per, extra := nch/workers, nch%workers
+	start := 0
+	for w := 0; w < workers; w++ {
+		cnt := per
+		if w < extra {
+			cnt++
+		}
+		deques[w].lo, deques[w].hi = start, start+cnt
+		start += cnt
+	}
+	body := func(w int) {
+		self := &deques[w]
+		for {
+			if c, ok := self.pop(); ok {
+				fn(w, c*chunk, min((c+1)*chunk, n))
+				continue
+			}
+			if !steal {
+				return
+			}
+			stolen := false
+			for i := 1; i < workers; i++ {
+				if lo, hi, ok := deques[(w+i)%workers].stealHalf(); ok {
+					self.refill(lo, hi)
+					stolen = true
+					break
+				}
+			}
+			if !stolen {
+				return
+			}
+		}
+	}
 	var wg sync.WaitGroup
-	worker := 0
-	for start := 0; start < n; start += block {
-		end := start + block
-		if end > n {
-			end = n
-		}
-		if end == n {
-			fn(worker, start, end)
-			break
-		}
+	for w := 0; w < workers-1; w++ {
 		wg.Add(1)
-		w, s, e := worker, start, end
+		w := w
 		dispatch(func() {
 			defer wg.Done()
-			fn(w, s, e)
+			body(w)
 		})
-		worker++
 	}
+	body(workers - 1)
 	wg.Wait()
+}
+
+// forBlocks splits [0,n) into `workers` contiguous blocks, one fn call per
+// worker — the static split used by the elementwise loops and by
+// SchedStatic regions.
+func forBlocks(n, workers int, fn func(worker, lo, hi int)) {
+	region(n, (n+workers-1)/workers, workers, false, fn)
 }
 
 // For runs fn over [0,n) split into contiguous blocks, one block per worker.
@@ -108,7 +247,9 @@ func For(n int, fn func(start, end int)) {
 }
 
 // ForGrain is For with a caller-chosen grain, for kernels whose per-item cost
-// is far from the elementwise default (e.g. a row of a wide matmul).
+// is far from the elementwise default (e.g. a row of a wide matmul). The
+// elementwise loops keep the static split: their per-item cost is uniform by
+// construction, so stealing could only add deque traffic.
 func ForGrain(n, itemCost int, fn func(start, end int)) {
 	if n <= 0 {
 		return
@@ -127,14 +268,18 @@ func ForGrain(n, itemCost int, fn func(start, end int)) {
 	forBlocks(n, workers, func(_, lo, hi int) { fn(lo, hi) })
 }
 
-// Run is the region API: it splits [0,n) into at most MaxWorkers()
-// contiguous chunks and executes fn(worker, lo, hi) for each on the
-// persistent pool, with a single fork/join for the whole region. Unlike
-// For/ForGrain it applies no grain heuristic — callers use it for regions
-// whose per-item work is substantial (e.g. streaming a whole compiled
-// circuit program over a sample range). Worker indices are dense, unique
-// within one call, and always in [0, MaxWorkers()), so fn may accumulate
-// into MaxWorkers()-sized per-worker slots without atomics.
+// Run is the region API: it executes fn(worker, lo, hi) over [0,n) on the
+// persistent pool with a single fork/join for the whole region, and no grain
+// heuristic — callers use it for regions whose per-item work is substantial
+// (e.g. streaming a whole compiled circuit program over a sample range).
+// Worker indices are dense, unique per concurrent goroutine, and always in
+// [0, MaxWorkers()), so fn may accumulate into MaxWorkers()-sized per-worker
+// slots without atomics. Under the default stealing scheduler the region is
+// carved into several chunks per worker and fn may be invoked multiple times
+// per worker (contiguous [lo, hi) each time); under SchedStatic each worker
+// receives exactly one contiguous block, as in PR 1. Callers needing
+// worker-count-independent reduction order should use RunChunk and
+// accumulate per chunk instead of per worker.
 func Run(n int, fn func(worker, lo, hi int)) {
 	if n <= 0 {
 		return
@@ -147,5 +292,43 @@ func Run(n int, fn func(worker, lo, hi int)) {
 		fn(0, 0, n)
 		return
 	}
-	forBlocks(n, workers, fn)
+	if CurrentScheduler() == SchedStatic {
+		forBlocks(n, workers, fn)
+		return
+	}
+	chunk := (n + workers*stealSpread - 1) / (workers * stealSpread)
+	region(n, chunk, workers, true, fn)
+}
+
+// RunChunk is Run with a caller-chosen chunk size and a hard guarantee the
+// sharded engine's determinism is built on: fn is invoked exactly once per
+// chunk, every chunk starts at a multiple of `chunk`, and the partition
+// depends only on (n, chunk) — never on the worker bound or the scheduler.
+// lo/chunk therefore indexes a stable per-chunk accumulator slot. The chunk
+// size is also the unit of stealing, so callers pick it to match their
+// cache-blocked inner loops.
+func RunChunk(n, chunk int, fn func(worker, lo, hi int)) {
+	RunChunkBounded(n, chunk, MaxWorkers(), fn)
+}
+
+// RunChunkBounded is RunChunk with an explicit cap on the worker count in
+// addition to the live bound. Callers that size per-worker accumulator slots
+// from their own MaxWorkers() read pass that same value here: the region
+// otherwise re-reads the bound at entry, and a concurrent SetMaxWorkers
+// increase between the two reads could hand fn a worker id past their slots.
+func RunChunkBounded(n, chunk, bound int, fn func(worker, lo, hi int)) {
+	if n <= 0 {
+		return
+	}
+	if chunk < 1 {
+		chunk = 1
+	}
+	workers := MaxWorkers()
+	if bound < workers {
+		workers = bound
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	region(n, chunk, workers, CurrentScheduler() != SchedStatic, fn)
 }

@@ -61,42 +61,163 @@ func TestBlocksAreContiguousAndOrderedWithinBlock(t *testing.T) {
 	}
 }
 
-// TestRunCoversRangeWithDenseWorkerIDs: Run partitions [0,n) exactly and
-// hands out worker indices usable as per-worker accumulator slots.
+// TestRunCoversRangeWithDenseWorkerIDs: under both schedulers Run partitions
+// [0,n) exactly and hands out worker indices usable as per-worker accumulator
+// slots. Under the stealing scheduler a worker may receive several contiguous
+// ranges; under the static one each worker is called exactly once.
 func TestRunCoversRangeWithDenseWorkerIDs(t *testing.T) {
-	for _, n := range []int{0, 1, 3, 100, 100000} {
-		visits := make([]int32, n)
-		partials := make([]int64, MaxWorkers())
-		var mu sync.Mutex
-		seen := map[int]bool{}
-		Run(n, func(worker, lo, hi int) {
-			if worker < 0 || worker >= MaxWorkers() {
-				t.Errorf("worker %d out of range [0, %d)", worker, MaxWorkers())
+	defer SetScheduler(SchedSteal)
+	for _, sched := range []Scheduler{SchedSteal, SchedStatic} {
+		SetScheduler(sched)
+		for _, n := range []int{0, 1, 3, 100, 100000} {
+			visits := make([]int32, n)
+			partials := make([]int64, MaxWorkers())
+			var mu sync.Mutex
+			calls := map[int]int{}
+			Run(n, func(worker, lo, hi int) {
+				if worker < 0 || worker >= MaxWorkers() {
+					t.Errorf("worker %d out of range [0, %d)", worker, MaxWorkers())
+				}
+				mu.Lock()
+				calls[worker]++
+				mu.Unlock()
+				for i := lo; i < hi; i++ {
+					atomic.AddInt32(&visits[i], 1)
+				}
+				partials[worker] += int64(hi - lo)
+			})
+			if sched == SchedStatic {
+				for w, c := range calls {
+					if c > 1 {
+						t.Errorf("static: worker id %d called %d times within one region", w, c)
+					}
+				}
 			}
-			mu.Lock()
-			if seen[worker] {
-				t.Errorf("worker id %d reused within one region", worker)
+			var total int64
+			for _, p := range partials {
+				total += p
 			}
-			seen[worker] = true
-			mu.Unlock()
-			for i := lo; i < hi; i++ {
-				atomic.AddInt32(&visits[i], 1)
+			if total != int64(n) {
+				t.Fatalf("%v n=%d: per-worker partials sum to %d", sched, n, total)
 			}
-			partials[worker] += int64(hi - lo)
-		})
-		var total int64
-		for _, p := range partials {
-			total += p
-		}
-		if total != int64(n) {
-			t.Fatalf("n=%d: per-worker partials sum to %d", n, total)
-		}
-		for i, v := range visits {
-			if v != 1 {
-				t.Fatalf("n=%d: index %d visited %d times", n, i, v)
+			for i, v := range visits {
+				if v != 1 {
+					t.Fatalf("%v n=%d: index %d visited %d times", sched, n, i, v)
+				}
 			}
 		}
 	}
+}
+
+// TestRunChunkPartitionStable pins the contract the sharded engine's
+// determinism rests on: RunChunk invokes fn exactly once per chunk, chunk
+// boundaries depend only on (n, chunk), and the partition is identical for
+// every worker bound and scheduler.
+func TestRunChunkPartitionStable(t *testing.T) {
+	defer SetMaxWorkers(0)
+	defer SetScheduler(SchedSteal)
+	cases := []struct{ n, chunk int }{{1, 1}, {7, 3}, {64, 8}, {100, 7}, {512, 5}}
+	for _, c := range cases {
+		want := map[int]int{} // lo → hi from the serial run
+		SetMaxWorkers(1)
+		RunChunk(c.n, c.chunk, func(_, lo, hi int) {
+			if lo%c.chunk != 0 {
+				t.Errorf("n=%d chunk=%d: lo %d not a chunk multiple", c.n, c.chunk, lo)
+			}
+			want[lo] = hi
+		})
+		for _, workers := range []int{3, 8} {
+			for _, sched := range []Scheduler{SchedSteal, SchedStatic} {
+				SetScheduler(sched)
+				SetMaxWorkers(workers)
+				var mu sync.Mutex
+				got := map[int]int{}
+				RunChunk(c.n, c.chunk, func(_, lo, hi int) {
+					mu.Lock()
+					if _, dup := got[lo]; dup {
+						t.Errorf("n=%d chunk=%d workers=%d: chunk at %d visited twice", c.n, c.chunk, workers, lo)
+					}
+					got[lo] = hi
+					mu.Unlock()
+				})
+				if len(got) != len(want) {
+					t.Fatalf("n=%d chunk=%d workers=%d %v: %d chunks, want %d", c.n, c.chunk, workers, sched, len(got), len(want))
+				}
+				for lo, hi := range want {
+					if got[lo] != hi {
+						t.Fatalf("n=%d chunk=%d workers=%d %v: chunk [%d,%d) became [%d,%d)", c.n, c.chunk, workers, sched, lo, hi, lo, got[lo])
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestRunStealUnevenCosts forces a steeply skewed per-chunk workload (the
+// shape noise trajectories and mixed comparators produce) through a forced
+// multi-worker stealing region: coverage must stay exact while idle workers
+// drain the expensive head of the range. Run under -race this exercises the
+// deque pop/steal/refill interleavings.
+func TestRunStealUnevenCosts(t *testing.T) {
+	defer SetMaxWorkers(0)
+	SetMaxWorkers(8)
+	n := 256
+	visits := make([]int32, n)
+	sink := make([]float64, 8)
+	Run(n, func(worker, lo, hi int) {
+		for i := lo; i < hi; i++ {
+			atomic.AddInt32(&visits[i], 1)
+			// The first chunks carry ~1000× the work of the tail.
+			work := 20
+			if i < n/8 {
+				work = 20000
+			}
+			s := 0.0
+			for k := 0; k < work; k++ {
+				s += float64(k ^ i)
+			}
+			sink[worker] += s
+		}
+	})
+	for i, v := range visits {
+		if v != 1 {
+			t.Fatalf("index %d visited %d times", i, v)
+		}
+	}
+}
+
+// TestSchedulerToggleConcurrent toggles the scheduler kind while regions are
+// in flight (mirroring A/B benchmarks switching modes between measurements);
+// coverage must hold for whichever mode each region observes, and under
+// -race the mode word must be clean.
+func TestSchedulerToggleConcurrent(t *testing.T) {
+	defer SetScheduler(SchedSteal)
+	defer SetMaxWorkers(0)
+	SetMaxWorkers(4)
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 500; i++ {
+			SetScheduler(Scheduler(i % 2))
+		}
+	}()
+	for i := 0; i < 200; i++ {
+		var total int64
+		Run(64, func(_, lo, hi int) {
+			atomic.AddInt64(&total, int64(hi-lo))
+		})
+		if total != 64 {
+			t.Fatalf("iteration %d: Run coverage %d", i, total)
+		}
+		total = 0
+		RunChunk(100, 7, func(_, lo, hi int) {
+			atomic.AddInt64(&total, int64(hi-lo))
+		})
+		if total != 100 {
+			t.Fatalf("iteration %d: RunChunk coverage %d", i, total)
+		}
+	}
+	<-done
 }
 
 // TestRunNested: a Run region launched from inside a pool worker must not

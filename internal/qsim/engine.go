@@ -31,6 +31,15 @@ const (
 	// (consecutive diagonal runs, 4×4 entangler blocks) — the A/B comparator
 	// for the v3 three-qubit fusion.
 	EngineFusedV2
+	// EngineSharded executes the level-3 compiled program as independent
+	// sample shards on the work-stealing scheduler: each shard streams the
+	// whole instruction stream through one cache-resident block and owns a
+	// private gradient accumulator, and shard partials merge in shard order
+	// after the adjoint pass — so gradients are bit-identical for every
+	// worker count, and uneven per-shard costs rebalance across the pool.
+	// This is the single-process form of the ROADMAP's multi-node sharding:
+	// a shard is exactly the unit a remote executor would ship.
+	EngineSharded
 )
 
 func (k EngineKind) String() string {
@@ -45,6 +54,8 @@ func (k EngineKind) String() string {
 		return "fused1"
 	case EngineFusedV2:
 		return "fused2"
+	case EngineSharded:
+		return "sharded"
 	}
 	return "unknown"
 }
@@ -58,12 +69,14 @@ func ParseEngine(s string) (EngineKind, error) {
 		return EngineFusedV2, nil
 	case "fused1", "fused-v1":
 		return EngineFusedV1, nil
+	case "sharded":
+		return EngineSharded, nil
 	case "legacy":
 		return EngineLegacy, nil
 	case "naive":
 		return EngineNaive, nil
 	}
-	return EngineFused, fmt.Errorf("qsim: unknown engine %q (want fused|fused2|fused1|legacy|naive)", s)
+	return EngineFused, fmt.Errorf("qsim: unknown engine %q (want fused|sharded|fused2|fused1|legacy|naive)", s)
 }
 
 // Engine is the pluggable execution strategy for a PQC pass: it owns how
@@ -77,13 +90,16 @@ type Engine interface {
 }
 
 var (
-	engineFused  Engine = fusedEngine{}
-	engineLegacy Engine = &legacyEngine{kind: EngineLegacy, hooks: fastHooks}
-	engineNaive  Engine = &legacyEngine{kind: EngineNaive, hooks: naiveHooks}
+	engineFused   Engine = fusedEngine{}
+	engineSharded Engine = shardedEngine{}
+	engineLegacy  Engine = &legacyEngine{kind: EngineLegacy, hooks: fastHooks}
+	engineNaive   Engine = &legacyEngine{kind: EngineNaive, hooks: naiveHooks}
 )
 
 func (k EngineKind) engine() Engine {
 	switch k {
+	case EngineSharded:
+		return engineSharded
 	case EngineLegacy:
 		return engineLegacy
 	case EngineNaive:
@@ -110,22 +126,37 @@ func blockSamples(dim, channels int) int {
 }
 
 // fusedEngine executes a compiled Program sample-block by sample-block: the
-// outer parallel region splits the batch once per pass (par.Run), and each
-// worker streams every instruction through one small block of samples while
-// those samples' amplitudes stay cache-resident. A forward+backward pass
-// costs two fork/joins total, against two per gate application for the
-// legacy engine.
+// outer parallel region splits the batch once per pass (par.RunChunk,
+// chunked on the cache-block size), and each worker streams every
+// instruction through one small block of samples while those samples'
+// amplitudes stay cache-resident. A forward+backward pass costs two
+// fork/joins total, against two per gate application for the legacy engine.
 type fusedEngine struct{}
 
 func (fusedEngine) Kind() EngineKind { return EngineFused }
 
 func (fusedEngine) Forward(p *PQC, ws *Workspace, angles []float64, angleTans [][]float64, theta []float64) (z []float64, ztans [][]float64) {
+	prog, coeff, z, ztans, blk := prepForward(p, ws, angles, angleTans, theta)
+	// Chunk on the cache-block size so scheduler ranges never split a block:
+	// an arbitrary chunk would re-walk the instruction stream over partial
+	// blocks at every chunk tail.
+	par.RunChunk(ws.n, blk, func(_, lo, hi int) {
+		fwdBlock(ws, prog, coeff, lo, hi, z, ztans)
+	})
+	return z, ztans
+}
+
+// prepForward performs the per-pass setup every program-streaming engine
+// shares: save inputs, compile/fill the coefficient slots, allocate the
+// outputs, and size the cache-resident sample block for the live channel
+// count.
+func prepForward(p *PQC, ws *Workspace, angles []float64, angleTans [][]float64, theta []float64) (prog *Program, coeff []float64, z []float64, ztans [][]float64, blk int) {
 	ws.saveInputs(p, angles, angleTans, theta)
-	prog := p.Program()
+	prog = p.Program()
 	if cap(ws.coeff) < prog.ncoef {
 		ws.coeff = make([]float64, prog.ncoef)
 	}
-	coeff := ws.coeff[:prog.ncoef]
+	coeff = ws.coeff[:prog.ncoef]
 	prog.FillCoeffs(theta, coeff)
 
 	n, nq := ws.n, ws.nq
@@ -141,13 +172,8 @@ func (fusedEngine) Forward(p *PQC, ws *Workspace, angles []float64, angleTans []
 	if ws.anyTan() {
 		channels++ // scr1 holds D·v during the embedding
 	}
-	blk := blockSamples(ws.val.Dim, channels)
-	par.Run(n, func(_, lo, hi int) {
-		for b := lo; b < hi; b += blk {
-			fwdBlock(ws, prog, coeff, b, min(b+blk, hi), z, ztans)
-		}
-	})
-	return z, ztans
+	blk = blockSamples(ws.val.Dim, channels)
+	return prog, coeff, z, ztans, blk
 }
 
 // fwdBlock streams the whole program through samples [lo, hi): state init,
@@ -315,39 +341,18 @@ func (fusedEngine) Backward(p *PQC, ws *Workspace, gz []float64, gztans [][]floa
 			}
 		}
 	} else {
-		// Level-2 walks the fused instruction stream: refresh the forward
-		// coefficients (don't rely on ws.coeff surviving from Forward — the
-		// program may have been recompiled if the engine changed between
-		// passes) and the dU/dθ matrices of fused unitaries, once per pass.
-		if cap(ws.coeff) < prog.ncoef {
-			ws.coeff = make([]float64, prog.ncoef)
-		}
-		prog.FillCoeffs(theta, ws.coeff[:prog.ncoef])
-		if prog.nderiv > 0 {
-			if cap(ws.dcoef) < prog.nderiv {
-				ws.dcoef = make([]float64, prog.nderiv)
-			}
-			ws.dcoef = ws.dcoef[:prog.nderiv]
-			prog.FillDerivCoeffs(theta, ws.dcoef)
-		}
+		refreshCoeffs(ws, prog, theta)
 	}
 
-	// Size the upstream-weight buffers before the region (workers only fill
-	// their own sample ranges).
-	ws.ensureW(0, gz)
-	for k := 0; k < MaxTangents; k++ {
-		if ws.active[k] {
-			var g []float64
-			if k < len(gztans) {
-				g = gztans[k]
-			}
-			ws.ensureW(1+k, g)
-		}
-	}
+	blk := prepBackward(ws, gz, gztans)
 
 	// Per-worker dTheta partials (and level-2 fused-block gradient scratch):
-	// reduced in worker order after the region so results are deterministic
-	// for a fixed worker bound.
+	// reduced in worker order after the region. Under SchedStatic this is
+	// deterministic for a fixed worker bound; under the default stealing
+	// scheduler the set of blocks each worker executes varies run to run, so
+	// gradients are reproducible only to FP-reassociation level (~1e-15) —
+	// callers needing bit-exact, worker-count-independent gradients use
+	// EngineSharded, whose partials are per-shard instead of per-worker.
 	nw := par.MaxWorkers()
 	if len(ws.dthW) < nw {
 		ws.dthW = make([][]float64, nw)
@@ -377,40 +382,75 @@ func (fusedEngine) Backward(p *PQC, ws *Workspace, gz []float64, gztans [][]floa
 		}
 	}
 
-	channels := 2 // val + λv
-	for k := 0; k < MaxTangents; k++ {
-		if ws.active[k] {
-			channels += 2
-		}
-	}
-	channels += 2 // scr1 + scr2
-	blk := blockSamples(ws.val.Dim, channels)
-	par.Run(n, func(w, lo, hi int) {
-		dth := ws.dthW[w]
+	// The chunk is the cache block, so each callback covers exactly one
+	// block; the worker cap is the same nw the accumulator slots were sized
+	// from, so a concurrent SetMaxWorkers increase cannot hand out a worker
+	// id past them.
+	par.RunChunkBounded(n, blk, nw, func(w, lo, hi int) {
 		if prog.level >= 2 {
-			sc := bwdScratch{dth: dth, diagT: ws.diagTW[w]}
-			for b := lo; b < hi; b += blk {
-				bwdBlockV2(ws, prog, b, min(b+blk, hi), gz, gztans, dAngles, dAngleTans, sc)
-			}
-			// Fused-diagonal gradients are linear in the per-basis adjoint
-			// products, so each worker accumulates them across its whole
-			// range and contracts against the sign tables once at the end.
-			reduceDiagNGrads(prog, sc.diagT, dth, ws.val.Dim)
+			sc := bwdScratch{dth: ws.dthW[w], diagT: ws.diagTW[w]}
+			bwdBlockV2(ws, prog, lo, hi, gz, gztans, dAngles, dAngleTans, sc)
 			return
 		}
-		for b := lo; b < hi; b += blk {
-			bwdBlock(ws, prog, gch, b, min(b+blk, hi), gz, gztans, dAngles, dAngleTans, dth)
-		}
+		bwdBlock(ws, prog, gch, lo, hi, gz, gztans, dAngles, dAngleTans, ws.dthW[w])
 	})
 	for w := 0; w < nw; w++ {
+		if prog.level >= 2 {
+			// Fused-diagonal gradients are linear in the per-basis adjoint
+			// products, so each worker accumulates them across every range it
+			// executed and the contraction against the sign tables runs once
+			// per worker per pass — here, after the join, NOT inside the
+			// region callback: the stealing scheduler may invoke the callback
+			// several times for one worker, and contracting the cumulative
+			// accumulator each time double-counts earlier ranges.
+			reduceDiagNGrads(prog, ws.diagTW[w], ws.dthW[w], ws.val.Dim)
+		}
 		for i, v := range ws.dthW[w] {
 			dTheta[i] += v
 		}
 	}
 }
 
-// bwdScratch bundles one worker's private accumulation buffers for the
-// level-2 backward walk.
+// refreshCoeffs prepares a level ≥ 2 backward walk of the fused instruction
+// stream: refresh the forward coefficients (don't rely on ws.coeff surviving
+// from Forward — the program may have been recompiled if the engine changed
+// between passes) and the dU/dθ matrices of fused unitaries, once per pass.
+func refreshCoeffs(ws *Workspace, prog *Program, theta []float64) {
+	if cap(ws.coeff) < prog.ncoef {
+		ws.coeff = make([]float64, prog.ncoef)
+	}
+	prog.FillCoeffs(theta, ws.coeff[:prog.ncoef])
+	if prog.nderiv > 0 {
+		if cap(ws.dcoef) < prog.nderiv {
+			ws.dcoef = make([]float64, prog.nderiv)
+		}
+		ws.dcoef = ws.dcoef[:prog.nderiv]
+		prog.FillDerivCoeffs(theta, ws.dcoef)
+	}
+}
+
+// prepBackward sizes the upstream-weight buffers before the backward region
+// (workers only fill their own sample ranges) and returns the cache-resident
+// sample block for the live backward channel count.
+func prepBackward(ws *Workspace, gz []float64, gztans [][]float64) (blk int) {
+	ws.ensureW(0, gz)
+	channels := 2 // val + λv
+	for k := 0; k < MaxTangents; k++ {
+		if ws.active[k] {
+			var g []float64
+			if k < len(gztans) {
+				g = gztans[k]
+			}
+			ws.ensureW(1+k, g)
+			channels += 2
+		}
+	}
+	channels += 2 // scr1 + scr2
+	return blockSamples(ws.val.Dim, channels)
+}
+
+// bwdScratch bundles one worker's (or, for the sharded engine, one shard's)
+// private accumulation buffers for the level-2 backward walk.
 type bwdScratch struct {
 	dth   []float64 // per-parameter gradient partials
 	diagT []float64 // per-(opDiagN, basis) adjoint-product accumulators

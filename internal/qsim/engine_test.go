@@ -75,7 +75,7 @@ func TestEngineParity(t *testing.T) {
 			gztans := [][]float64{randAngles(rng, n, nq), nil, randAngles(rng, n, nq)}
 
 			ref := runEngine(EngineLegacy, circ, n, angles, tans, theta, gz, gztans)
-			for _, kind := range []EngineKind{EngineFused, EngineFusedV2, EngineFusedV1, EngineNaive} {
+			for _, kind := range []EngineKind{EngineFused, EngineSharded, EngineFusedV2, EngineFusedV1, EngineNaive} {
 				got := runEngine(kind, circ, n, angles, tans, theta, gz, gztans)
 				check := func(name string, want, have []float64) {
 					if d := maxAbsDiff(want, have); d > tol {
@@ -118,7 +118,7 @@ func TestEngineParityNoTangents(t *testing.T) {
 		return z, dA, dTheta
 	}
 	zL, daL, dtL := run(EngineLegacy)
-	for _, kind := range []EngineKind{EngineFused, EngineFusedV2, EngineFusedV1, EngineNaive} {
+	for _, kind := range []EngineKind{EngineFused, EngineSharded, EngineFusedV2, EngineFusedV1, EngineNaive} {
 		z, da, dt := run(kind)
 		for name, pair := range map[string][2][]float64{
 			"z": {zL, z}, "dAngles": {daL, da}, "dTheta": {dtL, dt},
@@ -157,7 +157,7 @@ func TestEngineParityRandomShapes(t *testing.T) {
 		gz := randAngles(rng, n, nq)
 
 		ref := runEngine(EngineLegacy, circ, n, angles, tans, theta, gz, gztans)
-		for _, kind := range []EngineKind{EngineFused, EngineFusedV2, EngineFusedV1} {
+		for _, kind := range []EngineKind{EngineFused, EngineSharded, EngineFusedV2, EngineFusedV1} {
 			got := runEngine(kind, circ, n, angles, tans, theta, gz, gztans)
 			if d := maxAbsDiff(ref.z, got.z); d > 1e-10 {
 				t.Fatalf("trial %d (%v nq=%d L=%d n=%d %v): z diverges by %v", trial, a, nq, layers, n, kind, d)
@@ -195,7 +195,7 @@ func TestEngineParityNilValueGradient(t *testing.T) {
 	gztans := [][]float64{randAngles(rng, n, nq), nil, nil}
 
 	ref := runEngine(EngineLegacy, circ, n, angles, tans, theta, nil, gztans)
-	for _, kind := range []EngineKind{EngineFused, EngineFusedV2, EngineFusedV1, EngineNaive} {
+	for _, kind := range []EngineKind{EngineFused, EngineSharded, EngineFusedV2, EngineFusedV1, EngineNaive} {
 		got := runEngine(kind, circ, n, angles, tans, theta, nil, gztans)
 		if d := maxAbsDiff(ref.dAngles, got.dAngles); d > 1e-10 {
 			t.Errorf("engine=%v: dAngles diverges by %v", kind, d)
@@ -214,37 +214,95 @@ func TestEngineParityNilValueGradient(t *testing.T) {
 func TestEngineParityForcedParallel(t *testing.T) {
 	defer par.SetMaxWorkers(0)
 	rng := rand.New(rand.NewSource(31337))
-	circ := StronglyEntangling.Build(4, 3).WithReupload()
-	n, nq := 37, 4 // odd batch: uneven chunks and partial tail blocks
-	angles := randAngles(rng, n, nq)
-	theta := randTheta(rng, circ.NumParams)
-	tans := [][]float64{randAngles(rng, n, nq), randAngles(rng, n, nq), randAngles(rng, n, nq)}
-	gz := randAngles(rng, n, nq)
-	gztans := [][]float64{randAngles(rng, n, nq), randAngles(rng, n, nq), randAngles(rng, n, nq)}
+	// Cross-Mesh matters here beyond Strongly-Entangling: its CRZ meshes
+	// compile to fused diagonals whose gradients contract once per worker
+	// per pass — the exact epilogue a multi-call-per-worker scheduler can
+	// double-count (caught live when the stealing scheduler landed).
+	for _, a := range []AnsatzKind{StronglyEntangling, CrossMesh} {
+		circ := a.Build(4, 3).WithReupload()
+		n, nq := 37, 4 // odd batch: uneven chunks and partial tail blocks
+		angles := randAngles(rng, n, nq)
+		theta := randTheta(rng, circ.NumParams)
+		tans := [][]float64{randAngles(rng, n, nq), randAngles(rng, n, nq), randAngles(rng, n, nq)}
+		gz := randAngles(rng, n, nq)
+		gztans := [][]float64{randAngles(rng, n, nq), randAngles(rng, n, nq), randAngles(rng, n, nq)}
 
-	for _, kind := range []EngineKind{EngineFused, EngineFusedV2, EngineFusedV1} {
-		par.SetMaxWorkers(1)
-		serial := runEngine(kind, circ, n, angles, tans, theta, gz, gztans)
-		for _, workers := range []int{3, 8} {
-			par.SetMaxWorkers(workers)
-			got := runEngine(kind, circ, n, angles, tans, theta, gz, gztans)
-			for name, pair := range map[string][2][]float64{
-				"z": {serial.z, got.z}, "dAngles": {serial.dAngles, got.dAngles},
-				"dTheta": {serial.dTheta, got.dTheta},
-			} {
-				if d := maxAbsDiff(pair[0], pair[1]); d > 1e-12 {
-					t.Errorf("%v workers=%d: %s diverges from serial by %v", kind, workers, name, d)
+		for _, kind := range []EngineKind{EngineFused, EngineSharded, EngineFusedV2, EngineFusedV1} {
+			par.SetMaxWorkers(1)
+			serial := runEngine(kind, circ, n, angles, tans, theta, gz, gztans)
+			for _, workers := range []int{3, 8} {
+				par.SetMaxWorkers(workers)
+				got := runEngine(kind, circ, n, angles, tans, theta, gz, gztans)
+				for name, pair := range map[string][2][]float64{
+					"z": {serial.z, got.z}, "dAngles": {serial.dAngles, got.dAngles},
+					"dTheta": {serial.dTheta, got.dTheta},
+				} {
+					if d := maxAbsDiff(pair[0], pair[1]); d > 1e-12 {
+						t.Errorf("%v %v workers=%d: %s diverges from serial by %v", a, kind, workers, name, d)
+					}
 				}
-			}
-			for k := 0; k < MaxTangents; k++ {
-				if d := maxAbsDiff(serial.ztans[k], got.ztans[k]); d > 1e-12 {
-					t.Errorf("%v workers=%d: ztans[%d] diverges by %v", kind, workers, k, d)
-				}
-				if d := maxAbsDiff(serial.dTans[k], got.dTans[k]); d > 1e-12 {
-					t.Errorf("%v workers=%d: dTans[%d] diverges by %v", kind, workers, k, d)
+				for k := 0; k < MaxTangents; k++ {
+					if d := maxAbsDiff(serial.ztans[k], got.ztans[k]); d > 1e-12 {
+						t.Errorf("%v %v workers=%d: ztans[%d] diverges by %v", a, kind, workers, k, d)
+					}
+					if d := maxAbsDiff(serial.dTans[k], got.dTans[k]); d > 1e-12 {
+						t.Errorf("%v %v workers=%d: dTans[%d] diverges by %v", a, kind, workers, k, d)
+					}
 				}
 			}
 		}
+	}
+}
+
+// TestShardedDeterministicAcrossWorkerCounts pins the sharded engine's
+// distinguishing guarantee: because gradient partials accumulate per shard
+// (a partition fixed by the batch shape alone) and merge in shard order,
+// outputs and gradients are BIT-identical — not merely within tolerance —
+// for every worker bound and both scheduler modes. The fused engine cannot
+// promise this: its per-worker partials make the reduction order follow the
+// worker count.
+func TestShardedDeterministicAcrossWorkerCounts(t *testing.T) {
+	defer par.SetMaxWorkers(0)
+	defer par.SetScheduler(par.SchedSteal)
+	rng := rand.New(rand.NewSource(90210))
+	for _, a := range []AnsatzKind{StronglyEntangling, CrossMesh, CrossMeshCNOT} {
+		circ := a.Build(5, 3)
+		n, nq := 41, 5 // odd batch: a partial tail shard
+		angles := randAngles(rng, n, nq)
+		theta := randTheta(rng, circ.NumParams)
+		tans := [][]float64{randAngles(rng, n, nq), nil, randAngles(rng, n, nq)}
+		gz := randAngles(rng, n, nq)
+		gztans := [][]float64{randAngles(rng, n, nq), nil, randAngles(rng, n, nq)}
+
+		par.SetMaxWorkers(1)
+		ref := runEngine(EngineSharded, circ, n, angles, tans, theta, gz, gztans)
+		for _, workers := range []int{2, 5, 16} {
+			for _, sched := range []par.Scheduler{par.SchedSteal, par.SchedStatic} {
+				par.SetScheduler(sched)
+				par.SetMaxWorkers(workers)
+				got := runEngine(EngineSharded, circ, n, angles, tans, theta, gz, gztans)
+				for name, pair := range map[string][2][]float64{
+					"z": {ref.z, got.z}, "dAngles": {ref.dAngles, got.dAngles},
+					"dTheta": {ref.dTheta, got.dTheta},
+				} {
+					if d := maxAbsDiff(pair[0], pair[1]); d != 0 {
+						t.Errorf("%v workers=%d sched=%v: %s not bit-identical to serial (diff %v)", a, workers, sched, name, d)
+					}
+				}
+				for k := 0; k < MaxTangents; k++ {
+					if ref.ztans[k] == nil {
+						continue
+					}
+					if d := maxAbsDiff(ref.ztans[k], got.ztans[k]); d != 0 {
+						t.Errorf("%v workers=%d sched=%v: ztans[%d] not bit-identical (diff %v)", a, workers, sched, k, d)
+					}
+					if d := maxAbsDiff(ref.dTans[k], got.dTans[k]); d != 0 {
+						t.Errorf("%v workers=%d sched=%v: dTans[%d] not bit-identical (diff %v)", a, workers, sched, k, d)
+					}
+				}
+			}
+		}
+		par.SetMaxWorkers(1)
 	}
 }
 
@@ -378,7 +436,7 @@ func TestProgramV3GoldenCounts(t *testing.T) {
 
 // TestEngineKindRoundTrip covers flag parsing.
 func TestEngineKindRoundTrip(t *testing.T) {
-	for _, k := range []EngineKind{EngineFused, EngineFusedV2, EngineFusedV1, EngineLegacy, EngineNaive} {
+	for _, k := range []EngineKind{EngineFused, EngineSharded, EngineFusedV2, EngineFusedV1, EngineLegacy, EngineNaive} {
 		got, err := ParseEngine(k.String())
 		if err != nil || got != k {
 			t.Errorf("round trip %v: got %v, err %v", k, got, err)

@@ -98,6 +98,12 @@ type Workspace struct {
 	dcoef  []float64
 	dthW   [][]float64
 	diagTW [][]float64
+
+	// Sharded-engine scratch: per-shard dTheta partials (stride NumParams)
+	// and fused-diagonal accumulators (stride ndiag·dim), merged in shard
+	// order so gradients are independent of the worker count.
+	dthS  []float64
+	diagS []float64
 }
 
 // NewWorkspace allocates buffers for batches of n samples over nq qubits.
