@@ -17,6 +17,7 @@ import (
 	"time"
 
 	"repro/internal/experiments"
+	"repro/internal/qsim"
 )
 
 func main() {
@@ -26,10 +27,16 @@ func main() {
 		preset    = flag.String("preset", "smoke", "smoke | paper")
 		seeds     = flag.Int("seeds", 0, "replicate count (0 = preset default)")
 		epochs    = flag.Int("epochs", 0, "training epochs (0 = preset default)")
+		engine    = flag.String("engine", "fused", "circuit-execution engine: "+qsim.EngineNames())
 	)
 	flag.Parse()
 
-	o := experiments.Options{Preset: experiments.Smoke, Seeds: *seeds, Epochs: *epochs, Out: os.Stdout}
+	eng, err := qsim.ParseEngine(*engine)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	o := experiments.Options{Preset: experiments.Smoke, Seeds: *seeds, Epochs: *epochs, Engine: eng, Out: os.Stdout}
 	if *preset == "paper" {
 		o.Preset = experiments.Paper
 	}

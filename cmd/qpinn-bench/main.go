@@ -29,6 +29,7 @@ func main() {
 		figdir = flag.String("figdir", "", "directory for PGM/CSV artifacts")
 		ansatz = flag.String("ansatz", "", "restrict sweep to comma-separated ansätze (basic|strongly|crossmesh|crossmesh2|crossmeshcnot|noent)")
 		scale  = flag.String("scale", "", "restrict sweep to comma-separated scalings (none|pi|bias|asin|acos)")
+		engine = flag.String("engine", "fused", "circuit-execution engine: "+qsim.EngineNames())
 	)
 	flag.Parse()
 
@@ -48,10 +49,16 @@ func main() {
 		fmt.Fprintf(os.Stderr, "unknown experiment %q (use -list)\n", *exp)
 		os.Exit(2)
 	}
+	eng, err := qsim.ParseEngine(*engine)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
 	o := experiments.Options{
 		Preset: experiments.Smoke,
 		Seeds:  *seeds,
 		Epochs: *epochs,
+		Engine: eng,
 		Out:    os.Stdout,
 		FigDir: *figdir,
 	}

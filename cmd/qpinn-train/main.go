@@ -26,6 +26,7 @@ func main() {
 		archName   = flag.String("arch", "qpinn", "qpinn | regular | reduced | extra")
 		ansatz     = flag.String("ansatz", "strongly", "basic|strongly|crossmesh|crossmesh2|crossmeshcnot|noent")
 		scale      = flag.String("scale", "acos", "none|pi|bias|asin|acos")
+		engine     = flag.String("engine", "fused", "circuit-execution engine: "+qsim.EngineNames())
 		energy     = flag.Bool("energy", true, "include the energy-conservation loss")
 		symmetry   = flag.Bool("symmetry", true, "include the symmetry loss (ignored for the asymmetric case)")
 		epochs     = flag.Int("epochs", 300, "training epochs")
@@ -78,11 +79,17 @@ func main() {
 		"asin": qsim.ScaleAsin, "acos": qsim.ScaleAcos,
 	}
 
+	eng, err := qsim.ParseEngine(*engine)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
 	mcfg := core.ModelConfig{
 		Arch: arch, Hidden: *hidden, RFFFeatures: *rff, RFFSigma: 1,
 		NumQubits: *qubits, QLayers: *qlayers,
 		Ansatz: ansatzMap[*ansatz], Scaling: scaleMap[*scale],
 		Init: qsim.InitRegular, TimePeriod: 4, Seed: *seed,
+		Engine: eng,
 	}
 	useSym := *symmetry && c != maxwell.AsymmetricCase
 	tcfg := core.SmokeTrain(*epochs, maxwell.PaperConfig(*energy, useSym))

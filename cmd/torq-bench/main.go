@@ -10,13 +10,15 @@ import (
 	"fmt"
 	"os"
 
+	"repro/internal/dist"
 	"repro/internal/experiments"
 	"repro/internal/qsim"
 )
 
 func main() {
 	preset := flag.String("preset", "smoke", "smoke | paper")
-	engine := flag.String("engine", "fused", "circuit-execution engine for the batched simulator: fused (v3: three-qubit super-ops + commuted diagonals) | sharded (level-3 program as work-stealing sample shards, worker-count-independent gradients) | fused2 (PR-2 compiler) | fused1 (PR-1 compiler) | legacy | naive")
+	engine := flag.String("engine", "fused", "circuit-execution engine for the batched simulator ("+qsim.EngineNames()+"): fused runs the v3 compiler in process, sharded runs it as work-stealing sample shards with worker-count-independent gradients, dist ships the same shards to worker processes, fused2/fused1 are the PR-2/PR-1 compilers, legacy sweeps per gate, naive is the dense per-sample baseline")
+	distWorkers := flag.Int("dist-workers", 0, "subprocess worker count for -engine dist (0 = TORQ_DIST_WORKERS or 2); remote workers come from TORQ_DIST_ADDRS")
 	flag.Parse()
 	o := experiments.Options{Preset: experiments.Smoke, Out: os.Stdout}
 	if *preset == "paper" {
@@ -28,6 +30,10 @@ func main() {
 		os.Exit(2)
 	}
 	o.Engine = eng
+	if *distWorkers > 0 {
+		dist.Configure(dist.Options{Workers: *distWorkers})
+		defer dist.Shutdown()
+	}
 	if err := experiments.Table2(o); err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)

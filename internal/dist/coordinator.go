@@ -1,0 +1,547 @@
+package dist
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"os"
+	"os/exec"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/qsim"
+)
+
+// Options configures the coordinator's worker set. Every zero-valued field
+// falls back to its environment default — TORQ_DIST_WORKERS subprocess
+// workers (2 when unset and no remote addresses are given),
+// TORQ_DIST_WORKER_BIN as the worker binary (self-exec when unset),
+// TORQ_DIST_ADDRS remote workers, TORQ_DIST_SHARD_TIMEOUT per-shard timeout
+// — so e.g. `torq-bench -dist-workers 4` composes with a TORQ_DIST_ADDRS /
+// TORQ_DIST_WORKER_BIN environment instead of silently discarding it.
+type Options struct {
+	// Workers is the number of local subprocess workers to spawn.
+	Workers int
+	// WorkerBin is the worker executable (normally a torq-worker build).
+	// Empty re-executes the current binary with TORQ_DIST_WORKER=stdio set,
+	// which this package's init intercepts — any binary that links the dist
+	// subsystem can therefore act as its own worker pool.
+	WorkerBin string
+	// Addrs lists remote `torq-worker -listen` endpoints to dial, used in
+	// addition to the subprocess workers.
+	Addrs []string
+	// ShardTimeout bounds one shard's round trip; a worker that blows it is
+	// declared dead and its shard re-dispatched. Zero means 60s.
+	ShardTimeout time.Duration
+}
+
+func (o Options) timeout() time.Duration {
+	if o.ShardTimeout > 0 {
+		return o.ShardTimeout
+	}
+	return 60 * time.Second
+}
+
+func envOptions() Options {
+	var o Options
+	if v, err := strconv.Atoi(os.Getenv("TORQ_DIST_WORKERS")); err == nil && v >= 0 {
+		o.Workers = v
+	}
+	o.WorkerBin = os.Getenv("TORQ_DIST_WORKER_BIN")
+	if v := os.Getenv("TORQ_DIST_ADDRS"); v != "" {
+		for _, a := range strings.Split(v, ",") {
+			if a = strings.TrimSpace(a); a != "" {
+				o.Addrs = append(o.Addrs, a)
+			}
+		}
+	}
+	if v, err := time.ParseDuration(os.Getenv("TORQ_DIST_SHARD_TIMEOUT")); err == nil && v > 0 {
+		o.ShardTimeout = v
+	}
+	return o
+}
+
+// worker is one coordinator-side worker handle: a framed transport plus the
+// process or connection behind it. A worker is owned by exactly one
+// goroutine during a pass; only the dead flag and the kill path are shared.
+type worker struct {
+	id   int
+	addr string // non-empty for remote (TCP) workers
+	r    *bufio.Reader
+	w    *bufio.Writer
+	raw  io.Closer
+	cmd  *exec.Cmd
+
+	circ     *qsim.Circuit // circuit of the last successful handshake
+	dead     atomic.Bool
+	killOnce sync.Once
+}
+
+// kill tears the transport down (idempotent, safe from timeout callbacks):
+// closing the stdin pipe/conn unblocks any in-flight write, and for
+// subprocess workers the async Wait both reaps the child and closes the
+// parent side of the stdout pipe (unblocking any in-flight read) — without
+// it every dead worker would leak one pipe fd until a GC finalizer ran.
+func (w *worker) kill() {
+	w.dead.Store(true)
+	w.killOnce.Do(func() {
+		if w.raw != nil {
+			w.raw.Close()
+		}
+		if w.cmd != nil {
+			w.cmd.Process.Kill()
+			go w.cmd.Wait() // reap + release pipes without blocking callers
+		}
+	})
+}
+
+func (w *worker) send(typ byte, payload []byte) error {
+	if err := writeFrame(w.w, typ, payload); err != nil {
+		return err
+	}
+	return w.w.Flush()
+}
+
+// guard arms the worker-death timeout around a blocking frame exchange and
+// returns its stop function. Pipes and TCP conns carry no write deadlines
+// here, so BOTH directions must run under the timer: a wedged worker (or a
+// black-holed network peer) can block the coordinator in send — a full TCP
+// window or pipe buffer — just as it can block the reply read; killing the
+// transport is what unblocks either side.
+func (c *coordinator) guard(w *worker) func() bool {
+	return time.AfterFunc(c.options().timeout(), w.kill).Stop
+}
+
+// coordinator owns the worker pool behind the EngineDist backend. One pass
+// runs at a time (mu); worker goroutines within a pass touch only their own
+// worker plus the shared shard queue and result slots.
+type coordinator struct {
+	mu      sync.Mutex
+	opts    Options
+	optsSet bool
+	started bool
+	workers []*worker
+	nextID  int
+	passID  uint64
+
+	// spawnEnv is appended to the next spawned subprocess's environment and
+	// then cleared — the hook the kill-a-worker recovery tests use to arm
+	// exactly one worker with a deterministic mid-pass death.
+	spawnEnv []string
+}
+
+var coord coordinator
+
+// Configure replaces the coordinator's options (zero-valued fields keep
+// their environment defaults), shutting down any running workers so the
+// next pass starts a fresh pool.
+func Configure(o Options) {
+	base := envOptions()
+	if o.Workers != 0 {
+		base.Workers = o.Workers
+	}
+	if o.WorkerBin != "" {
+		base.WorkerBin = o.WorkerBin
+	}
+	if len(o.Addrs) > 0 {
+		base.Addrs = o.Addrs
+	}
+	if o.ShardTimeout > 0 {
+		base.ShardTimeout = o.ShardTimeout
+	}
+	coord.mu.Lock()
+	defer coord.mu.Unlock()
+	coord.shutdownLocked()
+	coord.opts, coord.optsSet = base, true
+}
+
+// Shutdown kills every worker process and drops every connection. The next
+// pass respawns the pool; safe to call at any quiesced point.
+func Shutdown() {
+	coord.mu.Lock()
+	defer coord.mu.Unlock()
+	coord.shutdownLocked()
+}
+
+func (c *coordinator) shutdownLocked() {
+	for _, w := range c.workers {
+		w.kill()
+	}
+	c.workers, c.started = nil, false
+}
+
+func (c *coordinator) options() Options {
+	if !c.optsSet {
+		c.opts, c.optsSet = envOptions(), true
+	}
+	return c.opts
+}
+
+// spawnProc starts one subprocess worker on a stdio transport.
+func (c *coordinator) spawnProc() (*worker, error) {
+	o := c.options()
+	bin := o.WorkerBin
+	if bin == "" {
+		exe, err := os.Executable()
+		if err != nil {
+			return nil, fmt.Errorf("dist: cannot self-exec a worker: %w", err)
+		}
+		bin = exe
+	}
+	cmd := exec.Command(bin)
+	cmd.Env = append(os.Environ(), workerModeEnv+"=stdio")
+	cmd.Env = append(cmd.Env, c.spawnEnv...)
+	c.spawnEnv = nil
+	cmd.Stderr = os.Stderr
+	stdin, err := cmd.StdinPipe()
+	if err != nil {
+		return nil, err
+	}
+	stdout, err := cmd.StdoutPipe()
+	if err != nil {
+		return nil, err
+	}
+	if err := cmd.Start(); err != nil {
+		return nil, fmt.Errorf("dist: spawning worker %q: %w", bin, err)
+	}
+	c.nextID++
+	return &worker{
+		id:  c.nextID,
+		r:   bufio.NewReaderSize(stdout, 1<<16),
+		w:   bufio.NewWriterSize(stdin, 1<<16),
+		raw: stdin,
+		cmd: cmd,
+	}, nil
+}
+
+// dialWorker connects one remote worker.
+func (c *coordinator) dialWorker(addr string) (*worker, error) {
+	conn, err := net.DialTimeout("tcp", addr, 10*time.Second)
+	if err != nil {
+		return nil, fmt.Errorf("dist: dialing worker %s: %w", addr, err)
+	}
+	c.nextID++
+	return &worker{
+		id:   c.nextID,
+		addr: addr,
+		r:    bufio.NewReaderSize(conn, 1<<16),
+		w:    bufio.NewWriterSize(conn, 1<<16),
+		raw:  conn,
+	}, nil
+}
+
+// ensureWorkersLocked brings the pool to its configured shape, respawning or
+// redialing workers that died in earlier passes.
+func (c *coordinator) ensureWorkersLocked() error {
+	o := c.options()
+	if !c.started {
+		for _, addr := range o.Addrs {
+			w, err := c.dialWorker(addr)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "dist: %v (continuing without it)\n", err)
+				continue
+			}
+			c.workers = append(c.workers, w)
+		}
+		n := o.Workers
+		if n == 0 && len(o.Addrs) == 0 {
+			n = 2
+		}
+		for i := 0; i < n; i++ {
+			w, err := c.spawnProc()
+			if err != nil {
+				// Tear the partial pool down rather than dropping live
+				// handles: the next attempt re-enters this branch, and
+				// orphaned subprocesses would linger on their stdin pipes.
+				c.shutdownLocked()
+				return err
+			}
+			c.workers = append(c.workers, w)
+		}
+		c.started = true
+	} else {
+		for i, w := range c.workers {
+			if !w.dead.Load() {
+				continue
+			}
+			var nw *worker
+			var err error
+			if w.addr != "" {
+				nw, err = c.dialWorker(w.addr)
+			} else {
+				nw, err = c.spawnProc()
+			}
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "dist: replacing dead worker %d: %v\n", w.id, err)
+				continue
+			}
+			c.workers[i] = nw
+		}
+	}
+	for _, w := range c.workers {
+		if !w.dead.Load() {
+			return nil
+		}
+	}
+	return errors.New("dist: no live workers")
+}
+
+// handshake pins one worker to the pass's circuit and compiled program.
+func (c *coordinator) handshake(w *worker, spec *qsim.PassSpec) error {
+	circ := spec.Circ
+	hm := helloMsg{
+		Version:     ProtoVersion,
+		Name:        circ.Name,
+		NumQubits:   circ.NumQubits,
+		Layers:      circ.Layers,
+		Reupload:    circ.Reupload,
+		NumParams:   circ.NumParams,
+		Gates:       circ.Gates,
+		LayerStarts: circ.LayerStarts(),
+		Digest:      spec.Prog.Digest(),
+	}
+	defer c.guard(w)()
+	if err := w.send(fHello, encodeHello(hm)); err != nil {
+		return err
+	}
+	typ, body, err := w.recv()
+	if err != nil {
+		return err
+	}
+	switch typ {
+	case fHelloAck:
+		ack, err := decodeHelloAck(body)
+		if err != nil {
+			return err
+		}
+		if ack.Version != ProtoVersion {
+			return fmt.Errorf("dist: worker protocol version %d, coordinator speaks %d", ack.Version, ProtoVersion)
+		}
+		if ack.Digest != hm.Digest {
+			return fmt.Errorf("dist: worker compiled a different program: %+v vs %+v", ack.Digest, hm.Digest)
+		}
+		w.circ = circ
+		return nil
+	case fError:
+		em, _ := decodeError(body)
+		return fmt.Errorf("dist: worker refused handshake: %s", em.Msg)
+	}
+	return fmt.Errorf("dist: unexpected handshake reply type %d", typ)
+}
+
+func (w *worker) recv() (byte, []byte, error) {
+	return readFrame(w.r)
+}
+
+// backend implements qsim.DistBackend on the package coordinator.
+type backend struct{}
+
+// RunPass partitions the pass into shards, fans them out over the live
+// workers, and collects one result per shard. Shard assignment is dynamic —
+// each worker goroutine pulls the next unclaimed shard — and a worker that
+// dies (transport error, timeout, mismatched reply) has its in-flight shard
+// pushed back for the survivors. The pass fails only when every worker is
+// gone with shards outstanding.
+func (backend) RunPass(spec *qsim.PassSpec) ([]qsim.ShardResult, error) {
+	c := &coord
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if err := c.ensureWorkersLocked(); err != nil {
+		return nil, err
+	}
+	c.passID++
+	pass := c.passID
+
+	// Handshake lazily: only workers whose session is pinned to a different
+	// circuit (or fresh workers) pay it, once per circuit change.
+	var live []*worker
+	var hsErr error
+	for _, w := range c.workers {
+		if w.dead.Load() {
+			continue
+		}
+		if w.circ != spec.Circ {
+			if err := c.handshake(w, spec); err != nil {
+				// Surface every refusal: a version/digest-skewed remote node
+				// would otherwise be silently re-dialed and re-refused on
+				// each pass while the pool runs at reduced capacity.
+				fmt.Fprintf(os.Stderr, "dist: worker %d handshake failed: %v (removed from pool this pass)\n", w.id, err)
+				hsErr = err
+				w.kill()
+				continue
+			}
+		}
+		live = append(live, w)
+	}
+	if len(live) == 0 {
+		if hsErr != nil {
+			return nil, hsErr
+		}
+		return nil, errors.New("dist: no live workers")
+	}
+
+	ns := spec.NumShards()
+	results := make([]qsim.ShardResult, ns)
+	if ns == 0 {
+		// An empty batch has nothing to dispatch; without this return the
+		// worker loops would block forever on a done channel that only a
+		// shard completion closes.
+		return results, nil
+	}
+	todo := make(chan int, ns)
+	for s := 0; s < ns; s++ {
+		todo <- s
+	}
+	pending := int32(ns)
+	done := make(chan struct{})
+	pm := encodePass(passMsg{Pass: pass, Backward: spec.Backward, Active: spec.Active, Theta: spec.Theta})
+
+	var wg sync.WaitGroup
+	for _, w := range live {
+		wg.Add(1)
+		go func(w *worker) {
+			defer wg.Done()
+			c.workerLoop(w, spec, pass, pm, todo, results, &pending, done)
+		}(w)
+	}
+	wg.Wait()
+	if atomic.LoadInt32(&pending) != 0 {
+		return nil, fmt.Errorf("dist: pass %d lost all workers with %d shards outstanding", pass, atomic.LoadInt32(&pending))
+	}
+	return results, nil
+}
+
+func (c *coordinator) workerLoop(w *worker, spec *qsim.PassSpec, pass uint64, pm []byte, todo chan int, results []qsim.ShardResult, pending *int32, done chan struct{}) {
+	stop := c.guard(w)
+	err := w.send(fPass, pm)
+	stop()
+	if err != nil {
+		w.kill()
+		return
+	}
+	for {
+		select {
+		case <-done:
+			return
+		case s := <-todo:
+			if err := c.runShard(w, spec, pass, s, results); err != nil {
+				fmt.Fprintf(os.Stderr, "dist: worker %d lost on shard %d of pass %d (%v); re-dispatching\n", w.id, s, pass, err)
+				w.kill()
+				todo <- s // capacity ns: the slot this shard vacated is free
+				return
+			}
+			if atomic.AddInt32(pending, -1) == 0 {
+				close(done)
+				return
+			}
+		}
+	}
+}
+
+// runShard ships shard s to w and records its result.
+func (c *coordinator) runShard(w *worker, spec *qsim.PassSpec, pass uint64, s int, results []qsim.ShardResult) error {
+	lo, hi := spec.Shard(s)
+	nq := spec.NQ
+	sm := shardMsg{Pass: pass, Shard: uint32(s), Angles: spec.Angles[lo*nq : hi*nq]}
+	for k := 0; k < qsim.MaxTangents; k++ {
+		if spec.AngleTans[k] != nil {
+			sm.AngleTans[k] = spec.AngleTans[k][lo*nq : hi*nq]
+		}
+	}
+	if spec.Backward {
+		if spec.GZ != nil {
+			sm.GZ = spec.GZ[lo*nq : hi*nq]
+		}
+		for k := 0; k < qsim.MaxTangents; k++ {
+			if spec.GZTans[k] != nil {
+				sm.GZTans[k] = spec.GZTans[k][lo*nq : hi*nq]
+			}
+		}
+	}
+	// One timeout covers the whole round trip — see guard for why the send
+	// side needs it as much as the reply read.
+	defer c.guard(w)()
+	if err := w.send(fShard, encodeShard(sm)); err != nil {
+		return err
+	}
+	typ, body, err := w.recv()
+	if err != nil {
+		return err
+	}
+	switch typ {
+	case fError:
+		em, _ := decodeError(body)
+		return fmt.Errorf("worker error: %s", em.Msg)
+	case fResult:
+	default:
+		return fmt.Errorf("unexpected reply type %d", typ)
+	}
+	rm, err := decodeResult(body)
+	if err != nil {
+		return err
+	}
+	if rm.Pass != pass || int(rm.Shard) != s || rm.Backward != spec.Backward {
+		return fmt.Errorf("result for pass %d shard %d (backward=%v), want pass %d shard %d (backward=%v)",
+			rm.Pass, rm.Shard, rm.Backward, pass, s, spec.Backward)
+	}
+	return validateResult(spec, s, rm, &results[s])
+}
+
+// validateResult checks the result arrays have the pass's expected shapes
+// before accepting them — a worker that disagrees about sizes is broken, and
+// catching it here turns silent corruption into a re-dispatch.
+func validateResult(spec *qsim.PassSpec, s int, rm resultMsg, out *qsim.ShardResult) error {
+	lo, hi := spec.Shard(s)
+	rows := (hi - lo) * spec.NQ
+	checkRows := func(name string, got []float64, want int) error {
+		if len(got) != want {
+			return fmt.Errorf("shard %d: %s has %d values, want %d", s, name, len(got), want)
+		}
+		return nil
+	}
+	if !spec.Backward {
+		if err := checkRows("z", rm.Z, rows); err != nil {
+			return err
+		}
+		for k := 0; k < qsim.MaxTangents; k++ {
+			want := 0
+			if spec.Active[k] {
+				want = rows
+			}
+			if err := checkRows("ztan", rm.ZTans[k], want); err != nil {
+				return err
+			}
+		}
+		out.Z = rm.Z
+		out.ZTans = rm.ZTans
+		return nil
+	}
+	if err := checkRows("dAngles", rm.DAngles, rows); err != nil {
+		return err
+	}
+	for k := 0; k < qsim.MaxTangents; k++ {
+		want := 0
+		if spec.Active[k] {
+			want = rows
+		}
+		if err := checkRows("dAngleTan", rm.DAngleTans[k], want); err != nil {
+			return err
+		}
+	}
+	if err := checkRows("dTheta", rm.DTheta, spec.Circ.NumParams); err != nil {
+		return err
+	}
+	if err := checkRows("diagT", rm.DiagT, spec.Prog.NumDiagAccums()*(1<<spec.NQ)); err != nil {
+		return err
+	}
+	out.DAngles = rm.DAngles
+	out.DAngleTans = rm.DAngleTans
+	out.DTheta = rm.DTheta
+	out.DiagT = rm.DiagT
+	return nil
+}

@@ -1,0 +1,48 @@
+// Package dist is the multi-process shard executor behind qsim's EngineDist:
+// a coordinator that partitions each circuit pass into the same fixed
+// cache-block sample shards as the in-process sharded engine, ships them to
+// worker processes over a length-prefixed, versioned binary frame protocol,
+// and merges (z rows, gradient partials) in shard order — so results are
+// bit-identical to EngineSharded for any worker count.
+//
+// A session opens with one handshake carrying the ansatz circuit and the
+// compiled program's digest (workers recompile deterministically and must
+// agree); each pass then broadcasts the coefficient vector once and streams
+// shard assignments. Shards are stateless — a backward shard recomputes its
+// forward states — which is what lets the coordinator re-dispatch a dead
+// worker's outstanding shards to the survivors and finish the pass.
+//
+// Workers come in two transports: local subprocesses speaking frames over
+// stdio (spawned from TORQ_DIST_WORKER_BIN, or by re-executing the current
+// binary — this package's init intercepts TORQ_DIST_WORKER=stdio before
+// main runs), and remote `torq-worker -listen` instances dialed over TCP
+// (TORQ_DIST_ADDRS or Options.Addrs).
+//
+// Importing the package registers the coordinator as qsim's dist backend;
+// nothing starts until the first EngineDist pass runs.
+package dist
+
+import (
+	"fmt"
+	"os"
+
+	"repro/internal/qsim"
+)
+
+// workerModeEnv turns any binary that links this package into a worker: when
+// set to "stdio" the process serves the worker protocol on stdin/stdout from
+// init and never reaches main. This is how the coordinator self-execs a
+// worker pool out of binaries (including test binaries) that have no worker
+// entry point of their own.
+const workerModeEnv = "TORQ_DIST_WORKER"
+
+func init() {
+	if os.Getenv(workerModeEnv) == "stdio" {
+		if err := ServeStdio(); err != nil {
+			fmt.Fprintf(os.Stderr, "torq-worker (self-exec): %v\n", err)
+			os.Exit(1)
+		}
+		os.Exit(0)
+	}
+	qsim.RegisterDistBackend(backend{})
+}

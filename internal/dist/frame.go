@@ -1,0 +1,433 @@
+package dist
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+
+	"repro/internal/qsim"
+)
+
+// The wire format is length-prefixed binary frames, little-endian throughout:
+//
+//	u32 length | u8 type | payload (length−1 bytes)
+//
+// Float64 payloads are raw IEEE-754 bit patterns, so shard inputs and
+// results cross the process boundary bit-exactly — the transport can never
+// perturb the bit-identity guarantee.
+//
+// A session opens with a versioned handshake (fHello/fHelloAck) that carries
+// the ansatz circuit and the compiled-program digest once; each pass then
+// broadcasts the coefficient vector (fPass) and streams shard assignments
+// (fShard) against it. Every frame type is self-describing — optional arrays
+// carry presence bytes — so the codec round-trips without session state.
+
+// ProtoVersion is the frame-protocol version. A worker that receives a
+// handshake with any other version refuses the session.
+const ProtoVersion uint16 = 1
+
+// maxFrame bounds a frame's wire size; anything larger is a corrupt stream.
+const maxFrame = 1 << 30
+
+// Frame types.
+const (
+	fHello    byte = 1 // coordinator → worker: version, circuit, program digest
+	fHelloAck byte = 2 // worker → coordinator: version + digest echo
+	fPass     byte = 3 // coordinator → worker: per-pass broadcast (theta, channels)
+	fShard    byte = 4 // coordinator → worker: one shard's input rows
+	fResult   byte = 5 // worker → coordinator: one shard's outputs
+	fError    byte = 6 // worker → coordinator: fatal session error text
+)
+
+func writeFrame(w io.Writer, typ byte, payload []byte) error {
+	var hdr [5]byte
+	binary.LittleEndian.PutUint32(hdr[:4], uint32(1+len(payload)))
+	hdr[4] = typ
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err := w.Write(payload)
+	return err
+}
+
+func readFrame(r io.Reader) (typ byte, payload []byte, err error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return 0, nil, err
+	}
+	n := binary.LittleEndian.Uint32(hdr[:])
+	if n < 1 || n > maxFrame {
+		return 0, nil, fmt.Errorf("dist: bad frame length %d", n)
+	}
+	buf := make([]byte, n)
+	if _, err := io.ReadFull(r, buf); err != nil {
+		return 0, nil, err
+	}
+	return buf[0], buf[1:], nil
+}
+
+// enc builds a payload.
+type enc struct{ b []byte }
+
+func (e *enc) u8(v byte) { e.b = append(e.b, v) }
+func (e *enc) bool(v bool) {
+	if v {
+		e.u8(1)
+	} else {
+		e.u8(0)
+	}
+}
+func (e *enc) u16(v uint16) { e.b = binary.LittleEndian.AppendUint16(e.b, v) }
+func (e *enc) u32(v uint32) { e.b = binary.LittleEndian.AppendUint32(e.b, v) }
+func (e *enc) u64(v uint64) { e.b = binary.LittleEndian.AppendUint64(e.b, v) }
+func (e *enc) int(v int)    { e.u64(uint64(int64(v))) }
+func (e *enc) str(s string) { e.u32(uint32(len(s))); e.b = append(e.b, s...) }
+func (e *enc) f64s(v []float64) {
+	e.u32(uint32(len(v)))
+	for _, f := range v {
+		e.u64(math.Float64bits(f))
+	}
+}
+
+// optF64s encodes a nil-able array: presence byte, then the array when set.
+func (e *enc) optF64s(v []float64) {
+	if v == nil {
+		e.u8(0)
+		return
+	}
+	e.u8(1)
+	e.f64s(v)
+}
+
+// dec consumes a payload; the first malformed field latches err and turns
+// every subsequent read into a zero value.
+type dec struct {
+	b   []byte
+	off int
+	err error
+}
+
+func (d *dec) fail(format string, args ...any) {
+	if d.err == nil {
+		d.err = fmt.Errorf("dist: "+format, args...)
+	}
+}
+
+func (d *dec) take(n int) []byte {
+	if d.err != nil {
+		return nil
+	}
+	if n < 0 || d.off+n > len(d.b) {
+		d.fail("truncated payload (want %d bytes at offset %d of %d)", n, d.off, len(d.b))
+		return nil
+	}
+	s := d.b[d.off : d.off+n]
+	d.off += n
+	return s
+}
+
+func (d *dec) u8() byte {
+	if s := d.take(1); s != nil {
+		return s[0]
+	}
+	return 0
+}
+func (d *dec) bool() bool { return d.u8() != 0 }
+func (d *dec) u16() uint16 {
+	if s := d.take(2); s != nil {
+		return binary.LittleEndian.Uint16(s)
+	}
+	return 0
+}
+func (d *dec) u32() uint32 {
+	if s := d.take(4); s != nil {
+		return binary.LittleEndian.Uint32(s)
+	}
+	return 0
+}
+func (d *dec) u64() uint64 {
+	if s := d.take(8); s != nil {
+		return binary.LittleEndian.Uint64(s)
+	}
+	return 0
+}
+func (d *dec) int() int { return int(int64(d.u64())) }
+func (d *dec) str() string {
+	n := d.u32()
+	return string(d.take(int(n)))
+}
+func (d *dec) f64s() []float64 {
+	n := int(d.u32())
+	if n > maxFrame/8 {
+		d.fail("array length %d exceeds frame bound", n)
+		return nil
+	}
+	s := d.take(8 * n)
+	if s == nil {
+		return nil
+	}
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = math.Float64frombits(binary.LittleEndian.Uint64(s[8*i:]))
+	}
+	return out
+}
+func (d *dec) optF64s() []float64 {
+	if d.u8() == 0 {
+		return nil
+	}
+	return d.f64s()
+}
+
+// done checks the payload was consumed exactly.
+func (d *dec) done() error {
+	if d.err == nil && d.off != len(d.b) {
+		d.fail("%d trailing bytes", len(d.b)-d.off)
+	}
+	return d.err
+}
+
+// helloMsg carries the session handshake: the ansatz circuit (from which the
+// worker deterministically recompiles the level-3 program) and the
+// coordinator's program digest, which the worker must reproduce exactly.
+type helloMsg struct {
+	Version     uint16
+	Name        string
+	NumQubits   int
+	Layers      int
+	Reupload    bool
+	NumParams   int
+	Gates       []qsim.Gate
+	LayerStarts []int
+	Digest      qsim.ProgramDigest
+}
+
+func encodeDigest(e *enc, g qsim.ProgramDigest) {
+	e.int(g.Level)
+	e.int(g.Instructions)
+	e.int(g.Coeffs)
+	e.int(g.DerivCoeffs)
+	e.int(g.DiagAccums)
+	e.u64(g.Hash)
+}
+
+func decodeDigest(d *dec) qsim.ProgramDigest {
+	return qsim.ProgramDigest{
+		Level:        d.int(),
+		Instructions: d.int(),
+		Coeffs:       d.int(),
+		DerivCoeffs:  d.int(),
+		DiagAccums:   d.int(),
+		Hash:         d.u64(),
+	}
+}
+
+func encodeHello(m helloMsg) []byte {
+	var e enc
+	e.u16(m.Version)
+	e.str(m.Name)
+	e.int(m.NumQubits)
+	e.int(m.Layers)
+	e.bool(m.Reupload)
+	e.int(m.NumParams)
+	e.u32(uint32(len(m.Gates)))
+	for _, g := range m.Gates {
+		e.u8(byte(g.Kind))
+		e.int(g.Q)
+		e.int(g.C)
+		e.int(g.P)
+	}
+	e.u32(uint32(len(m.LayerStarts)))
+	for _, s := range m.LayerStarts {
+		e.int(s)
+	}
+	encodeDigest(&e, m.Digest)
+	return e.b
+}
+
+func decodeHello(b []byte) (helloMsg, error) {
+	d := dec{b: b}
+	m := helloMsg{
+		Version:   d.u16(),
+		Name:      d.str(),
+		NumQubits: d.int(),
+		Layers:    d.int(),
+		Reupload:  d.bool(),
+		NumParams: d.int(),
+	}
+	ng := int(d.u32())
+	if ng > maxFrame/8 {
+		d.fail("gate count %d exceeds frame bound", ng)
+	}
+	for i := 0; i < ng && d.err == nil; i++ {
+		m.Gates = append(m.Gates, qsim.Gate{
+			Kind: qsim.GateKind(d.u8()), Q: d.int(), C: d.int(), P: d.int(),
+		})
+	}
+	nl := int(d.u32())
+	if nl > maxFrame/8 {
+		d.fail("layer count %d exceeds frame bound", nl)
+	}
+	for i := 0; i < nl && d.err == nil; i++ {
+		m.LayerStarts = append(m.LayerStarts, d.int())
+	}
+	m.Digest = decodeDigest(&d)
+	return m, d.done()
+}
+
+type helloAckMsg struct {
+	Version uint16
+	Digest  qsim.ProgramDigest
+}
+
+func encodeHelloAck(m helloAckMsg) []byte {
+	var e enc
+	e.u16(m.Version)
+	encodeDigest(&e, m.Digest)
+	return e.b
+}
+
+func decodeHelloAck(b []byte) (helloAckMsg, error) {
+	d := dec{b: b}
+	m := helloAckMsg{Version: d.u16(), Digest: decodeDigest(&d)}
+	return m, d.done()
+}
+
+// passMsg is the per-pass broadcast: the pass id every subsequent shard
+// frame references, the pass direction, the active tangent channels, and the
+// ansatz coefficient vector theta.
+type passMsg struct {
+	Pass     uint64
+	Backward bool
+	Active   [qsim.MaxTangents]bool
+	Theta    []float64
+}
+
+func encodePass(m passMsg) []byte {
+	var e enc
+	e.u64(m.Pass)
+	e.bool(m.Backward)
+	var mask byte
+	for k := 0; k < qsim.MaxTangents; k++ {
+		if m.Active[k] {
+			mask |= 1 << k
+		}
+	}
+	e.u8(mask)
+	e.f64s(m.Theta)
+	return e.b
+}
+
+func decodePass(b []byte) (passMsg, error) {
+	d := dec{b: b}
+	m := passMsg{Pass: d.u64(), Backward: d.bool()}
+	mask := d.u8()
+	for k := 0; k < qsim.MaxTangents; k++ {
+		m.Active[k] = mask&(1<<k) != 0
+	}
+	m.Theta = d.f64s()
+	return m, d.done()
+}
+
+// shardMsg assigns one shard: the pass it belongs to, its index, and the
+// shard's input rows (the worker is offset-agnostic — a shard computes the
+// same rows wherever it sat in the batch, which is what makes re-dispatch
+// free). Optional arrays follow the pass direction: tangent rows for active
+// channels, upstream gradients on backward passes.
+type shardMsg struct {
+	Pass      uint64
+	Shard     uint32
+	Angles    []float64
+	AngleTans [qsim.MaxTangents][]float64
+	GZ        []float64
+	GZTans    [qsim.MaxTangents][]float64
+}
+
+func encodeShard(m shardMsg) []byte {
+	var e enc
+	e.u64(m.Pass)
+	e.u32(m.Shard)
+	e.f64s(m.Angles)
+	for k := 0; k < qsim.MaxTangents; k++ {
+		e.optF64s(m.AngleTans[k])
+	}
+	e.optF64s(m.GZ)
+	for k := 0; k < qsim.MaxTangents; k++ {
+		e.optF64s(m.GZTans[k])
+	}
+	return e.b
+}
+
+func decodeShard(b []byte) (shardMsg, error) {
+	d := dec{b: b}
+	m := shardMsg{Pass: d.u64(), Shard: d.u32(), Angles: d.f64s()}
+	for k := 0; k < qsim.MaxTangents; k++ {
+		m.AngleTans[k] = d.optF64s()
+	}
+	m.GZ = d.optF64s()
+	for k := 0; k < qsim.MaxTangents; k++ {
+		m.GZTans[k] = d.optF64s()
+	}
+	return m, d.done()
+}
+
+// resultMsg returns one shard's outputs (see qsim.ShardResult).
+type resultMsg struct {
+	Pass       uint64
+	Shard      uint32
+	Backward   bool
+	Z          []float64
+	ZTans      [qsim.MaxTangents][]float64
+	DAngles    []float64
+	DAngleTans [qsim.MaxTangents][]float64
+	DTheta     []float64
+	DiagT      []float64
+}
+
+func encodeResult(m resultMsg) []byte {
+	var e enc
+	e.u64(m.Pass)
+	e.u32(m.Shard)
+	e.bool(m.Backward)
+	e.optF64s(m.Z)
+	for k := 0; k < qsim.MaxTangents; k++ {
+		e.optF64s(m.ZTans[k])
+	}
+	e.optF64s(m.DAngles)
+	for k := 0; k < qsim.MaxTangents; k++ {
+		e.optF64s(m.DAngleTans[k])
+	}
+	e.optF64s(m.DTheta)
+	e.optF64s(m.DiagT)
+	return e.b
+}
+
+func decodeResult(b []byte) (resultMsg, error) {
+	d := dec{b: b}
+	m := resultMsg{Pass: d.u64(), Shard: d.u32(), Backward: d.bool(), Z: d.optF64s()}
+	for k := 0; k < qsim.MaxTangents; k++ {
+		m.ZTans[k] = d.optF64s()
+	}
+	m.DAngles = d.optF64s()
+	for k := 0; k < qsim.MaxTangents; k++ {
+		m.DAngleTans[k] = d.optF64s()
+	}
+	m.DTheta = d.optF64s()
+	m.DiagT = d.optF64s()
+	return m, d.done()
+}
+
+type errorMsg struct{ Msg string }
+
+func encodeError(m errorMsg) []byte {
+	var e enc
+	e.str(m.Msg)
+	return e.b
+}
+
+func decodeError(b []byte) (errorMsg, error) {
+	d := dec{b: b}
+	m := errorMsg{Msg: d.str()}
+	return m, d.done()
+}

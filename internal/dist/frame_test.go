@@ -1,0 +1,262 @@
+package dist
+
+import (
+	"bytes"
+	"encoding/hex"
+	"io"
+	"math"
+	"math/rand"
+	"reflect"
+	"strings"
+	"testing"
+
+	"repro/internal/qsim"
+)
+
+// TestFrameRoundTrip checks the length-prefixed framing itself.
+func TestFrameRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	payloads := [][]byte{nil, {}, {1, 2, 3}, bytes.Repeat([]byte{0xAB}, 1<<16)}
+	for i, p := range payloads {
+		if err := writeFrame(&buf, byte(i+1), p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i, p := range payloads {
+		typ, body, err := readFrame(&buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if typ != byte(i+1) || !bytes.Equal(body, p) {
+			t.Fatalf("frame %d: type %d len %d, want type %d len %d", i, typ, len(body), i+1, len(p))
+		}
+	}
+	if _, _, err := readFrame(&buf); err != io.EOF {
+		t.Fatalf("expected EOF after last frame, got %v", err)
+	}
+	// A zero-length frame (no type byte) is a corrupt stream, not a frame.
+	if _, _, err := readFrame(bytes.NewReader([]byte{0, 0, 0, 0})); err == nil {
+		t.Fatal("zero-length frame accepted")
+	}
+}
+
+func randFloats(rng *rand.Rand, n int) []float64 {
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = rng.NormFloat64()
+	}
+	return out
+}
+
+func randOptTans(rng *rand.Rand, n int) (out [qsim.MaxTangents][]float64) {
+	for k := range out {
+		if rng.Intn(2) == 1 {
+			out[k] = randFloats(rng, n)
+		}
+	}
+	return out
+}
+
+// TestCodecRoundTripProperty fuzzes every message type through its encoder
+// and decoder: randomized shapes (including empty and absent arrays, NaN and
+// denormal floats) must survive exactly.
+func TestCodecRoundTripProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(20260728))
+	for trial := 0; trial < 200; trial++ {
+		ng := rng.Intn(12)
+		hm := helloMsg{
+			Version:   uint16(rng.Intn(1 << 16)),
+			Name:      strings.Repeat("q", rng.Intn(8)),
+			NumQubits: rng.Intn(10),
+			Layers:    rng.Intn(5),
+			Reupload:  rng.Intn(2) == 1,
+			NumParams: rng.Intn(200),
+			Digest: qsim.ProgramDigest{
+				Level: 3, Instructions: rng.Intn(500), Coeffs: rng.Intn(5000),
+				DerivCoeffs: rng.Intn(5000), DiagAccums: rng.Intn(8),
+				Hash: rng.Uint64(),
+			},
+		}
+		for i := 0; i < ng; i++ {
+			hm.Gates = append(hm.Gates, qsim.Gate{
+				Kind: qsim.GateKind(rng.Intn(5)), Q: rng.Intn(8), C: rng.Intn(8) - 1, P: rng.Intn(20) - 1,
+			})
+		}
+		for i := 0; i < rng.Intn(4); i++ {
+			hm.LayerStarts = append(hm.LayerStarts, rng.Intn(100))
+		}
+		got, err := decodeHello(encodeHello(hm))
+		if err != nil || !reflect.DeepEqual(got, hm) {
+			t.Fatalf("hello round trip: err %v\n got %+v\nwant %+v", err, got, hm)
+		}
+
+		am := helloAckMsg{Version: uint16(rng.Intn(1 << 16)), Digest: hm.Digest}
+		gotA, err := decodeHelloAck(encodeHelloAck(am))
+		if err != nil || gotA != am {
+			t.Fatalf("helloAck round trip: err %v got %+v want %+v", err, gotA, am)
+		}
+
+		pm := passMsg{Pass: rng.Uint64(), Backward: rng.Intn(2) == 1, Theta: randFloats(rng, rng.Intn(40))}
+		pm.Theta = append(pm.Theta, math.NaN(), math.Inf(1), 5e-324)
+		for k := range pm.Active {
+			pm.Active[k] = rng.Intn(2) == 1
+		}
+		gotP, err := decodePass(encodePass(pm))
+		if err != nil {
+			t.Fatalf("pass decode: %v", err)
+		}
+		// NaN breaks DeepEqual on purpose; compare bit patterns instead.
+		if gotP.Pass != pm.Pass || gotP.Backward != pm.Backward || gotP.Active != pm.Active || !bitsEqual(gotP.Theta, pm.Theta) {
+			t.Fatalf("pass round trip: got %+v want %+v", gotP, pm)
+		}
+
+		rows := rng.Intn(30)
+		sm := shardMsg{
+			Pass: rng.Uint64(), Shard: rng.Uint32(),
+			Angles: randFloats(rng, rows), AngleTans: randOptTans(rng, rows),
+			GZTans: randOptTans(rng, rows),
+		}
+		if rng.Intn(2) == 1 {
+			sm.GZ = randFloats(rng, rows)
+		}
+		gotS, err := decodeShard(encodeShard(sm))
+		if err != nil || !reflect.DeepEqual(gotS, sm) {
+			t.Fatalf("shard round trip: err %v\n got %+v\nwant %+v", err, gotS, sm)
+		}
+
+		rm := resultMsg{
+			Pass: rng.Uint64(), Shard: rng.Uint32(), Backward: rng.Intn(2) == 1,
+			Z: randFloats(rng, rows), ZTans: randOptTans(rng, rows),
+			DAngles: randFloats(rng, rows), DAngleTans: randOptTans(rng, rows),
+			DTheta: randFloats(rng, rng.Intn(20)), DiagT: randFloats(rng, rng.Intn(64)),
+		}
+		gotR, err := decodeResult(encodeResult(rm))
+		if err != nil || !reflect.DeepEqual(gotR, rm) {
+			t.Fatalf("result round trip: err %v\n got %+v\nwant %+v", err, gotR, rm)
+		}
+
+		em := errorMsg{Msg: strings.Repeat("x", rng.Intn(50))}
+		gotE, err := decodeError(encodeError(em))
+		if err != nil || gotE != em {
+			t.Fatalf("error round trip: err %v got %+v want %+v", err, gotE, em)
+		}
+	}
+}
+
+func bitsEqual(a, b []float64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if math.Float64bits(a[i]) != math.Float64bits(b[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// TestCodecTruncationRejected checks the decoders fail cleanly (no panics,
+// no silent zero values) on truncated and oversized payloads.
+func TestCodecTruncationRejected(t *testing.T) {
+	full := encodeShard(shardMsg{Pass: 7, Shard: 3, Angles: []float64{1, 2, 3}})
+	for cut := 0; cut < len(full); cut++ {
+		if _, err := decodeShard(full[:cut]); err == nil {
+			t.Fatalf("truncation at %d of %d accepted", cut, len(full))
+		}
+	}
+	// Trailing garbage must be rejected too: a frame is exactly one message.
+	if _, err := decodeShard(append(append([]byte{}, full...), 0)); err == nil {
+		t.Fatal("trailing bytes accepted")
+	}
+}
+
+// TestCodecGoldenBytes pins the wire encoding byte for byte: a change to the
+// layout must bump ProtoVersion, and this fixture is what forces that
+// conversation.
+func TestCodecGoldenBytes(t *testing.T) {
+	pass := passMsg{
+		Pass:     0x0102030405060708,
+		Backward: true,
+		Active:   [qsim.MaxTangents]bool{true, false, true},
+		Theta:    []float64{1, -0.5},
+	}
+	shard := shardMsg{
+		Pass:   2,
+		Shard:  1,
+		Angles: []float64{0.25, 0.75},
+		AngleTans: [qsim.MaxTangents][]float64{
+			{1.5}, nil, {},
+		},
+		GZ: []float64{-2},
+	}
+	cases := []struct {
+		name string
+		got  []byte
+		want string
+	}{
+		{"pass", encodePass(pass), "0807060504030201010502000000000000000000f03f000000000000e0bf"},
+		{"shard", encodeShard(shard),
+			"02000000000000000100000002000000000000000000d03f000000000000e83f0101000000000000000000f83f000100000000010100000000000000000000c0000000"},
+	}
+	for _, c := range cases {
+		if got := hex.EncodeToString(c.got); got != c.want {
+			t.Errorf("%s golden bytes drifted:\n got %s\nwant %s\n(an intentional layout change must bump ProtoVersion)", c.name, got, c.want)
+		}
+	}
+}
+
+// TestVersionMismatchRejected drives a worker session in memory and checks a
+// handshake with a foreign protocol version is refused with an error frame.
+func TestVersionMismatchRejected(t *testing.T) {
+	circ := qsim.NoEntanglement.Build(2, 1)
+	prog := qsim.CompileProgram(circ)
+	toWorkerR, toWorkerW := io.Pipe()
+	fromWorkerR, fromWorkerW := io.Pipe()
+	done := make(chan error, 1)
+	go func() {
+		done <- ServeConn(toWorkerR, fromWorkerW)
+	}()
+	hm := helloMsg{
+		Version: ProtoVersion + 41, Name: circ.Name, NumQubits: circ.NumQubits,
+		Layers: circ.Layers, NumParams: circ.NumParams, Gates: circ.Gates,
+		LayerStarts: circ.LayerStarts(), Digest: prog.Digest(),
+	}
+	if err := writeFrame(toWorkerW, fHello, encodeHello(hm)); err != nil {
+		t.Fatal(err)
+	}
+	typ, body, err := readFrame(fromWorkerR)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if typ != fError {
+		t.Fatalf("worker replied frame type %d to a mismatched version, want fError", typ)
+	}
+	em, err := decodeError(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(em.Msg, "version mismatch") {
+		t.Fatalf("error %q does not name the version mismatch", em.Msg)
+	}
+	// A correct-version handshake on the same session must still succeed:
+	// the refusal is per-handshake, not a poisoned session.
+	hm.Version = ProtoVersion
+	if err := writeFrame(toWorkerW, fHello, encodeHello(hm)); err != nil {
+		t.Fatal(err)
+	}
+	typ, body, err = readFrame(fromWorkerR)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if typ != fHelloAck {
+		t.Fatalf("worker replied frame type %d to a valid handshake, want fHelloAck", typ)
+	}
+	ack, err := decodeHelloAck(body)
+	if err != nil || ack.Digest != prog.Digest() {
+		t.Fatalf("bad ack %+v (err %v)", ack, err)
+	}
+	toWorkerW.Close()
+	if err := <-done; err != nil {
+		t.Fatalf("worker session ended with error: %v", err)
+	}
+}

@@ -1,0 +1,134 @@
+package dist_test
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/ad"
+	"repro/internal/core"
+	"repro/internal/dist"
+	"repro/internal/maxwell"
+	"repro/internal/opt"
+	"repro/internal/qsim"
+)
+
+// TestDistRedispatchOnWorkerDeath arms one of two workers to die
+// deterministically mid-pass (after serving its first shard) and checks the
+// coordinator finishes the pass on the survivor with results bit-identical
+// to an undisturbed run — re-dispatch must be invisible because shard
+// results do not depend on which worker computed them.
+func TestDistRedispatchOnWorkerDeath(t *testing.T) {
+	defer dist.Shutdown()
+	rng := rand.New(rand.NewSource(555))
+	const n, nq = 96, 7
+	circ := qsim.StronglyEntangling.Build(nq, 2)
+	angles := randRows(rng, n*nq)
+	theta := randRows(rng, circ.NumParams)
+	tans := [][]float64{randRows(rng, n*nq), nil, randRows(rng, n*nq)}
+	gz := randRows(rng, n*nq)
+	gztans := [][]float64{randRows(rng, n*nq), nil, randRows(rng, n*nq)}
+
+	dist.Configure(dist.Options{Workers: 2})
+	want := runPass(qsim.EngineDist, circ, n, angles, tans, theta, gz, gztans)
+	if live := dist.LiveWorkersForTest(); live != 2 {
+		t.Fatalf("expected 2 live workers after the clean pass, have %d", live)
+	}
+
+	// Fresh pool with one sabotaged worker: it exits upon receiving its
+	// second shard assignment, mid-pass and before replying. The forward
+	// pass finishes on the survivor; the subsequent backward pass then
+	// respawns the replacement (with a clean environment), so the pool is
+	// whole again by the time runPass returns.
+	dist.Configure(dist.Options{Workers: 2})
+	dist.SetTestSpawnEnv(dist.FailAfterEnv + "=1")
+	got := runPass(qsim.EngineDist, circ, n, angles, tans, theta, gz, gztans)
+	comparePass(t, "after worker death", want, got)
+	if live := dist.LiveWorkersForTest(); live != 2 {
+		t.Fatalf("expected the pool healed to 2 live workers after the sabotaged pass, have %d", live)
+	}
+
+	// And the healed pool keeps producing identical results.
+	got = runPass(qsim.EngineDist, circ, n, angles, tans, theta, gz, gztans)
+	comparePass(t, "after respawn", want, got)
+}
+
+// TestDistSurvivesExternalKill kills a live worker's process outright (as a
+// crash or OOM kill would) and checks the next pass still completes and the
+// pool heals.
+func TestDistSurvivesExternalKill(t *testing.T) {
+	defer dist.Shutdown()
+	rng := rand.New(rand.NewSource(77))
+	const n, nq = 40, 4
+	circ := qsim.BasicEntangling.Build(nq, 2)
+	angles := randRows(rng, n*nq)
+	theta := randRows(rng, circ.NumParams)
+	gz := randRows(rng, n*nq)
+
+	dist.Configure(dist.Options{Workers: 2})
+	want := runPass(qsim.EngineDist, circ, n, angles, nil, theta, gz, nil)
+	if !dist.KillOneWorkerForTest() {
+		t.Fatal("no live worker to kill")
+	}
+	got := runPass(qsim.EngineDist, circ, n, angles, nil, theta, gz, nil)
+	comparePass(t, "after external kill", want, got)
+	if live := dist.LiveWorkersForTest(); live != 2 {
+		t.Fatalf("expected the pool respawned to 2 live workers, have %d", live)
+	}
+}
+
+// trainEpochs runs a smoke-scale QPINN training for the given number of
+// epochs on the selected engine and returns the final loss.
+func trainEpochs(t *testing.T, engine qsim.EngineKind, epochs int) float64 {
+	t.Helper()
+	prob := maxwell.NewProblem(maxwell.VacuumCase)
+	mcfg := core.SmokeModel(core.QPINN, qsim.StronglyEntangling, qsim.ScaleAcos)
+	mcfg.Engine = engine
+	model := core.NewModel(mcfg)
+	coll := maxwell.NewCollocation(prob, 6, 5)
+	cfg := maxwell.PaperConfig(true, true)
+	adam := opt.NewAdam(1e-3, model.Reg.Buffers(), model.Reg.Grads)
+	tape := ad.NewTape()
+	var loss float64
+	for e := 0; e < epochs; e++ {
+		tape.Reset()
+		model.Reg.Bind(tape, true)
+		terms := maxwell.Build(tape, model.Forward, prob, coll, cfg)
+		tape.Backward(terms.Total)
+		model.Reg.PullGrads()
+		adam.Step()
+		loss = terms.Total.Scalar()
+	}
+	return loss
+}
+
+// TestDistTrainingEpochSurvivesWorkerDeath is the acceptance scenario: a
+// full training epoch on EngineDist with a worker dying mid-pass must
+// complete and produce the bit-identical loss trajectory of an undisturbed
+// dist run (worker death only re-routes shards, never changes results), and
+// stay consistent with the in-process sharded engine.
+func TestDistTrainingEpochSurvivesWorkerDeath(t *testing.T) {
+	defer dist.Shutdown()
+
+	shardedLoss := trainEpochs(t, qsim.EngineSharded, 2)
+
+	dist.Configure(dist.Options{Workers: 2})
+	cleanLoss := trainEpochs(t, qsim.EngineDist, 2)
+
+	dist.Configure(dist.Options{Workers: 2})
+	dist.SetTestSpawnEnv(dist.FailAfterEnv + "=3")
+	killedLoss := trainEpochs(t, qsim.EngineDist, 2)
+
+	if math.IsNaN(killedLoss) || math.IsInf(killedLoss, 0) {
+		t.Fatalf("training with a killed worker produced loss %v", killedLoss)
+	}
+	if math.Float64bits(cleanLoss) != math.Float64bits(killedLoss) {
+		t.Errorf("worker death changed the training trajectory: clean %v vs killed %v", cleanLoss, killedLoss)
+	}
+	// Across engines the shard partials are identical; the only difference
+	// is where per-sample gradients re-enter pre-populated tape buffers, so
+	// the trajectories agree to reassociation-level precision.
+	if d := math.Abs(cleanLoss - shardedLoss); d > 1e-9*math.Max(1, math.Abs(shardedLoss)) {
+		t.Errorf("dist training diverged from sharded: %v vs %v (|Δ|=%v)", cleanLoss, shardedLoss, d)
+	}
+}

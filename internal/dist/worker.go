@@ -1,0 +1,208 @@
+package dist
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"os"
+	"strconv"
+
+	"repro/internal/qsim"
+)
+
+// failAfterEnv is a test/chaos hook: when set to n > 0, the worker process
+// exits (code 3) upon receiving its (n+1)-th shard assignment, before
+// replying — a deterministic stand-in for a worker dying mid-pass, used by
+// the coordinator's re-dispatch recovery tests.
+const failAfterEnv = "TORQ_DIST_FAIL_AFTER_SHARDS"
+
+// session is one coordinator connection's worker-side state.
+type session struct {
+	r *bufio.Reader
+	w *bufio.Writer
+
+	runner   *qsim.ShardRunner
+	pass     passMsg
+	havePass bool
+
+	served    int
+	failAfter int
+}
+
+// ServeConn speaks the worker side of the dist protocol over (r, w) until
+// the coordinator closes the stream. Protocol errors that leave the framing
+// intact are reported as fError frames and the session continues; a broken
+// frame stream is unrecoverable and returns an error.
+func ServeConn(r io.Reader, w io.Writer) error {
+	s := &session{r: bufio.NewReaderSize(r, 1<<16), w: bufio.NewWriterSize(w, 1<<16)}
+	if v := os.Getenv(failAfterEnv); v != "" {
+		s.failAfter, _ = strconv.Atoi(v)
+	}
+	for {
+		typ, body, err := readFrame(s.r)
+		if errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF) || errors.Is(err, io.ErrClosedPipe) {
+			return nil
+		}
+		if err != nil {
+			return err
+		}
+		if err := s.handle(typ, body); err != nil {
+			if sendErr := s.send(fError, encodeError(errorMsg{Msg: err.Error()})); sendErr != nil {
+				return sendErr
+			}
+		}
+	}
+}
+
+func (s *session) send(typ byte, payload []byte) error {
+	if err := writeFrame(s.w, typ, payload); err != nil {
+		return err
+	}
+	return s.w.Flush()
+}
+
+func (s *session) handle(typ byte, body []byte) error {
+	switch typ {
+	case fHello:
+		return s.hello(body)
+	case fPass:
+		pm, err := decodePass(body)
+		if err != nil {
+			return err
+		}
+		s.pass, s.havePass = pm, true
+		return nil
+	case fShard:
+		return s.shard(body)
+	case fError:
+		// Coordinator-side failure notice; nothing to do on this side.
+		return nil
+	}
+	return fmt.Errorf("unexpected frame type %d", typ)
+}
+
+// Sanity bounds on handshake payloads, enforced BEFORE compiling anything:
+// compilation allocates 2^nq-sized tables, so an absurd circuit from a
+// confused (or hostile — the TCP listener is unauthenticated) peer must be
+// refused with an error frame rather than OOM-killing the worker.
+const (
+	maxWorkerQubits = 24
+	maxWorkerGates  = 1 << 20
+)
+
+func (s *session) hello(body []byte) error {
+	hm, err := decodeHello(body)
+	if err != nil {
+		return err
+	}
+	if hm.Version != ProtoVersion {
+		return fmt.Errorf("protocol version mismatch: worker speaks %d, coordinator sent %d", ProtoVersion, hm.Version)
+	}
+	if hm.NumQubits < 1 || hm.NumQubits > maxWorkerQubits {
+		return fmt.Errorf("refusing circuit with %d qubits (worker bound: %d)", hm.NumQubits, maxWorkerQubits)
+	}
+	if len(hm.Gates) > maxWorkerGates {
+		return fmt.Errorf("refusing circuit with %d gates (worker bound: %d)", len(hm.Gates), maxWorkerGates)
+	}
+	for _, g := range hm.Gates {
+		if g.Q < 0 || g.Q >= hm.NumQubits || g.C >= hm.NumQubits || g.P >= hm.NumParams {
+			return fmt.Errorf("refusing gate %+v outside circuit bounds (nq=%d, params=%d)", g, hm.NumQubits, hm.NumParams)
+		}
+	}
+	circ := qsim.NewCircuitFromSpec(hm.Name, hm.NumQubits, hm.Layers, hm.Gates, hm.NumParams, hm.Reupload, hm.LayerStarts)
+	runner := qsim.NewShardRunner(circ)
+	if got := runner.Digest(); got != hm.Digest {
+		return fmt.Errorf("compiled program digest mismatch: worker %+v, coordinator %+v", got, hm.Digest)
+	}
+	s.runner, s.havePass = runner, false
+	return s.send(fHelloAck, encodeHelloAck(helloAckMsg{Version: ProtoVersion, Digest: hm.Digest}))
+}
+
+func (s *session) shard(body []byte) error {
+	sm, err := decodeShard(body)
+	if err != nil {
+		return err
+	}
+	if s.runner == nil || !s.havePass {
+		return errors.New("shard before handshake/pass broadcast")
+	}
+	if sm.Pass != s.pass.Pass {
+		return fmt.Errorf("shard for pass %d, current pass is %d", sm.Pass, s.pass.Pass)
+	}
+	if s.failAfter > 0 && s.served >= s.failAfter {
+		os.Exit(3)
+	}
+	s.served++
+
+	nq := s.runner.Circuit().NumQubits
+	if nq <= 0 || len(sm.Angles)%nq != 0 || len(sm.Angles) == 0 {
+		return fmt.Errorf("shard angles length %d not a multiple of nq=%d", len(sm.Angles), nq)
+	}
+	n := len(sm.Angles) / nq
+	// Every optional row array must match the shard's sample count (and the
+	// active-channel mask), else the kernels would index out of range; a
+	// mismatched coordinator gets an error frame, not a worker panic.
+	checkRows := func(name string, k int, rows []float64, wantPresent bool) error {
+		if !wantPresent {
+			if rows != nil {
+				return fmt.Errorf("shard %s[%d] present for inactive channel", name, k)
+			}
+			return nil
+		}
+		if rows != nil && len(rows) != n*nq {
+			return fmt.Errorf("shard %s[%d] has %d values, want %d", name, k, len(rows), n*nq)
+		}
+		return nil
+	}
+	for k := 0; k < qsim.MaxTangents; k++ {
+		if err := checkRows("angleTans", k, sm.AngleTans[k], s.pass.Active[k]); err != nil {
+			return err
+		}
+		if s.pass.Active[k] && sm.AngleTans[k] == nil {
+			return fmt.Errorf("shard angleTans[%d] missing for active channel", k)
+		}
+		if err := checkRows("gzTans", k, sm.GZTans[k], s.pass.Active[k] && s.pass.Backward); err != nil {
+			return err
+		}
+	}
+	if sm.GZ != nil && len(sm.GZ) != n*nq {
+		return fmt.Errorf("shard gz has %d values, want %d", len(sm.GZ), n*nq)
+	}
+	rm := resultMsg{Pass: sm.Pass, Shard: sm.Shard, Backward: s.pass.Backward}
+	if s.pass.Backward {
+		da, dat, dth, diagT := s.runner.BackwardShard(n, s.pass.Active, sm.Angles, sm.AngleTans, s.pass.Theta, sm.GZ, sm.GZTans)
+		rm.DAngles, rm.DAngleTans, rm.DTheta, rm.DiagT = da, dat, dth, diagT
+	} else {
+		rm.Z, rm.ZTans = s.runner.ForwardShard(n, s.pass.Active, sm.Angles, sm.AngleTans, s.pass.Theta)
+	}
+	return s.send(fResult, encodeResult(rm))
+}
+
+// ServeStdio runs the worker loop on stdin/stdout — the transport a
+// coordinator-spawned subprocess worker uses.
+func ServeStdio() error { return ServeConn(os.Stdin, os.Stdout) }
+
+// Listen serves remote workers: it accepts TCP connections on addr and runs
+// one independent worker session per connection (so several coordinators can
+// share one torq-worker instance). It blocks until the listener fails.
+func Listen(addr string) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "torq-worker: listening on %s\n", ln.Addr())
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			return err
+		}
+		go func() {
+			defer conn.Close()
+			if err := ServeConn(conn, conn); err != nil {
+				fmt.Fprintf(os.Stderr, "torq-worker: session ended: %v\n", err)
+			}
+		}()
+	}
+}

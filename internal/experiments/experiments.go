@@ -29,7 +29,8 @@ type Options struct {
 	Seeds  int // replicate count (paper: 5)
 	Epochs int // training epochs override (0 = preset default)
 	// Engine selects the circuit-execution engine for the batched-simulator
-	// rows of Table 2 (zero value: the fused compiled engine).
+	// rows of Table 2 and for every trained quantum model (zero value: the
+	// fused compiled engine).
 	Engine qsim.EngineKind
 	Out    io.Writer
 	// FigDir, when set, receives PGM/CSV artifacts for field figures.
@@ -69,6 +70,7 @@ func (o Options) model(arch core.Arch, a qsim.AnsatzKind, s qsim.ScalingKind, se
 		m = core.SmokeModel(arch, a, s)
 	}
 	m.Seed = seed
+	m.Engine = o.Engine
 	return m
 }
 

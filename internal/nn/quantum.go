@@ -6,6 +6,11 @@ import (
 	"repro/internal/ad"
 	"repro/internal/dual"
 	"repro/internal/qsim"
+
+	// Link the multi-process shard executor: importing it registers the
+	// EngineDist transport with qsim, so every binary that builds quantum
+	// models can select -engine dist (and can self-exec as a worker).
+	_ "repro/internal/dist"
 )
 
 // Quantum is the PQC layer of the QPINN (§2.3): it scales the incoming

@@ -71,6 +71,40 @@ func (s Scheduler) String() string {
 	return "steal"
 }
 
+// SchedStats is a snapshot of the region scheduler's cumulative telemetry:
+// how many regions ran, how many chunks they executed, and how many steals
+// rebalanced chunks between workers. Steals-per-region (and steals/chunks)
+// is the signal for sizing chunk granularity: a steal-free profile says the
+// chunks are too coarse to rebalance (or the load is uniform), while steals
+// rivaling chunk count says the chunks are so fine the deques have become
+// the hot path.
+type SchedStats struct {
+	Regions uint64 // region entries (Run/RunChunk/For families, serial fast paths included)
+	Chunks  uint64 // chunk executions (a serial fast-path region counts as one chunk)
+	Steals  uint64 // successful steal operations (each moves ≥1 chunk)
+}
+
+var statRegions, statChunks, statSteals atomic.Uint64
+
+// Stats returns the cumulative scheduler telemetry since process start or
+// the last ResetStats. The counters are updated atomically but read
+// individually, so a snapshot taken while regions are in flight is
+// approximate — quiesce first for exact accounting.
+func Stats() SchedStats {
+	return SchedStats{
+		Regions: statRegions.Load(),
+		Chunks:  statChunks.Load(),
+		Steals:  statSteals.Load(),
+	}
+}
+
+// ResetStats zeroes the scheduler telemetry counters.
+func ResetStats() {
+	statRegions.Store(0)
+	statChunks.Store(0)
+	statSteals.Store(0)
+}
+
 // schedMode holds the current Scheduler. Like maxWorkers it may be toggled
 // by a benchmark goroutine while regions are in flight, so access is atomic.
 var schedMode atomic.Int64
@@ -176,6 +210,8 @@ func (d *chunkDeque) refill(lo, hi int) {
 // deque before exiting.
 func region(n, chunk, workers int, steal bool, fn func(worker, lo, hi int)) {
 	nch := (n + chunk - 1) / chunk
+	statRegions.Add(1)
+	statChunks.Add(uint64(nch))
 	if workers > nch {
 		workers = nch
 	}
@@ -210,6 +246,7 @@ func region(n, chunk, workers int, steal bool, fn func(worker, lo, hi int)) {
 			for i := 1; i < workers; i++ {
 				if lo, hi, ok := deques[(w+i)%workers].stealHalf(); ok {
 					self.refill(lo, hi)
+					statSteals.Add(1)
 					stolen = true
 					break
 				}
@@ -262,6 +299,8 @@ func ForGrain(n, itemCost int, fn func(start, end int)) {
 		workers = w
 	}
 	if workers <= 1 {
+		statRegions.Add(1)
+		statChunks.Add(1)
 		fn(0, n)
 		return
 	}
@@ -289,6 +328,8 @@ func Run(n int, fn func(worker, lo, hi int)) {
 		workers = n
 	}
 	if workers <= 1 {
+		statRegions.Add(1)
+		statChunks.Add(1)
 		fn(0, 0, n)
 		return
 	}

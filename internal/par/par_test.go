@@ -5,6 +5,7 @@ import (
 	"sync/atomic"
 	"testing"
 	"testing/quick"
+	"time"
 )
 
 // TestForCoversRangeExactlyOnce: every index is visited exactly once, for
@@ -285,5 +286,38 @@ func TestSetMaxWorkers(t *testing.T) {
 	SetMaxWorkers(0)
 	if MaxWorkers() < 1 {
 		t.Fatal("reset failed")
+	}
+}
+
+// TestStatsRecordsSteals pins the scheduler telemetry: a forced-parallel
+// region whose first chunk stalls its owning worker must drain the other
+// deques and rebalance the stalled owner's remaining chunks by stealing —
+// and Stats must see it. This is the signal the ROADMAP follow-up uses to
+// size shard/chunk granularity.
+func TestStatsRecordsSteals(t *testing.T) {
+	defer SetMaxWorkers(0)
+	SetMaxWorkers(4)
+	ResetStats()
+	// 16 single-index chunks over 4 workers: worker 0 pops chunk 0 and
+	// stalls with three chunks still in its deque; workers 1-3 finish their
+	// own spans long before the stall clears and must steal to proceed.
+	RunChunk(16, 1, func(_, lo, _ int) {
+		if lo == 0 {
+			time.Sleep(100 * time.Millisecond)
+		}
+	})
+	s := Stats()
+	if s.Regions < 1 {
+		t.Fatalf("no region recorded: %+v", s)
+	}
+	if s.Chunks < 16 {
+		t.Fatalf("expected ≥16 chunks recorded, have %+v", s)
+	}
+	if s.Steals == 0 {
+		t.Fatalf("forced-parallel region with a stalled worker recorded no steals: %+v", s)
+	}
+	ResetStats()
+	if s := Stats(); s != (SchedStats{}) {
+		t.Fatalf("ResetStats left %+v", s)
 	}
 }

@@ -58,6 +58,29 @@ type Circuit struct {
 	layerBounds []int
 }
 
+// LayerStarts returns a copy of the per-layer start indices into Gates —
+// the only unexported piece of circuit structure, exposed so a circuit can
+// be serialized to a worker process and reconstructed with
+// NewCircuitFromSpec.
+func (c *Circuit) LayerStarts() []int {
+	return append([]int(nil), c.layerBounds...)
+}
+
+// NewCircuitFromSpec reconstructs a circuit from its serialized fields (see
+// LayerStarts). The result compiles to the identical program as the
+// original: CompileProgramLevel depends only on the fields restored here.
+func NewCircuitFromSpec(name string, numQubits, layers int, gates []Gate, numParams int, reupload bool, layerStarts []int) *Circuit {
+	return &Circuit{
+		Name:        name,
+		NumQubits:   numQubits,
+		Layers:      layers,
+		Gates:       gates,
+		NumParams:   numParams,
+		Reupload:    reupload,
+		layerBounds: layerStarts,
+	}
+}
+
 // LayerSlice returns the gates of ansatz layer l.
 func (c *Circuit) LayerSlice(l int) []Gate {
 	start := c.layerBounds[l]

@@ -1,0 +1,319 @@
+package qsim
+
+// This file is the qsim half of the multi-process executor: the
+// coordinator-side distEngine that partitions a pass into the same fixed
+// cache-block shards as the in-process sharded engine and merges results in
+// shard order, and the worker-side ShardRunner that executes one shard
+// bit-identically to one sharded-engine chunk. The transport between them —
+// process spawning, the framed wire protocol, worker death and re-dispatch —
+// lives in repro/internal/dist, which plugs in through RegisterDistBackend.
+// Keeping all numerics (shard partition, execution, reduction order) in this
+// package is what makes the bit-identity guarantee auditable: the dist
+// subsystem only moves bytes.
+
+// PassSpec describes one forward or backward pass to a DistBackend. All
+// batch-wide arrays are full-batch, row-major n×nq (except Theta); the
+// backend slices per-shard rows out with Shard. Slices may alias the
+// engine's workspace and are only valid until RunPass returns.
+type PassSpec struct {
+	Circ *Circuit
+	Prog *Program
+	// Backward selects the adjoint pass; GZ/GZTans are nil on forward.
+	Backward bool
+	N, NQ    int
+	// Block is the shard size in samples — identical to the in-process
+	// sharded engine's cache-block partition for this pass shape, so the
+	// shard-order reduction is bit-compatible between the two engines.
+	Block  int
+	Active [MaxTangents]bool
+	Theta  []float64
+	Angles []float64
+	// AngleTans[k] is non-nil exactly when Active[k].
+	AngleTans [MaxTangents][]float64
+	GZ        []float64
+	GZTans    [MaxTangents][]float64
+}
+
+// NumShards reports how many shards the pass partitions into.
+func (s *PassSpec) NumShards() int { return shardCount(s.N, s.Block) }
+
+// Shard returns the sample range [lo, hi) of shard i.
+func (s *PassSpec) Shard(i int) (lo, hi int) {
+	lo = i * s.Block
+	hi = min(lo+s.Block, s.N)
+	return lo, hi
+}
+
+// ShardResult is one shard's output. Forward fills Z/ZTans; backward fills
+// the gradient fields. Row arrays cover the shard's samples only; DTheta and
+// DiagT are whole-parameter-space partials that the coordinator merges in
+// shard-index order.
+type ShardResult struct {
+	Z          []float64
+	ZTans      [MaxTangents][]float64
+	DAngles    []float64
+	DAngleTans [MaxTangents][]float64
+	DTheta     []float64
+	DiagT      []float64
+}
+
+// DistBackend executes the shards of one pass on worker processes and
+// returns one result per shard, indexed by shard. A backend must tolerate
+// worker death by re-dispatching the dead worker's outstanding shards; it
+// returns an error only when no worker can make progress.
+type DistBackend interface {
+	RunPass(spec *PassSpec) ([]ShardResult, error)
+}
+
+// distBackend is the registered transport. The Engine seam selects engines
+// by value (EngineKind), so registration is how the dist subsystem attaches
+// without qsim importing it.
+var distBackend DistBackend
+
+// RegisterDistBackend installs the transport behind EngineDist. Called from
+// repro/internal/dist's init; last registration wins.
+func RegisterDistBackend(b DistBackend) { distBackend = b }
+
+// distEngine is the coordinator side of the multi-process executor. It
+// reuses the sharded engine's pass preparation so the shard partition — and
+// therefore the floating-point reduction order — is pinned to the same
+// cache-block layout, then delegates shard execution to the registered
+// DistBackend and merges results in shard order.
+type distEngine struct{}
+
+func (distEngine) Kind() EngineKind { return EngineDist }
+
+func runDistPass(spec *PassSpec) []ShardResult {
+	if distBackend == nil {
+		panic(`qsim: engine "dist" selected but no transport is registered (link repro/internal/dist — it registers itself via RegisterDistBackend)`)
+	}
+	res, err := distBackend.RunPass(spec)
+	if err != nil {
+		panic("qsim: dist pass failed: " + err.Error())
+	}
+	return res
+}
+
+func (distEngine) Forward(p *PQC, ws *Workspace, angles []float64, angleTans [][]float64, theta []float64) (z []float64, ztans [][]float64) {
+	prog, _, z, ztans, blk := prepForward(p, ws, angles, angleTans, theta)
+	spec := &PassSpec{
+		Circ: p.Circ, Prog: prog,
+		N: ws.n, NQ: ws.nq, Block: blk,
+		Active: ws.active, Theta: ws.theta, Angles: ws.angles,
+	}
+	for k := 0; k < MaxTangents; k++ {
+		if ws.active[k] {
+			spec.AngleTans[k] = ws.angleTans[k]
+		}
+	}
+	nq := ws.nq
+	for s, r := range runDistPass(spec) {
+		lo, hi := spec.Shard(s)
+		copy(z[lo*nq:hi*nq], r.Z)
+		for k := 0; k < MaxTangents; k++ {
+			if ws.active[k] {
+				copy(ztans[k][lo*nq:hi*nq], r.ZTans[k])
+			}
+		}
+	}
+	return z, ztans
+}
+
+func (distEngine) Backward(p *PQC, ws *Workspace, gz []float64, gztans [][]float64, dAngles []float64, dAngleTans [][]float64, dTheta []float64) {
+	prog := p.Program() // always level 3, like the sharded engine
+	spec := &PassSpec{
+		Circ: p.Circ, Prog: prog, Backward: true,
+		N: ws.n, NQ: ws.nq, Block: backwardBlock(ws),
+		Active: ws.active, Theta: ws.theta, Angles: ws.angles,
+		GZ: gz,
+	}
+	for k := 0; k < MaxTangents; k++ {
+		if ws.active[k] {
+			spec.AngleTans[k] = ws.angleTans[k]
+			if k < len(gztans) {
+				spec.GZTans[k] = gztans[k]
+			}
+		}
+	}
+	results := runDistPass(spec)
+
+	// Per-sample gradients: each row belongs to exactly one shard, so the
+	// worker's zero-initialized partial adds back as the same value the
+	// in-process engine accumulated in place (0 + Σterms is exact).
+	nq := ws.nq
+	for s, r := range results {
+		lo, _ := spec.Shard(s)
+		for i, v := range r.DAngles {
+			dAngles[lo*nq+i] += v
+		}
+		for k := 0; k < MaxTangents; k++ {
+			if !ws.active[k] || dAngleTans == nil || k >= len(dAngleTans) || dAngleTans[k] == nil {
+				continue
+			}
+			for i, v := range r.DAngleTans[k] {
+				dAngleTans[k][lo*nq+i] += v
+			}
+		}
+	}
+	// Deterministic merge, mirroring shardedEngine.Backward: dTheta partials
+	// in shard order, then the fused-diagonal accumulators in shard order
+	// contracted against the sign tables once per pass.
+	for _, r := range results {
+		for i, v := range r.DTheta {
+			dTheta[i] += v
+		}
+	}
+	if nt := prog.ndiag * ws.val.Dim; nt > 0 {
+		acc := make([]float64, nt)
+		for _, r := range results {
+			for i, v := range r.DiagT {
+				acc[i] += v
+			}
+		}
+		reduceDiagNGrads(prog, acc, dTheta, ws.val.Dim)
+	}
+}
+
+// ShardRunner executes single shards of a circuit's level-3 program inside a
+// worker process, bit-identically to the corresponding sharded-engine chunk:
+// a shard's per-sample state evolution depends only on its own rows, and its
+// partial accumulators visit samples in the same order whether the shard
+// lives at batch offset lo in a big workspace or at offset 0 in a private
+// one. Backward shards recompute the shard's forward states first — shards
+// stay stateless between passes, which is what makes a dead worker's shard
+// re-dispatchable to any survivor.
+type ShardRunner struct {
+	pqc  PQC
+	free map[int]*shardState
+}
+
+// shardState is the runner's reusable per-shard-size state: the workspace
+// plus every output buffer a shard produces. Shards arrive sequentially per
+// session and results are copied to the wire before the next shard runs, so
+// reusing the buffers keeps the per-shard hot path allocation-free instead
+// of feeding the GC one garbage generation per shard.
+type shardState struct {
+	ws      *Workspace
+	z       []float64
+	ztans   [][]float64
+	dAngles []float64
+	dat     [][]float64
+	dTheta  []float64
+	diagT   []float64
+}
+
+// NewShardRunner compiles circ at level 3 and prepares a per-shard-size
+// state cache.
+func NewShardRunner(circ *Circuit) *ShardRunner {
+	r := &ShardRunner{pqc: PQC{Circ: circ, Eng: EngineDist}, free: make(map[int]*shardState)}
+	r.pqc.Program()
+	return r
+}
+
+// Circuit returns the runner's circuit.
+func (r *ShardRunner) Circuit() *Circuit { return r.pqc.Circ }
+
+// Digest returns the compiled program's digest for handshake validation.
+func (r *ShardRunner) Digest() ProgramDigest { return r.pqc.Program().Digest() }
+
+func (r *ShardRunner) state(n int) *shardState {
+	if s := r.free[n]; s != nil {
+		return s
+	}
+	nq := r.pqc.Circ.NumQubits
+	prog := r.pqc.Program()
+	s := &shardState{
+		ws:      NewWorkspace(n, nq),
+		z:       make([]float64, n*nq),
+		ztans:   make([][]float64, MaxTangents),
+		dAngles: make([]float64, n*nq),
+		dat:     make([][]float64, MaxTangents),
+		dTheta:  make([]float64, r.pqc.Circ.NumParams),
+		diagT:   make([]float64, prog.ndiag*(1<<nq)),
+	}
+	for k := 0; k < MaxTangents; k++ {
+		s.ztans[k] = make([]float64, n*nq)
+		s.dat[k] = make([]float64, n*nq)
+	}
+	r.free[n] = s
+	return s
+}
+
+// tanSlices widens a fixed tangent array to the [][]float64 shape the engine
+// entry points take, keeping nil for inactive channels.
+func tanSlices(active [MaxTangents]bool, t [MaxTangents][]float64) [][]float64 {
+	out := make([][]float64, MaxTangents)
+	for k := 0; k < MaxTangents; k++ {
+		if active[k] {
+			out[k] = t[k]
+		}
+	}
+	return out
+}
+
+// outputs assembles the z/ztans views for one forward execution: the full
+// sample-major kernels overwrite every element in range, so the reused
+// buffers need no zeroing.
+func (s *shardState) outputs(active [MaxTangents]bool) (z []float64, ztans [][]float64) {
+	ztans = make([][]float64, MaxTangents)
+	for k := 0; k < MaxTangents; k++ {
+		if active[k] {
+			ztans[k] = s.ztans[k]
+		}
+	}
+	return s.z, ztans
+}
+
+// ForwardShard runs the forward pass over one shard of n samples and returns
+// the shard's z rows and tangent rows (nil for inactive channels). Returned
+// slices are owned by the runner and valid until the next *Shard call.
+func (r *ShardRunner) ForwardShard(n int, active [MaxTangents]bool, angles []float64, angleTans [MaxTangents][]float64, theta []float64) (z []float64, ztans [MaxTangents][]float64) {
+	s := r.state(n)
+	prog, coeff, _ := prepPass(&r.pqc, s.ws, angles, tanSlices(active, angleTans), theta)
+	zb, ztb := s.outputs(active)
+	fwdBlock(s.ws, prog, coeff, 0, n, zb, ztb)
+	z = zb
+	for k := 0; k < MaxTangents; k++ {
+		ztans[k] = ztb[k]
+	}
+	return z, ztans
+}
+
+// BackwardShard recomputes the shard's forward states and runs the adjoint
+// pass over it, returning gradient partials: per-sample dAngles/dAngleTans
+// rows, the per-parameter dTheta partial, and the raw fused-diagonal
+// accumulator (contracted by the coordinator after the shard-order merge,
+// exactly as the in-process sharded engine does). Returned slices are owned
+// by the runner and valid until the next *Shard call.
+func (r *ShardRunner) BackwardShard(n int, active [MaxTangents]bool, angles []float64, angleTans [MaxTangents][]float64, theta, gz []float64, gztans [MaxTangents][]float64) (dAngles []float64, dAngleTans [MaxTangents][]float64, dTheta, diagT []float64) {
+	s := r.state(n)
+	ws := s.ws
+	tans := tanSlices(active, angleTans)
+	prog, coeff, _ := prepPass(&r.pqc, ws, angles, tans, theta)
+	zb, ztb := s.outputs(active)
+	fwdBlock(ws, prog, coeff, 0, n, zb, ztb)
+
+	ws.ensureScratch()
+	refreshCoeffs(ws, prog, theta)
+	gzt := tanSlices(active, gztans)
+	prepBackward(ws, gz, gzt)
+
+	// The adjoint walk accumulates (+=) into every gradient buffer, so the
+	// reused ones must start zeroed.
+	dAngles = s.dAngles
+	clear(dAngles)
+	dat := make([][]float64, MaxTangents)
+	for k := 0; k < MaxTangents; k++ {
+		if active[k] {
+			dAngleTans[k] = s.dat[k]
+			clear(dAngleTans[k])
+			dat[k] = dAngleTans[k]
+		}
+	}
+	dTheta = s.dTheta
+	clear(dTheta)
+	diagT = s.diagT
+	clear(diagT)
+	bwdBlockV2(ws, prog, 0, n, gz, gzt, dAngles, dat, bwdScratch{dth: dTheta, diagT: diagT})
+	return dAngles, dAngleTans, dTheta, diagT
+}

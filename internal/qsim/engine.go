@@ -2,6 +2,7 @@ package qsim
 
 import (
 	"fmt"
+	"strings"
 
 	"repro/internal/par"
 )
@@ -40,6 +41,15 @@ const (
 	// This is the single-process form of the ROADMAP's multi-node sharding:
 	// a shard is exactly the unit a remote executor would ship.
 	EngineSharded
+	// EngineDist executes the same fixed cache-block shards as EngineSharded
+	// but ships them to worker *processes* (local subprocesses or remote
+	// torq-worker instances) over a framed binary protocol, merging results
+	// in shard order so gradients and z rows stay bit-identical to the
+	// in-process sharded engine for any worker count. The transport and
+	// worker lifecycle live in repro/internal/dist, which registers itself
+	// through RegisterDistBackend; selecting "dist" in a binary that does
+	// not link that package panics with instructions.
+	EngineDist
 )
 
 func (k EngineKind) String() string {
@@ -56,8 +66,32 @@ func (k EngineKind) String() string {
 		return "fused2"
 	case EngineSharded:
 		return "sharded"
+	case EngineDist:
+		return "dist"
 	}
 	return "unknown"
+}
+
+// EngineKinds lists every registered engine in presentation order — the
+// single source of truth for flag help, ParseEngine's error text, and the
+// name round-trip test, so a newly landed engine cannot be omitted from any
+// of them.
+func EngineKinds() []EngineKind {
+	return []EngineKind{
+		EngineFused, EngineSharded, EngineDist,
+		EngineFusedV2, EngineFusedV1, EngineLegacy, EngineNaive,
+	}
+}
+
+// EngineNames returns the canonical flag names of every registered engine,
+// "|"-separated, for flag usage strings and error messages.
+func EngineNames() string {
+	kinds := EngineKinds()
+	names := make([]string, len(kinds))
+	for i, k := range kinds {
+		names[i] = k.String()
+	}
+	return strings.Join(names, "|")
 }
 
 // ParseEngine maps a flag value to an EngineKind.
@@ -71,12 +105,14 @@ func ParseEngine(s string) (EngineKind, error) {
 		return EngineFusedV1, nil
 	case "sharded":
 		return EngineSharded, nil
+	case "dist":
+		return EngineDist, nil
 	case "legacy":
 		return EngineLegacy, nil
 	case "naive":
 		return EngineNaive, nil
 	}
-	return EngineFused, fmt.Errorf("qsim: unknown engine %q (want fused|sharded|fused2|fused1|legacy|naive)", s)
+	return EngineFused, fmt.Errorf("qsim: unknown engine %q (want %s)", s, EngineNames())
 }
 
 // Engine is the pluggable execution strategy for a PQC pass: it owns how
@@ -92,6 +128,7 @@ type Engine interface {
 var (
 	engineFused   Engine = fusedEngine{}
 	engineSharded Engine = shardedEngine{}
+	engineDist    Engine = distEngine{}
 	engineLegacy  Engine = &legacyEngine{kind: EngineLegacy, hooks: fastHooks}
 	engineNaive   Engine = &legacyEngine{kind: EngineNaive, hooks: naiveHooks}
 )
@@ -100,6 +137,8 @@ func (k EngineKind) engine() Engine {
 	switch k {
 	case EngineSharded:
 		return engineSharded
+	case EngineDist:
+		return engineDist
 	case EngineLegacy:
 		return engineLegacy
 	case EngineNaive:
@@ -151,6 +190,23 @@ func (fusedEngine) Forward(p *PQC, ws *Workspace, angles []float64, angleTans []
 // outputs, and size the cache-resident sample block for the live channel
 // count.
 func prepForward(p *PQC, ws *Workspace, angles []float64, angleTans [][]float64, theta []float64) (prog *Program, coeff []float64, z []float64, ztans [][]float64, blk int) {
+	prog, coeff, blk = prepPass(p, ws, angles, angleTans, theta)
+	n, nq := ws.n, ws.nq
+	z = make([]float64, n*nq)
+	ztans = make([][]float64, MaxTangents)
+	for k := 0; k < MaxTangents; k++ {
+		if ws.active[k] {
+			ztans[k] = make([]float64, n*nq)
+		}
+	}
+	return prog, coeff, z, ztans, blk
+}
+
+// prepPass is prepForward without the output allocation, for callers that
+// own reusable output buffers (the dist ShardRunner, whose results are
+// copied to the wire immediately): save inputs, fill the coefficient slots,
+// and size the cache-resident sample block for the live channel count.
+func prepPass(p *PQC, ws *Workspace, angles []float64, angleTans [][]float64, theta []float64) (prog *Program, coeff []float64, blk int) {
 	ws.saveInputs(p, angles, angleTans, theta)
 	prog = p.Program()
 	if cap(ws.coeff) < prog.ncoef {
@@ -159,13 +215,9 @@ func prepForward(p *PQC, ws *Workspace, angles []float64, angleTans [][]float64,
 	coeff = ws.coeff[:prog.ncoef]
 	prog.FillCoeffs(theta, coeff)
 
-	n, nq := ws.n, ws.nq
-	z = make([]float64, n*nq)
-	ztans = make([][]float64, MaxTangents)
 	channels := 1
 	for k := 0; k < MaxTangents; k++ {
 		if ws.active[k] {
-			ztans[k] = make([]float64, n*nq)
 			channels++
 		}
 	}
@@ -173,7 +225,7 @@ func prepForward(p *PQC, ws *Workspace, angles []float64, angleTans [][]float64,
 		channels++ // scr1 holds D·v during the embedding
 	}
 	blk = blockSamples(ws.val.Dim, channels)
-	return prog, coeff, z, ztans, blk
+	return prog, coeff, blk
 }
 
 // fwdBlock streams the whole program through samples [lo, hi): state init,
@@ -434,7 +486,6 @@ func refreshCoeffs(ws *Workspace, prog *Program, theta []float64) {
 // sample block for the live backward channel count.
 func prepBackward(ws *Workspace, gz []float64, gztans [][]float64) (blk int) {
 	ws.ensureW(0, gz)
-	channels := 2 // val + λv
 	for k := 0; k < MaxTangents; k++ {
 		if ws.active[k] {
 			var g []float64
@@ -442,10 +493,23 @@ func prepBackward(ws *Workspace, gz []float64, gztans [][]float64) (blk int) {
 				g = gztans[k]
 			}
 			ws.ensureW(1+k, g)
+		}
+	}
+	return backwardBlock(ws)
+}
+
+// backwardBlock sizes the cache-resident sample block for the backward
+// channel count — val + λv, one (tangent, adjoint) pair per active channel,
+// and the two scratch states. It is the shard size of the sharded engine's
+// backward partition, shared with the dist coordinator so both produce the
+// identical shard-order reduction.
+func backwardBlock(ws *Workspace) int {
+	channels := 4 // val + λv + scr1 + scr2
+	for k := 0; k < MaxTangents; k++ {
+		if ws.active[k] {
 			channels += 2
 		}
 	}
-	channels += 2 // scr1 + scr2
 	return blockSamples(ws.val.Dim, channels)
 }
 
@@ -536,7 +600,11 @@ func bwdBlockV2(ws *Workspace, prog *Program, lo, hi int, gz []float64, gztans [
 				reverseStepRange(g, 0, 0, psi, lam, lo, hi)
 			})
 		case opU2:
-			revU2Range(ws, in, coeff, ws.dcoef, lo, hi, sc)
+			if in.logDeriv {
+				revU2LogDerivRange(ws, in, lo, hi, sc)
+			} else {
+				revU2Range(ws, in, coeff, ws.dcoef, lo, hi, sc)
+			}
 		case opU4:
 			revU4Range(ws, in, coeff, ws.dcoef, lo, hi, sc)
 		case opU8:
@@ -923,6 +991,25 @@ func revU2Range(ws *Workspace, in *instr, coeff, dcoef []float64, lo, hi int, sc
 		sc.dth[p] += d[0]*K[0] - d[1]*K[1] + d[2]*K[2] - d[3]*K[3] +
 			d[4]*K[4] - d[5]*K[5] + d[6]*K[6] - d[7]*K[7]
 	}
+}
+
+// revU2LogDerivRange is the adjoint fast path for opU2 blocks whose source
+// is a single parametrized rotation — the opU2 analogue of the opU2x3
+// log-derivative path. The rotation's inverse recovers ψ_pre and λ_pre in
+// one structured traversal, and the gradient reads directly off the
+// recovered pair through the logarithmic derivative
+// (Re⟨λ_post, dU·ψ_pre⟩ = Re⟨λ_pre, dlogU·ψ_pre⟩ with dlogU = −i/2·{X,Y,Z}),
+// so the hot loop carries one scalar accumulator instead of a 2×2 adjoint
+// outer product and the derivative coefficient slots are never contracted.
+// reverseStepRange is exactly that fused inverse+gradient kernel.
+func revU2LogDerivRange(ws *Workspace, in *instr, lo, hi int, sc bwdScratch) {
+	g := in.gates[0]
+	c, s := cosHalf(ws.theta[g.P]), sinHalf(ws.theta[g.P])
+	var grad float64
+	ws.forChannelPairs(func(psi, lam *State) {
+		grad += reverseStepRange(g, c, s, psi, lam, lo, hi)
+	})
+	sc.dth[g.P] += grad
 }
 
 // revU4Range is the fused adjoint step for one opU4 entangler block: the

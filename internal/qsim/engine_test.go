@@ -3,6 +3,7 @@ package qsim
 import (
 	"math"
 	"math/rand"
+	"strings"
 	"testing"
 
 	"repro/internal/par"
@@ -436,16 +437,154 @@ func TestProgramV3GoldenCounts(t *testing.T) {
 
 // TestEngineKindRoundTrip covers flag parsing.
 func TestEngineKindRoundTrip(t *testing.T) {
-	for _, k := range []EngineKind{EngineFused, EngineSharded, EngineFusedV2, EngineFusedV1, EngineLegacy, EngineNaive} {
+	// Every registered engine must round-trip through ParseEngine, and the
+	// unknown-engine error must enumerate every registered name — a newly
+	// landed engine that misses either breaks this table, not a user's flag.
+	for _, k := range EngineKinds() {
+		if k.String() == "unknown" {
+			t.Errorf("engine %d has no canonical name", k)
+			continue
+		}
 		got, err := ParseEngine(k.String())
 		if err != nil || got != k {
 			t.Errorf("round trip %v: got %v, err %v", k, got, err)
 		}
 	}
-	if _, err := ParseEngine("gpu"); err == nil {
-		t.Error("ParseEngine accepted unknown engine")
+	_, err := ParseEngine("gpu")
+	if err == nil {
+		t.Fatal("ParseEngine accepted unknown engine")
+	}
+	for _, k := range EngineKinds() {
+		if !strings.Contains(err.Error(), k.String()) {
+			t.Errorf("ParseEngine error %q omits engine %q", err, k)
+		}
 	}
 	if k, err := ParseEngine(""); err != nil || k != EngineFused {
 		t.Error("empty engine string should default to fused")
+	}
+}
+
+// TestU2LogDerivFastPath pins the opU2 log-derivative adjoint fast path
+// (single-parametrized-rotation blocks read their gradient off the recovered
+// states) against the dense 2×2 adjoint outer-product path at 1e-10: the
+// same program runs backward once with the compile-time logDeriv flags and
+// once with them cleared, which re-routes those blocks through revU2Range
+// and its derivative-slot contraction.
+func TestU2LogDerivFastPath(t *testing.T) {
+	rng := rand.New(rand.NewSource(31337))
+	const tol = 1e-10
+	// Two isolated single-rotation gates on distinct qubits: too few qubits
+	// for triple grouping and no two-qubit gates to absorb them, so both
+	// compile to single-gate opU2 blocks eligible for the fast path.
+	circ := &Circuit{
+		Name: "isolated-rotations", NumQubits: 2, Layers: 1,
+		Gates:     []Gate{{RX, 0, -1, 0}, {RY, 1, -1, 1}},
+		NumParams: 2,
+	}
+	n, nq := 9, 2
+	angles := randAngles(rng, n, nq)
+	theta := randTheta(rng, circ.NumParams)
+	tans := [][]float64{randAngles(rng, n, nq), nil, randAngles(rng, n, nq)}
+	gz := randAngles(rng, n, nq)
+	gztans := [][]float64{randAngles(rng, n, nq), nil, randAngles(rng, n, nq)}
+
+	run := func(logDeriv bool) engineResult {
+		pqc := &PQC{Circ: circ, Eng: EngineFused}
+		prog := pqc.Program()
+		flagged := 0
+		for i := range prog.ins {
+			if prog.ins[i].op == opU2 && prog.ins[i].logDeriv {
+				if !logDeriv {
+					prog.ins[i].logDeriv = false
+				}
+				flagged++
+			}
+		}
+		if flagged != 2 {
+			t.Fatalf("expected 2 log-derivative opU2 blocks, compiler produced %d", flagged)
+		}
+		ws := NewWorkspace(n, nq)
+		z, ztans := pqc.Forward(ws, angles, tans, theta)
+		res := engineResult{
+			z: z, ztans: ztans,
+			dAngles: make([]float64, n*nq),
+			dTheta:  make([]float64, circ.NumParams),
+			dTans:   [][]float64{make([]float64, n*nq), nil, make([]float64, n*nq)},
+		}
+		pqc.Backward(ws, gz, gztans, res.dAngles, res.dTans, res.dTheta)
+		return res
+	}
+
+	fast := run(true)
+	dense := run(false)
+	check := func(name string, want, have []float64) {
+		if d := maxAbsDiff(want, have); d > tol {
+			t.Errorf("fast-vs-dense %s diverges by %v", name, d)
+		}
+	}
+	check("z", dense.z, fast.z)
+	check("dAngles", dense.dAngles, fast.dAngles)
+	check("dTheta", dense.dTheta, fast.dTheta)
+	for _, k := range []int{0, 2} {
+		check("ztans", dense.ztans[k], fast.ztans[k])
+		check("dTans", dense.dTans[k], fast.dTans[k])
+	}
+
+	// The legacy per-gate engine anchors both paths to the reference
+	// adjoint, so the pair cannot agree on a mutually wrong answer.
+	ref := runEngine(EngineLegacy, circ, n, angles, tans, theta, gz, gztans)
+	check("dTheta vs legacy", ref.dTheta, fast.dTheta)
+	check("dAngles vs legacy", ref.dAngles, fast.dAngles)
+}
+
+// TestU2LogDerivCoversAnsatzLeftovers asserts the fast path engages on real
+// ansätze: Cross-Mesh at 7 qubits leaves one single-RX run per layer after
+// triple grouping (7 mod 3), which must compile to a log-derivative opU2.
+func TestU2LogDerivCoversAnsatzLeftovers(t *testing.T) {
+	prog := CompileProgram(CrossMesh.Build(7, 2))
+	got := 0
+	for i := range prog.ins {
+		if prog.ins[i].op == opU2 && prog.ins[i].logDeriv {
+			got++
+		}
+	}
+	if got == 0 {
+		t.Fatal("Cross-Mesh 7q leftover rotations did not take the opU2 log-derivative fast path")
+	}
+}
+
+// TestProgramDigestContent pins the digest the dist handshake relies on:
+// identical compiles agree, and two circuits with identical shape counts but
+// different content (or coefficient math) must disagree — shape-only
+// summaries would wave a version-skewed worker through.
+func TestProgramDigestContent(t *testing.T) {
+	rx := &Circuit{Name: "rx", NumQubits: 1, Gates: []Gate{{RX, 0, -1, 0}}, NumParams: 1}
+	ry := &Circuit{Name: "ry", NumQubits: 1, Gates: []Gate{{RY, 0, -1, 0}}, NumParams: 1}
+	dA, dB := CompileProgram(rx).Digest(), CompileProgram(ry).Digest()
+	if dA == dB {
+		t.Fatal("RX and RY programs share a digest despite different content")
+	}
+	if got := CompileProgram(rx).Digest(); got != dA {
+		t.Fatalf("digest not reproducible: %+v vs %+v", got, dA)
+	}
+	if dA.Instructions != dB.Instructions || dA.Coeffs != dB.Coeffs {
+		t.Fatalf("test premise broken: shapes differ (%+v vs %+v), content hash untested", dA, dB)
+	}
+}
+
+// TestEngineKindsClosed asserts EngineKinds covers every kind with a
+// canonical name: an engine added to the String/Parse pair but forgotten in
+// EngineKinds would otherwise silently vanish from flag help, the
+// ParseEngine error, and the round-trip test that iterates EngineKinds.
+func TestEngineKindsClosed(t *testing.T) {
+	listed := map[EngineKind]bool{}
+	for _, k := range EngineKinds() {
+		listed[k] = true
+	}
+	for v := 0; v < 64; v++ {
+		k := EngineKind(v)
+		if k.String() != "unknown" && !listed[k] {
+			t.Errorf("engine %v (=%d) has a name but is missing from EngineKinds()", k, v)
+		}
 	}
 }

@@ -150,8 +150,27 @@ func CompileProgramLevel(circ *Circuit, level int) *Program {
 		p.fuseDiagRuns()
 		p.fuseBlocks(2)
 	}
+	if level >= 2 {
+		p.markU2LogDeriv()
+	}
 	p.layout()
 	return p
+}
+
+// markU2LogDeriv flags the opU2 blocks whose source is a single parametrized
+// rotation: their adjoint reads the gradient off the recovered states via
+// the rotation's logarithmic derivative instead of accumulating a 2×2
+// adjoint outer product (see revU2LogDerivRange). Only instruction-driven
+// (level ≥ 2) backward walks consult the flag. The derivative slots stay
+// allocated so the dense outer-product path remains selectable as the
+// parity oracle for the fast path.
+func (p *Program) markU2LogDeriv() {
+	for i := range p.ins {
+		in := &p.ins[i]
+		if in.op == opU2 && len(in.gates) == 1 && in.gates[0].P >= 0 && isSingleQubit(in.gates[0]) {
+			in.logDeriv = true
+		}
+	}
 }
 
 // Level reports the fusion level the program was compiled at.
@@ -163,6 +182,129 @@ func (p *Program) NumInstructions() int { return len(p.ins) }
 
 // NumCoeffs reports the forward coefficient-slot floats a pass must provide.
 func (p *Program) NumCoeffs() int { return p.ncoef }
+
+// NumDiagAccums reports the number of fused full-register diagonal
+// instructions, each of which owns one per-basis gradient accumulator of
+// 2^nq floats — the stride of the sharded and dist engines' diagT partials.
+func (p *Program) NumDiagAccums() int { return p.ndiag }
+
+// ProgramDigest summarizes a compiled program. Compilation is a pure
+// function of (circuit, level), so two processes that compiled the same
+// circuit at the same level and agree on the digest are executing the same
+// instruction stream — the dist handshake exchanges it to pin coordinator
+// and worker to identical programs before any shard is shipped. Beyond the
+// shape counts, Hash fingerprints the instruction stream's content AND a
+// coefficient probe (FillCoeffs/FillDerivCoeffs evaluated at a fixed theta),
+// so a version-skewed worker whose compiler fuses differently or whose
+// coefficient math drifted is refused at handshake instead of silently
+// returning different numbers. (Amplitude-kernel drift is the one thing a
+// compile-time digest cannot see; the cross-engine parity tests own that.)
+type ProgramDigest struct {
+	Level        int
+	Instructions int
+	Coeffs       int
+	DerivCoeffs  int
+	DiagAccums   int
+	Hash         uint64
+}
+
+// Digest returns the program's summary for cross-process validation.
+func (p *Program) Digest() ProgramDigest {
+	return ProgramDigest{
+		Level:        p.level,
+		Instructions: len(p.ins),
+		Coeffs:       p.ncoef,
+		DerivCoeffs:  p.nderiv,
+		DiagAccums:   p.ndiag,
+		Hash:         p.contentHash(),
+	}
+}
+
+// contentHash is an FNV-1a fingerprint of the compiled instruction stream
+// (opcodes, operands, slot layout, source gates, sign tables, permutation
+// cycles) followed by a numerical probe: the forward and derivative
+// coefficient slots evaluated at a fixed, structure-independent theta, as
+// raw IEEE bits. Everything hashed is a deterministic pure function of
+// (circuit, level) — no map iteration, no addresses — so equal programs
+// hash equal across processes and binaries.
+func (p *Program) contentHash() uint64 {
+	const (
+		offset64 = 14695981039346844037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	byte1 := func(b byte) {
+		h = (h ^ uint64(b)) * prime64
+	}
+	word := func(v uint64) {
+		for i := 0; i < 8; i++ {
+			byte1(byte(v >> (8 * i)))
+		}
+	}
+	num := func(v int) { word(uint64(int64(v))) }
+	num(p.level)
+	num(p.circ.NumQubits)
+	num(len(p.ins))
+	for i := range p.ins {
+		in := &p.ins[i]
+		byte1(byte(in.op))
+		num(in.q)
+		num(in.c)
+		num(in.q2)
+		num(in.slot)
+		num(in.dslot)
+		num(in.tslot)
+		if in.logDeriv {
+			byte1(1)
+		} else {
+			byte1(0)
+		}
+		num(len(in.gates))
+		for _, g := range in.gates {
+			byte1(byte(g.Kind))
+			num(g.Q)
+			num(g.C)
+			num(g.P)
+		}
+		num(len(in.params))
+		for _, pi := range in.params {
+			num(pi)
+		}
+		num(len(in.signs))
+		for _, s := range in.signs {
+			byte1(byte(s))
+		}
+		for _, b := range in.perm {
+			byte1(b)
+		}
+		num(len(in.cycles))
+		for _, cyc := range in.cycles {
+			num(len(cyc))
+			for _, b := range cyc {
+				byte1(b)
+			}
+		}
+	}
+	// Coefficient probe at theta_i = sin(i+1): exercises every rotation's
+	// trigonometry and every fused block's matrix products.
+	theta := make([]float64, p.circ.NumParams)
+	for i := range theta {
+		theta[i] = math.Sin(float64(i + 1))
+	}
+	coeff := make([]float64, p.ncoef)
+	p.FillCoeffs(theta, coeff)
+	for _, v := range coeff {
+		word(math.Float64bits(v))
+	}
+	if p.nderiv > 0 {
+		dcoef := make([]float64, p.nderiv)
+		p.FillDerivCoeffs(theta, dcoef)
+		for _, v := range dcoef {
+			word(math.Float64bits(v))
+		}
+	}
+	return h
+}
 
 func (p *Program) addEmbed() {
 	if p.level >= 2 {
@@ -1099,6 +1241,9 @@ func (p *Program) FillDerivCoeffs(theta, dst []float64) {
 		}
 		switch in.op {
 		case opU2:
+			if in.logDeriv {
+				continue // the adjoint fast path never reads these slots
+			}
 			k := len(in.gates)
 			mats := make([]mat2, k)
 			for i, g := range in.gates {
