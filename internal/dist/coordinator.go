@@ -8,6 +8,7 @@ import (
 	"net"
 	"os"
 	"os/exec"
+	"sort"
 	"strconv"
 	"strings"
 	"sync"
@@ -21,7 +22,9 @@ import (
 // falls back to its environment default — TORQ_DIST_WORKERS subprocess
 // workers (2 when unset and no remote addresses are given),
 // TORQ_DIST_WORKER_BIN as the worker binary (self-exec when unset),
-// TORQ_DIST_ADDRS remote workers, TORQ_DIST_SHARD_TIMEOUT per-shard timeout
+// TORQ_DIST_ADDRS remote workers, TORQ_DIST_SHARD_TIMEOUT per-shard timeout,
+// TORQ_DIST_BATCH_SHARDS / TORQ_DIST_PIPELINE / TORQ_DIST_AFFINITY for the
+// transport's batching, pipelining, and forward-state affinity knobs
 // — so e.g. `torq-bench -dist-workers 4` composes with a TORQ_DIST_ADDRS /
 // TORQ_DIST_WORKER_BIN environment instead of silently discarding it.
 type Options struct {
@@ -35,9 +38,30 @@ type Options struct {
 	// Addrs lists remote `torq-worker -listen` endpoints to dial, used in
 	// addition to the subprocess workers.
 	Addrs []string
-	// ShardTimeout bounds one shard's round trip; a worker that blows it is
-	// declared dead and its shard re-dispatched. Zero means 60s.
+	// ShardTimeout bounds one shard's round trip; an exchange covering a
+	// batch of shards gets the per-shard timeout times the batch size. A
+	// worker that blows its (scaled) timeout is declared dead and its
+	// outstanding shards re-dispatched. Zero means 60s per shard.
 	ShardTimeout time.Duration
+	// BatchShards caps how many shards ride one assignment frame. The
+	// scheduler only reaches the cap while plenty of work remains — batches
+	// shrink toward single shards near a pass's tail, so late rebalancing
+	// and dead-worker re-dispatch keep single-shard granularity. Zero means
+	// 16; 1 disables batching.
+	BatchShards int
+	// Pipeline is how many batches beyond the one in service stay queued to
+	// each worker, hiding frame-transport latency under shard compute. Zero
+	// means 2; 1 approximates the unpipelined round-trip protocol.
+	Pipeline int
+	// Affinity controls forward-state affinity: workers retain each forward
+	// shard's end states and the coordinator routes the matching backward
+	// shard back to the worker that holds them, skipping the backward
+	// pass's forward recompute. Zero or positive enables (the default);
+	// negative disables. Recovery semantics do not depend on this knob —
+	// workers validate cached states against the backward shard's exact
+	// inputs and silently fall back to the stateless recompute, which is
+	// bit-identical by construction.
+	Affinity int
 }
 
 func (o Options) timeout() time.Duration {
@@ -46,6 +70,22 @@ func (o Options) timeout() time.Duration {
 	}
 	return 60 * time.Second
 }
+
+func (o Options) batchShards() int {
+	if o.BatchShards > 0 {
+		return o.BatchShards
+	}
+	return 16
+}
+
+func (o Options) pipelineDepth() int {
+	if o.Pipeline > 0 {
+		return o.Pipeline
+	}
+	return 2
+}
+
+func (o Options) affinity() bool { return o.Affinity >= 0 }
 
 func envOptions() Options {
 	var o Options
@@ -63,12 +103,27 @@ func envOptions() Options {
 	if v, err := time.ParseDuration(os.Getenv("TORQ_DIST_SHARD_TIMEOUT")); err == nil && v > 0 {
 		o.ShardTimeout = v
 	}
+	if v, err := strconv.Atoi(os.Getenv("TORQ_DIST_BATCH_SHARDS")); err == nil && v > 0 {
+		o.BatchShards = v
+	}
+	if v, err := strconv.Atoi(os.Getenv("TORQ_DIST_PIPELINE")); err == nil && v > 0 {
+		o.Pipeline = v
+	}
+	switch strings.ToLower(os.Getenv("TORQ_DIST_AFFINITY")) {
+	case "":
+	case "0", "off", "false", "no":
+		o.Affinity = -1
+	default:
+		o.Affinity = 1
+	}
 	return o
 }
 
 // worker is one coordinator-side worker handle: a framed transport plus the
-// process or connection behind it. A worker is owned by exactly one
-// goroutine during a pass; only the dead flag and the kill path are shared.
+// process or connection behind it. During a pass a worker is driven by one
+// sender and one receiver goroutine: the sender owns the write half (w,
+// ebuf, smBuf), the receiver the read half (r, rbuf, arena, rmBuf); only
+// the dead flag, the in-flight counter, and the kill path are shared.
 type worker struct {
 	id   int
 	addr string // non-empty for remote (TCP) workers
@@ -80,6 +135,22 @@ type worker struct {
 	circ     *qsim.Circuit // circuit of the last successful handshake
 	dead     atomic.Bool
 	killOnce sync.Once
+
+	// inflight counts shards sent but not yet answered — the receive
+	// timeout scales with it, since the reply to the oldest batch can
+	// legitimately wait behind every queued shard's compute.
+	inflight atomic.Int32
+
+	// Steady-state transport scratch: frames encode into and read into
+	// per-worker buffers, and decoded result arrays borrow the per-worker
+	// arena, which resets at pass start — so a pass's results stay valid
+	// until the next RunPass (the engine merges them before returning) and
+	// the hot path performs no per-frame allocation.
+	ebuf  []byte
+	rbuf  []byte
+	arena f64Arena
+	smBuf []shardMsg
+	rmBuf []resultMsg
 }
 
 // kill tears the transport down (idempotent, safe from timeout callbacks):
@@ -114,7 +185,18 @@ func (w *worker) send(typ byte, payload []byte) error {
 // window or pipe buffer — just as it can block the reply read; killing the
 // transport is what unblocks either side.
 func (c *coordinator) guard(w *worker) func() bool {
-	return time.AfterFunc(c.options().timeout(), w.kill).Stop
+	return c.guardN(w, 1)
+}
+
+// guardN is guard with the timeout scaled to an exchange covering `shards`
+// shards: the configured ShardTimeout stays a per-shard liveness bound no
+// matter how coarse the batching or how deep the pipeline.
+func (c *coordinator) guardN(w *worker, shards int) func() bool {
+	t := c.options().timeout()
+	if shards > 1 {
+		t *= time.Duration(shards)
+	}
+	return time.AfterFunc(t, w.kill).Stop
 }
 
 // coordinator owns the worker pool behind the EngineDist backend. One pass
@@ -129,10 +211,28 @@ type coordinator struct {
 	nextID  int
 	passID  uint64
 
+	// lastFwd describes the most recent retained forward pass; the next
+	// backward pass pairs with it when shapes match, routing each backward
+	// shard to the worker holding that shard's cached forward states.
+	lastFwd *fwdPassInfo
+
 	// spawnEnv is appended to the next spawned subprocess's environment and
 	// then cleared — the hook the kill-a-worker recovery tests use to arm
 	// exactly one worker with a deterministic mid-pass death.
 	spawnEnv []string
+}
+
+// fwdPassInfo records which worker ran each shard of a retained forward
+// pass, plus the shape fields a backward pass must match to pair with it —
+// the pairing is a routing hint only; workers re-validate cached states
+// against the backward shard's exact inputs before replaying them.
+type fwdPassInfo struct {
+	pass   uint64
+	circ   *qsim.Circuit
+	n      int
+	block  int
+	active [qsim.MaxTangents]bool
+	owner  []int32 // shard index → worker id (-1: not completed/unknown)
 }
 
 var coord coordinator
@@ -154,6 +254,15 @@ func Configure(o Options) {
 	if o.ShardTimeout > 0 {
 		base.ShardTimeout = o.ShardTimeout
 	}
+	if o.BatchShards != 0 {
+		base.BatchShards = o.BatchShards
+	}
+	if o.Pipeline != 0 {
+		base.Pipeline = o.Pipeline
+	}
+	if o.Affinity != 0 {
+		base.Affinity = o.Affinity
+	}
 	coord.mu.Lock()
 	defer coord.mu.Unlock()
 	coord.shutdownLocked()
@@ -172,7 +281,7 @@ func (c *coordinator) shutdownLocked() {
 	for _, w := range c.workers {
 		w.kill()
 	}
-	c.workers, c.started = nil, false
+	c.workers, c.started, c.lastFwd = nil, false, nil
 }
 
 func (c *coordinator) options() Options {
@@ -341,12 +450,145 @@ func (w *worker) recv() (byte, []byte, error) {
 // backend implements qsim.DistBackend on the package coordinator.
 type backend struct{}
 
-// RunPass partitions the pass into shards, fans them out over the live
-// workers, and collects one result per shard. Shard assignment is dynamic —
-// each worker goroutine pulls the next unclaimed shard — and a worker that
-// dies (transport error, timeout, mismatched reply) has its in-flight shard
-// pushed back for the survivors. The pass fails only when every worker is
-// gone with shards outstanding.
+// passSched hands out shard batches to worker senders. Assignment is
+// dynamic: a grab takes a batch sized to the work remaining — coarse
+// batches while the pool is deep, single shards near the tail, so late
+// rebalancing and dead-worker re-dispatch keep single-shard granularity —
+// preferring shards whose forward states the worker holds, then unowned
+// shards, then stealing hinted shards from slower workers. Shards come back
+// via giveBack when a worker dies with them in flight; the pass is complete
+// when every shard's result has been accepted.
+type passSched struct {
+	mu         sync.Mutex
+	cond       sync.Cond
+	prefer     map[int][]int // worker id → shards whose forward states it holds
+	global     []int         // unowned shards, popped from the end
+	unassigned int
+	remaining  int
+	batchCap   int
+	workers    int
+}
+
+// newPassSched routes shard i to prefer[owner[i]] when that worker is in
+// the pass's live set, and to the global pool otherwise (owner may be nil —
+// no affinity pairing). Lists are built in descending shard order so the
+// pop-from-the-end grab path dispatches ascending.
+func newPassSched(ns, batchCap int, live []*worker, owner []int32) *passSched {
+	s := &passSched{
+		prefer:     make(map[int][]int, len(live)),
+		unassigned: ns,
+		remaining:  ns,
+		batchCap:   batchCap,
+		workers:    len(live),
+	}
+	s.cond.L = &s.mu
+	alive := make(map[int]bool, len(live))
+	for _, w := range live {
+		alive[w.id] = true
+	}
+	for i := ns - 1; i >= 0; i-- {
+		if owner != nil && owner[i] >= 0 && alive[int(owner[i])] {
+			id := int(owner[i])
+			s.prefer[id] = append(s.prefer[id], i)
+		} else {
+			s.global = append(s.global, i)
+		}
+	}
+	return s
+}
+
+// grab blocks until work is available (a dying worker may give shards back)
+// and returns the next batch for w, or nil when the pass has completed or w
+// itself has died.
+func (s *passSched) grab(w *worker) []int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for {
+		if s.remaining == 0 || w.dead.Load() {
+			return nil
+		}
+		if s.unassigned > 0 {
+			break
+		}
+		s.cond.Wait()
+	}
+	chunk := s.unassigned / (2 * s.workers)
+	if chunk > s.batchCap {
+		chunk = s.batchCap
+	}
+	if chunk < 1 {
+		chunk = 1
+	}
+	out := make([]int, 0, chunk)
+	own := s.prefer[w.id]
+	for len(out) < chunk && len(own) > 0 {
+		out = append(out, own[len(own)-1])
+		own = own[:len(own)-1]
+	}
+	s.prefer[w.id] = own
+	for len(out) < chunk && len(s.global) > 0 {
+		out = append(out, s.global[len(s.global)-1])
+		s.global = s.global[:len(s.global)-1]
+	}
+	for len(out) < chunk {
+		// Steal from the worker hoarding the most preferred shards, from
+		// the far end of its list — losing the affinity hint only costs the
+		// victim's cached forward state a recompute on another worker.
+		vid, max := 0, 0
+		for id, l := range s.prefer {
+			if len(l) > max {
+				vid, max = id, len(l)
+			}
+		}
+		if max == 0 {
+			break
+		}
+		victim := s.prefer[vid]
+		out = append(out, victim[0])
+		s.prefer[vid] = victim[1:]
+	}
+	s.unassigned -= len(out)
+	return out
+}
+
+// giveBack returns a dead worker's in-flight shards to the global pool (its
+// cached forward states died with it) and wakes idle senders.
+func (s *passSched) giveBack(shards []int) {
+	if len(shards) == 0 {
+		return
+	}
+	s.mu.Lock()
+	s.global = append(s.global, shards...)
+	s.unassigned += len(shards)
+	s.mu.Unlock()
+	s.cond.Broadcast()
+}
+
+// complete retires accepted shards; the final one wakes every blocked grab.
+func (s *passSched) complete(n int) {
+	s.mu.Lock()
+	s.remaining -= n
+	rem := s.remaining
+	s.mu.Unlock()
+	if rem == 0 {
+		s.cond.Broadcast()
+	}
+}
+
+func (s *passSched) outstanding() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.remaining
+}
+
+// wake unblocks grabs so a sender notices its worker died.
+func (s *passSched) wake() { s.cond.Broadcast() }
+
+// RunPass partitions the pass into shards and fans them out over the live
+// workers in pipelined batches. A worker that dies (transport error,
+// timeout, mismatched reply) has its in-flight shards pushed back for the
+// survivors, which recompute them statelessly. The pass fails only when
+// every worker is gone with shards outstanding.
 func (backend) RunPass(spec *qsim.PassSpec) ([]qsim.ShardResult, error) {
 	c := &coord
 	c.mu.Lock()
@@ -354,6 +596,7 @@ func (backend) RunPass(spec *qsim.PassSpec) ([]qsim.ShardResult, error) {
 	if err := c.ensureWorkersLocked(); err != nil {
 		return nil, err
 	}
+	o := c.options()
 	c.passID++
 	pass := c.passID
 
@@ -389,87 +632,196 @@ func (backend) RunPass(spec *qsim.PassSpec) ([]qsim.ShardResult, error) {
 	results := make([]qsim.ShardResult, ns)
 	if ns == 0 {
 		// An empty batch has nothing to dispatch; without this return the
-		// worker loops would block forever on a done channel that only a
-		// shard completion closes.
+		// worker loops would block forever waiting for a completion that
+		// only a shard result delivers.
+		c.lastFwd = nil
 		return results, nil
 	}
-	todo := make(chan int, ns)
-	for s := 0; s < ns; s++ {
-		todo <- s
+
+	// Pair a backward pass with the retained forward whose shape it
+	// matches; its owner map seeds the scheduler's affinity routing. The
+	// pairing is consumed either way — the workers' caches roll over at the
+	// next forward pass.
+	var fwdPass uint64
+	var owner []int32
+	if spec.Backward {
+		if lf := c.lastFwd; o.affinity() && lf != nil && lf.circ == spec.Circ &&
+			lf.n == spec.N && lf.block == spec.Block && lf.active == spec.Active &&
+			len(lf.owner) == ns {
+			fwdPass, owner = lf.pass, lf.owner
+		}
+		c.lastFwd = nil
 	}
-	pending := int32(ns)
-	done := make(chan struct{})
-	pm := encodePass(passMsg{Pass: pass, Backward: spec.Backward, Active: spec.Active, Theta: spec.Theta})
+	retain := o.affinity() && !spec.Backward
+	var fwd *fwdPassInfo
+	if retain {
+		fwd = &fwdPassInfo{
+			pass: pass, circ: spec.Circ, n: spec.N, block: spec.Block,
+			active: spec.Active, owner: make([]int32, ns),
+		}
+		for i := range fwd.owner {
+			fwd.owner[i] = -1
+		}
+		c.lastFwd = fwd
+	}
+
+	// With fewer shards than workers, the surplus workers get neither
+	// shards nor the theta broadcast. On a paired backward pass the workers
+	// holding the most forward states participate first, keeping the
+	// affinity routing intact through the trim.
+	if ns < len(live) {
+		if owner != nil {
+			counts := make(map[int]int, len(live))
+			for _, id := range owner {
+				if id >= 0 {
+					counts[int(id)]++
+				}
+			}
+			sort.SliceStable(live, func(i, j int) bool {
+				return counts[live[i].id] > counts[live[j].id]
+			})
+		}
+		live = live[:ns]
+	}
+
+	// The previous pass's decoded results die here: per-worker arenas recycle
+	// at pass start, which is why ShardResult arrays are documented as valid
+	// only until the next RunPass.
+	for _, w := range live {
+		w.arena.reset()
+		w.inflight.Store(0)
+	}
+
+	sched := newPassSched(ns, o.batchShards(), live, owner)
+	pm := encodePass(passMsg{
+		Pass: pass, FwdPass: fwdPass, Backward: spec.Backward, Retain: retain,
+		Active: spec.Active, Theta: spec.Theta,
+	})
 
 	var wg sync.WaitGroup
 	for _, w := range live {
 		wg.Add(1)
 		go func(w *worker) {
 			defer wg.Done()
-			c.workerLoop(w, spec, pass, pm, todo, results, &pending, done)
+			c.workerRun(w, o, spec, pass, pm, sched, results, fwd)
 		}(w)
 	}
 	wg.Wait()
-	if atomic.LoadInt32(&pending) != 0 {
-		return nil, fmt.Errorf("dist: pass %d lost all workers with %d shards outstanding", pass, atomic.LoadInt32(&pending))
+	if n := sched.outstanding(); n != 0 {
+		c.lastFwd = nil
+		return nil, fmt.Errorf("dist: pass %d lost all workers with %d shards outstanding", pass, n)
 	}
 	return results, nil
 }
 
-func (c *coordinator) workerLoop(w *worker, spec *qsim.PassSpec, pass uint64, pm []byte, todo chan int, results []qsim.ShardResult, pending *int32, done chan struct{}) {
+// workerRun drives one worker through a pass with a sender/receiver pair:
+// the sender grabs shard batches and writes assignment frames, the receiver
+// collects the replies in FIFO order. Splitting the directions is what
+// makes pipelining deadlock-free — with both batch and reply frames larger
+// than a pipe buffer, a single goroutine writing batch k+1 while the worker
+// blocks writing reply k would wedge; here the receiver keeps draining. The
+// flights channel carries each in-flight batch from sender to receiver and
+// its capacity bounds the pipeline depth.
+func (c *coordinator) workerRun(w *worker, o Options, spec *qsim.PassSpec, pass uint64, pm []byte, sched *passSched, results []qsim.ShardResult, fwd *fwdPassInfo) {
 	stop := c.guard(w)
 	err := w.send(fPass, pm)
 	stop()
 	if err != nil {
 		w.kill()
+		sched.wake()
 		return
 	}
-	for {
-		select {
-		case <-done:
-			return
-		case s := <-todo:
-			if err := c.runShard(w, spec, pass, s, results); err != nil {
-				fmt.Fprintf(os.Stderr, "dist: worker %d lost on shard %d of pass %d (%v); re-dispatching\n", w.id, s, pass, err)
+	flights := make(chan []int, o.pipelineDepth())
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		failed := false
+		for shards := range flights {
+			if failed {
+				sched.giveBack(shards)
+				continue
+			}
+			if err := c.recvBatch(w, spec, pass, shards, results); err != nil {
+				fmt.Fprintf(os.Stderr, "dist: worker %d lost on pass %d (%v); re-dispatching %d shards\n", w.id, pass, err, len(shards))
 				w.kill()
-				todo <- s // capacity ns: the slot this shard vacated is free
-				return
+				failed = true
+				sched.giveBack(shards)
+				sched.wake()
+				continue
 			}
-			if atomic.AddInt32(pending, -1) == 0 {
-				close(done)
-				return
+			if fwd != nil {
+				// Each shard completes exactly once per pass, so these
+				// writes never contend across receivers.
+				for _, s := range shards {
+					fwd.owner[s] = int32(w.id)
+				}
 			}
+			w.inflight.Add(int32(-len(shards)))
+			sched.complete(len(shards))
 		}
+	}()
+	for {
+		shards := sched.grab(w)
+		if shards == nil {
+			break
+		}
+		w.inflight.Add(int32(len(shards)))
+		if err := c.sendBatch(w, spec, pass, shards); err != nil {
+			w.kill()
+			sched.giveBack(shards)
+			sched.wake()
+			break
+		}
+		flights <- shards
 	}
+	close(flights)
+	wg.Wait()
 }
 
-// runShard ships shard s to w and records its result.
-func (c *coordinator) runShard(w *worker, spec *qsim.PassSpec, pass uint64, s int, results []qsim.ShardResult) error {
-	lo, hi := spec.Shard(s)
+// sendBatch encodes the shards' input rows into the worker's frame buffer
+// and ships them as one fShardBatch frame. Row arrays alias the pass spec —
+// nothing is copied until the encoder serializes it.
+func (c *coordinator) sendBatch(w *worker, spec *qsim.PassSpec, pass uint64, shards []int) error {
 	nq := spec.NQ
-	sm := shardMsg{Pass: pass, Shard: uint32(s), Angles: spec.Angles[lo*nq : hi*nq]}
-	for k := 0; k < qsim.MaxTangents; k++ {
-		if spec.AngleTans[k] != nil {
-			sm.AngleTans[k] = spec.AngleTans[k][lo*nq : hi*nq]
-		}
-	}
-	if spec.Backward {
-		if spec.GZ != nil {
-			sm.GZ = spec.GZ[lo*nq : hi*nq]
-		}
+	sms := w.smBuf[:0]
+	for _, s := range shards {
+		lo, hi := spec.Shard(s)
+		sm := shardMsg{Pass: pass, Shard: uint32(s), Angles: spec.Angles[lo*nq : hi*nq]}
 		for k := 0; k < qsim.MaxTangents; k++ {
-			if spec.GZTans[k] != nil {
-				sm.GZTans[k] = spec.GZTans[k][lo*nq : hi*nq]
+			if spec.AngleTans[k] != nil {
+				sm.AngleTans[k] = spec.AngleTans[k][lo*nq : hi*nq]
 			}
 		}
+		if spec.Backward {
+			if spec.GZ != nil {
+				sm.GZ = spec.GZ[lo*nq : hi*nq]
+			}
+			for k := 0; k < qsim.MaxTangents; k++ {
+				if spec.GZTans[k] != nil {
+					sm.GZTans[k] = spec.GZTans[k][lo*nq : hi*nq]
+				}
+			}
+		}
+		sms = append(sms, sm)
 	}
-	// One timeout covers the whole round trip — see guard for why the send
-	// side needs it as much as the reply read.
-	defer c.guard(w)()
-	if err := w.send(fShard, encodeShard(sm)); err != nil {
+	w.smBuf = sms
+	w.ebuf = encodeShardBatchFrame(w.ebuf, pass, sms)
+	// The timeout covers the send too — a full pipe buffer against a wedged
+	// worker blocks the write exactly like a withheld reply blocks the read.
+	defer c.guardN(w, len(shards))()
+	if _, err := w.w.Write(w.ebuf); err != nil {
 		return err
 	}
-	typ, body, err := w.recv()
+	return w.w.Flush()
+}
+
+// recvBatch reads one fResultBatch frame and validates and records each
+// entry against the batch it answers: same pass, same direction, shards in
+// assignment order, every array shaped exactly as the pass demands.
+func (c *coordinator) recvBatch(w *worker, spec *qsim.PassSpec, pass uint64, shards []int, results []qsim.ShardResult) error {
+	defer c.guardN(w, int(w.inflight.Load()))()
+	typ, body, err := readFrameInto(w.r, &w.rbuf)
 	if err != nil {
 		return err
 	}
@@ -477,19 +829,28 @@ func (c *coordinator) runShard(w *worker, spec *qsim.PassSpec, pass uint64, s in
 	case fError:
 		em, _ := decodeError(body)
 		return fmt.Errorf("worker error: %s", em.Msg)
-	case fResult:
+	case fResultBatch:
 	default:
 		return fmt.Errorf("unexpected reply type %d", typ)
 	}
-	rm, err := decodeResult(body)
+	w.rmBuf, err = decodeResultBatchInto(body, &w.arena, w.rmBuf[:0])
 	if err != nil {
 		return err
 	}
-	if rm.Pass != pass || int(rm.Shard) != s || rm.Backward != spec.Backward {
-		return fmt.Errorf("result for pass %d shard %d (backward=%v), want pass %d shard %d (backward=%v)",
-			rm.Pass, rm.Shard, rm.Backward, pass, s, spec.Backward)
+	if len(w.rmBuf) != len(shards) {
+		return fmt.Errorf("result batch has %d entries, want %d", len(w.rmBuf), len(shards))
 	}
-	return validateResult(spec, s, rm, &results[s])
+	for i, s := range shards {
+		rm := w.rmBuf[i]
+		if rm.Pass != pass || int(rm.Shard) != s || rm.Backward != spec.Backward {
+			return fmt.Errorf("result for pass %d shard %d (backward=%v), want pass %d shard %d (backward=%v)",
+				rm.Pass, rm.Shard, rm.Backward, pass, s, spec.Backward)
+		}
+		if err := validateResult(spec, s, rm, &results[s]); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // validateResult checks the result arrays have the pass's expected shapes

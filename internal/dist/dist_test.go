@@ -9,6 +9,7 @@
 package dist_test
 
 import (
+	"fmt"
 	"math"
 	"math/rand"
 	"testing"
@@ -84,10 +85,24 @@ func comparePass(t *testing.T, ctx string, want, got passResult) {
 	}
 }
 
+// distTransportConfigs are the transport variants every parity matrix runs
+// under: the default pipelined/batched/affinity transport, and the knobs
+// forced to the serial single-shard stateless protocol — bit-identity must
+// hold for both, which proves batching, pipelining, and forward-state
+// affinity are pure transport concerns that never touch the numerics.
+var distTransportConfigs = []struct {
+	name string
+	opts dist.Options
+}{
+	{"batched", dist.Options{}},
+	{"unbatched", dist.Options{BatchShards: 1, Pipeline: 1, Affinity: -1}},
+}
+
 // TestDistBitIdenticalToSharded is the acceptance check: EngineDist with 1,
 // 2, and 4 subprocess workers must produce bit-identical z rows and
 // gradients to the in-process EngineSharded on every ansatz, with and
-// without data re-uploading. The batch is sized to split into several
+// without data re-uploading, with shard batching and forward-state affinity
+// both enabled and disabled. The batch is sized to split into several
 // shards so multi-worker runs genuinely interleave and re-order shard
 // completion — bit-identity then proves the shard-order merge.
 func TestDistBitIdenticalToSharded(t *testing.T) {
@@ -125,11 +140,15 @@ func TestDistBitIdenticalToSharded(t *testing.T) {
 		}
 	}
 
-	for _, workers := range []int{1, 2, 4} {
-		dist.Configure(dist.Options{Workers: workers})
-		for _, w := range loads {
-			got := runPass(qsim.EngineDist, w.circ, n, w.in[0], w.tans, w.in[1], w.in[2], w.gzt)
-			comparePass(t, w.ctx+"/workers="+string(rune('0'+workers)), w.want, got)
+	for _, cfg := range distTransportConfigs {
+		for _, workers := range []int{1, 2, 4} {
+			opts := cfg.opts
+			opts.Workers = workers
+			dist.Configure(opts)
+			for _, w := range loads {
+				got := runPass(qsim.EngineDist, w.circ, n, w.in[0], w.tans, w.in[1], w.in[2], w.gzt)
+				comparePass(t, fmt.Sprintf("%s/%s/workers=%d", w.ctx, cfg.name, workers), w.want, got)
+			}
 		}
 	}
 }
@@ -150,9 +169,13 @@ func TestDistBitIdenticalLargeBatch(t *testing.T) {
 	gztans := [][]float64{randRows(rng, n*nq), randRows(rng, n*nq), randRows(rng, n*nq)}
 	want := runPass(qsim.EngineSharded, circ, n, angles, tans, theta, gz, gztans)
 
-	dist.Configure(dist.Options{Workers: 2})
-	got := runPass(qsim.EngineDist, circ, n, angles, tans, theta, gz, gztans)
-	comparePass(t, "crossmesh-7q", want, got)
+	for _, cfg := range distTransportConfigs {
+		opts := cfg.opts
+		opts.Workers = 2
+		dist.Configure(opts)
+		got := runPass(qsim.EngineDist, circ, n, angles, tans, theta, gz, gztans)
+		comparePass(t, "crossmesh-7q/"+cfg.name, want, got)
+	}
 }
 
 // TestDistNoTangentsNilGrad covers the pure value path (no tangent channels,

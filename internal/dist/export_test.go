@@ -15,6 +15,11 @@ func SetTestSpawnEnv(env ...string) {
 // FailAfterEnv is the worker-side chaos hook environment variable.
 const FailAfterEnv = failAfterEnv
 
+// RequireCachedEnv makes workers refuse stateless backward recomputes; a
+// pass that succeeds under it proves every backward shard was served from
+// the forward-state affinity cache.
+const RequireCachedEnv = requireCachedEnv
+
 // KillOneWorkerForTest kills the first live worker's process/connection,
 // simulating an external crash between (or during) passes. It reports
 // whether a live worker was found.

@@ -20,24 +20,35 @@ import (
 // A session opens with a versioned handshake (fHello/fHelloAck) that carries
 // the ansatz circuit and the compiled-program digest once; each pass then
 // broadcasts the coefficient vector (fPass) and streams shard assignments
-// (fShard) against it. Every frame type is self-describing — optional arrays
-// carry presence bytes — so the codec round-trips without session state.
+// (fShardBatch, or single-shard fShard) against it. Every frame type is
+// self-describing — optional arrays carry presence bytes — so the codec
+// round-trips without session state.
+//
+// The steady-state data path is allocation-free on both sides: frames read
+// into reusable payload buffers (readFrameInto), encoders append into
+// caller-owned backing arrays (the *Into variants), and decoded float arrays
+// come from a bump arena (f64Arena) whose reset is tied to the lifetime the
+// caller already guarantees for the decoded message.
 
 // ProtoVersion is the frame-protocol version. A worker that receives a
 // handshake with any other version refuses the session.
-const ProtoVersion uint16 = 1
+// Version 2: passMsg gained FwdPass/Retain (forward-state affinity) and the
+// batch frames fShardBatch/fResultBatch joined the protocol.
+const ProtoVersion uint16 = 2
 
 // maxFrame bounds a frame's wire size; anything larger is a corrupt stream.
 const maxFrame = 1 << 30
 
 // Frame types.
 const (
-	fHello    byte = 1 // coordinator → worker: version, circuit, program digest
-	fHelloAck byte = 2 // worker → coordinator: version + digest echo
-	fPass     byte = 3 // coordinator → worker: per-pass broadcast (theta, channels)
-	fShard    byte = 4 // coordinator → worker: one shard's input rows
-	fResult   byte = 5 // worker → coordinator: one shard's outputs
-	fError    byte = 6 // worker → coordinator: fatal session error text
+	fHello       byte = 1 // coordinator → worker: version, circuit, program digest
+	fHelloAck    byte = 2 // worker → coordinator: version + digest echo
+	fPass        byte = 3 // coordinator → worker: per-pass broadcast (theta, channels)
+	fShard       byte = 4 // coordinator → worker: one shard's input rows
+	fResult      byte = 5 // worker → coordinator: one shard's outputs
+	fError       byte = 6 // worker → coordinator: fatal session error text
+	fShardBatch  byte = 7 // coordinator → worker: several shards' input rows
+	fResultBatch byte = 8 // worker → coordinator: the matching outputs, in order
 )
 
 func writeFrame(w io.Writer, typ byte, payload []byte) error {
@@ -52,19 +63,39 @@ func writeFrame(w io.Writer, typ byte, payload []byte) error {
 }
 
 func readFrame(r io.Reader) (typ byte, payload []byte, err error) {
-	var hdr [4]byte
-	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+	var buf []byte
+	return readFrameInto(r, &buf)
+}
+
+// readFrameInto reads one frame reusing *buf as the storage for both the
+// length header and the payload, growing it only when a frame exceeds its
+// capacity. (A stack header scratch would escape through the io.Reader
+// interface and cost one heap allocation per frame.) The returned payload
+// aliases *buf and is valid until the next call with the same buffer — the
+// per-session read path holds exactly one frame at a time, so one buffer per
+// session makes the steady-state read allocation-free.
+func readFrameInto(r io.Reader, buf *[]byte) (typ byte, payload []byte, err error) {
+	if cap(*buf) < 8 {
+		*buf = make([]byte, 1<<12)
+	}
+	hdr := (*buf)[:4]
+	if _, err := io.ReadFull(r, hdr); err != nil {
 		return 0, nil, err
 	}
-	n := binary.LittleEndian.Uint32(hdr[:])
+	n := binary.LittleEndian.Uint32(hdr)
 	if n < 1 || n > maxFrame {
 		return 0, nil, fmt.Errorf("dist: bad frame length %d", n)
 	}
-	buf := make([]byte, n)
-	if _, err := io.ReadFull(r, buf); err != nil {
+	if uint32(cap(*buf)) < n {
+		*buf = make([]byte, n)
+	}
+	b := (*buf)[:cap(*buf)]
+	*buf = b
+	b = b[:n]
+	if _, err := io.ReadFull(r, b); err != nil {
 		return 0, nil, err
 	}
-	return buf[0], buf[1:], nil
+	return b[0], b[1:], nil
 }
 
 // enc builds a payload.
@@ -100,12 +131,52 @@ func (e *enc) optF64s(v []float64) {
 	e.f64s(v)
 }
 
-// dec consumes a payload; the first malformed field latches err and turns
-// every subsequent read into a zero value.
-type dec struct {
-	b   []byte
+// emptyF64 is the canonical zero-length decoded array: non-nil (presence
+// survives the round trip) without costing the arena or the GC anything.
+var emptyF64 = []float64{}
+
+// f64Arena is a bump allocator for decoded float arrays. One decode's arrays
+// all share the arena's current chunk, so a steady-state session performs
+// zero per-array allocations; the chunk doubles when a decode outgrows it,
+// converging on the session's working-set size. reset recycles the whole
+// arena at once — callers reset only at points where every array handed out
+// since the previous reset is provably dead (the worker resets per request
+// frame, the coordinator per pass).
+type f64Arena struct {
+	buf []float64
 	off int
-	err error
+}
+
+func (a *f64Arena) alloc(n int) []float64 {
+	if n == 0 {
+		return emptyF64
+	}
+	if a.off+n > len(a.buf) {
+		sz := 2 * len(a.buf)
+		if sz < n {
+			sz = n
+		}
+		if sz < 1<<12 {
+			sz = 1 << 12
+		}
+		a.buf = make([]float64, sz)
+		a.off = 0
+	}
+	s := a.buf[a.off : a.off+n : a.off+n]
+	a.off += n
+	return s
+}
+
+func (a *f64Arena) reset() { a.off = 0 }
+
+// dec consumes a payload; the first malformed field latches err and turns
+// every subsequent read into a zero value. With an arena attached, decoded
+// float arrays borrow arena memory instead of allocating.
+type dec struct {
+	b     []byte
+	off   int
+	err   error
+	arena *f64Arena
 }
 
 func (d *dec) fail(format string, args ...any) {
@@ -167,7 +238,12 @@ func (d *dec) f64s() []float64 {
 	if s == nil {
 		return nil
 	}
-	out := make([]float64, n)
+	var out []float64
+	if d.arena != nil {
+		out = d.arena.alloc(n)
+	} else {
+		out = make([]float64, n)
+	}
 	for i := range out {
 		out[i] = math.Float64frombits(binary.LittleEndian.Uint64(s[8*i:]))
 	}
@@ -296,10 +372,15 @@ func decodeHelloAck(b []byte) (helloAckMsg, error) {
 
 // passMsg is the per-pass broadcast: the pass id every subsequent shard
 // frame references, the pass direction, the active tangent channels, and the
-// ansatz coefficient vector theta.
+// ansatz coefficient vector theta. The affinity fields steer the worker's
+// forward-state cache: Retain asks a forward pass to snapshot its shard
+// states, and FwdPass names the forward pass a backward pass pairs with
+// (zero when unpaired — the worker then drops any cached states).
 type passMsg struct {
 	Pass     uint64
+	FwdPass  uint64
 	Backward bool
+	Retain   bool
 	Active   [qsim.MaxTangents]bool
 	Theta    []float64
 }
@@ -307,7 +388,9 @@ type passMsg struct {
 func encodePass(m passMsg) []byte {
 	var e enc
 	e.u64(m.Pass)
+	e.u64(m.FwdPass)
 	e.bool(m.Backward)
+	e.bool(m.Retain)
 	var mask byte
 	for k := 0; k < qsim.MaxTangents; k++ {
 		if m.Active[k] {
@@ -321,7 +404,7 @@ func encodePass(m passMsg) []byte {
 
 func decodePass(b []byte) (passMsg, error) {
 	d := dec{b: b}
-	m := passMsg{Pass: d.u64(), Backward: d.bool()}
+	m := passMsg{Pass: d.u64(), FwdPass: d.u64(), Backward: d.bool(), Retain: d.bool()}
 	mask := d.u8()
 	for k := 0; k < qsim.MaxTangents; k++ {
 		m.Active[k] = mask&(1<<k) != 0
@@ -416,6 +499,138 @@ func decodeResult(b []byte) (resultMsg, error) {
 	m.DTheta = d.optF64s()
 	m.DiagT = d.optF64s()
 	return m, d.done()
+}
+
+// Batch frames carry several shard assignments (and their results) per
+// round trip. Entries repeat the shardMsg/resultMsg layout minus the
+// per-message header — the batch header states the pass (and, for results,
+// the direction) once; decode stamps it back into every entry so batch
+// entries flow through the exact same per-shard code as single frames. The
+// *Into codecs append into caller-owned backing and borrow arena memory, so
+// the steady-state batch path allocates nothing.
+//
+// Unlike the payload-only codecs above, the batch encoders emit a complete
+// frame — header included — built in the same caller-owned buffer, so a
+// sender issues exactly one Write with no header scratch (a stack header
+// would escape through the io.Writer interface and cost one heap allocation
+// per frame, which is what retired writeFrame from this path).
+
+// beginFrame reserves the 5-byte frame header at the start of the encode
+// buffer; finishFrame fills in the length prefix and frame type once the
+// payload length is known.
+func (e *enc) beginFrame() { e.b = append(e.b, 0, 0, 0, 0, 0) }
+
+func finishFrame(b []byte, typ byte) []byte {
+	binary.LittleEndian.PutUint32(b[:4], uint32(len(b)-4))
+	b[4] = typ
+	return b
+}
+
+// frameBody strips the frame header from an encodeShardBatchFrame /
+// encodeResultBatchFrame result, yielding the payload a decoder consumes.
+func frameBody(frame []byte) []byte { return frame[5:] }
+
+func encodeShardBatchFrame(buf []byte, pass uint64, shards []shardMsg) []byte {
+	e := enc{b: buf[:0]}
+	e.beginFrame()
+	e.u64(pass)
+	e.u32(uint32(len(shards)))
+	for i := range shards {
+		m := &shards[i]
+		e.u32(m.Shard)
+		e.f64s(m.Angles)
+		for k := 0; k < qsim.MaxTangents; k++ {
+			e.optF64s(m.AngleTans[k])
+		}
+		e.optF64s(m.GZ)
+		for k := 0; k < qsim.MaxTangents; k++ {
+			e.optF64s(m.GZTans[k])
+		}
+	}
+	return finishFrame(e.b, fShardBatch)
+}
+
+func decodeShardBatchInto(b []byte, a *f64Arena, dst []shardMsg) ([]shardMsg, error) {
+	d := dec{b: b, arena: a}
+	pass := d.u64()
+	n := int(d.u32())
+	if n > maxFrame/16 {
+		d.fail("batch size %d exceeds frame bound", n)
+	}
+	dst = dst[:0]
+	for i := 0; i < n && d.err == nil; i++ {
+		m := shardMsg{Pass: pass, Shard: d.u32(), Angles: d.f64s()}
+		for k := 0; k < qsim.MaxTangents; k++ {
+			m.AngleTans[k] = d.optF64s()
+		}
+		m.GZ = d.optF64s()
+		for k := 0; k < qsim.MaxTangents; k++ {
+			m.GZTans[k] = d.optF64s()
+		}
+		dst = append(dst, m)
+	}
+	return dst, d.done()
+}
+
+// beginResultBatchFrame / appendResultEntry / finishFrame stream a result
+// batch entry by entry. The worker MUST serialize each result before
+// computing the next shard: ShardRunner results alias its reusable
+// workspace buffers, so holding resultMsg values across shard executions
+// would leave every entry pointing at the last shard's numbers.
+func beginResultBatchFrame(buf []byte, pass uint64, backward bool, count int) enc {
+	e := enc{b: buf[:0]}
+	e.beginFrame()
+	e.u64(pass)
+	e.bool(backward)
+	e.u32(uint32(count))
+	return e
+}
+
+func appendResultEntry(e *enc, m *resultMsg) {
+	e.u32(m.Shard)
+	e.optF64s(m.Z)
+	for k := 0; k < qsim.MaxTangents; k++ {
+		e.optF64s(m.ZTans[k])
+	}
+	e.optF64s(m.DAngles)
+	for k := 0; k < qsim.MaxTangents; k++ {
+		e.optF64s(m.DAngleTans[k])
+	}
+	e.optF64s(m.DTheta)
+	e.optF64s(m.DiagT)
+}
+
+func encodeResultBatchFrame(buf []byte, pass uint64, backward bool, results []resultMsg) []byte {
+	e := beginResultBatchFrame(buf, pass, backward, len(results))
+	for i := range results {
+		appendResultEntry(&e, &results[i])
+	}
+	return finishFrame(e.b, fResultBatch)
+}
+
+func decodeResultBatchInto(b []byte, a *f64Arena, dst []resultMsg) ([]resultMsg, error) {
+	d := dec{b: b, arena: a}
+	pass := d.u64()
+	backward := d.bool()
+	n := int(d.u32())
+	if n > maxFrame/16 {
+		d.fail("batch size %d exceeds frame bound", n)
+	}
+	dst = dst[:0]
+	for i := 0; i < n && d.err == nil; i++ {
+		m := resultMsg{Pass: pass, Backward: backward, Shard: d.u32(), Z: d.optF64s()}
+		for k := 0; k < qsim.MaxTangents; k++ {
+			m.ZTans[k] = d.optF64s()
+		}
+		m.DAngles = d.optF64s()
+		for k := 0; k < qsim.MaxTangents; k++ {
+			m.DAngleTans[k] = d.optF64s()
+		}
+		m.DTheta = d.optF64s()
+		m.DiagT = d.optF64s()
+		dst = append(dst, m)
+	}
+	return dst, d.done()
 }
 
 type errorMsg struct{ Msg string }

@@ -96,7 +96,11 @@ func TestCodecRoundTripProperty(t *testing.T) {
 			t.Fatalf("helloAck round trip: err %v got %+v want %+v", err, gotA, am)
 		}
 
-		pm := passMsg{Pass: rng.Uint64(), Backward: rng.Intn(2) == 1, Theta: randFloats(rng, rng.Intn(40))}
+		pm := passMsg{
+			Pass: rng.Uint64(), FwdPass: rng.Uint64(),
+			Backward: rng.Intn(2) == 1, Retain: rng.Intn(2) == 1,
+			Theta: randFloats(rng, rng.Intn(40)),
+		}
 		pm.Theta = append(pm.Theta, math.NaN(), math.Inf(1), 5e-324)
 		for k := range pm.Active {
 			pm.Active[k] = rng.Intn(2) == 1
@@ -106,7 +110,8 @@ func TestCodecRoundTripProperty(t *testing.T) {
 			t.Fatalf("pass decode: %v", err)
 		}
 		// NaN breaks DeepEqual on purpose; compare bit patterns instead.
-		if gotP.Pass != pm.Pass || gotP.Backward != pm.Backward || gotP.Active != pm.Active || !bitsEqual(gotP.Theta, pm.Theta) {
+		if gotP.Pass != pm.Pass || gotP.FwdPass != pm.FwdPass || gotP.Backward != pm.Backward ||
+			gotP.Retain != pm.Retain || gotP.Active != pm.Active || !bitsEqual(gotP.Theta, pm.Theta) {
 			t.Fatalf("pass round trip: got %+v want %+v", gotP, pm)
 		}
 
@@ -139,6 +144,165 @@ func TestCodecRoundTripProperty(t *testing.T) {
 		gotE, err := decodeError(encodeError(em))
 		if err != nil || gotE != em {
 			t.Fatalf("error round trip: err %v got %+v want %+v", err, gotE, em)
+		}
+	}
+}
+
+// TestBatchCodecRoundTrip fuzzes the batch frames: every entry must survive
+// exactly (the batch header's pass/direction stamped back into each entry),
+// with and without an arena attached — arena-borrowed arrays must decode to
+// the same bits as freshly allocated ones.
+func TestBatchCodecRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(20260807))
+	var arena f64Arena
+	var encBuf []byte
+	for trial := 0; trial < 100; trial++ {
+		pass := rng.Uint64()
+		backward := rng.Intn(2) == 1
+		rows := rng.Intn(24)
+		nb := rng.Intn(5)
+		var shards []shardMsg
+		var results []resultMsg
+		for i := 0; i < nb; i++ {
+			sm := shardMsg{
+				Pass: pass, Shard: rng.Uint32(),
+				Angles: randFloats(rng, rows), AngleTans: randOptTans(rng, rows),
+				GZTans: randOptTans(rng, rows),
+			}
+			if rng.Intn(2) == 1 {
+				sm.GZ = randFloats(rng, rows)
+			}
+			shards = append(shards, sm)
+			results = append(results, resultMsg{
+				Pass: pass, Shard: sm.Shard, Backward: backward,
+				Z: randFloats(rng, rows), ZTans: randOptTans(rng, rows),
+				DAngles: randFloats(rng, rows), DAngleTans: randOptTans(rng, rows),
+				DTheta: randFloats(rng, rng.Intn(20)), DiagT: randFloats(rng, rng.Intn(64)),
+			})
+		}
+
+		encBuf = encodeShardBatchFrame(encBuf, pass, shards)
+		for _, a := range []*f64Arena{nil, &arena} {
+			if a != nil {
+				a.reset()
+			}
+			got, err := decodeShardBatchInto(frameBody(encBuf), a, nil)
+			if err != nil || !reflect.DeepEqual(got, shards) {
+				t.Fatalf("shard batch round trip (arena=%v): err %v\n got %+v\nwant %+v", a != nil, err, got, shards)
+			}
+		}
+
+		encBuf = encodeResultBatchFrame(encBuf, pass, backward, results)
+		for _, a := range []*f64Arena{nil, &arena} {
+			if a != nil {
+				a.reset()
+			}
+			got, err := decodeResultBatchInto(frameBody(encBuf), a, nil)
+			if err != nil || !reflect.DeepEqual(got, results) {
+				t.Fatalf("result batch round trip (arena=%v): err %v\n got %+v\nwant %+v", a != nil, err, got, results)
+			}
+		}
+	}
+
+	// Truncation must fail cleanly at every cut.
+	full := frameBody(encodeShardBatchFrame(nil, 9, []shardMsg{
+		{Pass: 9, Shard: 1, Angles: []float64{1, 2}},
+		{Pass: 9, Shard: 2, Angles: []float64{3}},
+	}))
+	for cut := 0; cut < len(full); cut++ {
+		if _, err := decodeShardBatchInto(full[:cut], nil, nil); err == nil {
+			t.Fatalf("batch truncation at %d of %d accepted", cut, len(full))
+		}
+	}
+}
+
+// TestFrameCodecSteadyStateAllocs pins the zero-alloc frame path: once the
+// session buffers are warm, a full encode → frame-write → frame-read →
+// decode cycle of a shard batch and its result batch performs zero heap
+// allocations.
+func TestFrameCodecSteadyStateAllocs(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	const rows = 64
+	var shards []shardMsg
+	for i := 0; i < 8; i++ {
+		shards = append(shards, shardMsg{
+			Pass: 3, Shard: uint32(i),
+			Angles:    randFloats(rng, rows),
+			AngleTans: [qsim.MaxTangents][]float64{randFloats(rng, rows), nil, randFloats(rng, rows)},
+			GZ:        randFloats(rng, rows),
+		})
+	}
+
+	var (
+		encBuf  []byte
+		rdBuf   []byte
+		arena   f64Arena
+		decoded []shardMsg
+		wire    bytes.Buffer
+		reader  bytes.Reader
+	)
+	cycle := func() {
+		encBuf = encodeShardBatchFrame(encBuf, 3, shards)
+		wire.Reset()
+		if _, err := wire.Write(encBuf); err != nil {
+			t.Fatal(err)
+		}
+		reader.Reset(wire.Bytes())
+		typ, body, err := readFrameInto(&reader, &rdBuf)
+		if err != nil || typ != fShardBatch {
+			t.Fatalf("read frame: type %d err %v", typ, err)
+		}
+		arena.reset()
+		decoded, err = decodeShardBatchInto(body, &arena, decoded[:0])
+		if err != nil || len(decoded) != len(shards) {
+			t.Fatalf("decode: %d entries err %v", len(decoded), err)
+		}
+	}
+	cycle() // warm every buffer to steady state
+	if allocs := testing.AllocsPerRun(50, cycle); allocs != 0 {
+		t.Errorf("steady-state frame cycle allocates %v times per run, want 0", allocs)
+	}
+}
+
+// BenchmarkFrameBatchRoundTrip measures the steady-state frame hot path —
+// the per-batch transport constant the dist engine pays on top of compute —
+// and reports allocs/op, which the zero-alloc design pins at 0.
+func BenchmarkFrameBatchRoundTrip(b *testing.B) {
+	rng := rand.New(rand.NewSource(8))
+	const rows = 64
+	var shards []shardMsg
+	for i := 0; i < 8; i++ {
+		shards = append(shards, shardMsg{
+			Pass: 3, Shard: uint32(i),
+			Angles:    randFloats(rng, rows),
+			AngleTans: [qsim.MaxTangents][]float64{randFloats(rng, rows), nil, randFloats(rng, rows)},
+			GZ:        randFloats(rng, rows),
+		})
+	}
+	var (
+		encBuf  []byte
+		rdBuf   []byte
+		arena   f64Arena
+		decoded []shardMsg
+		wire    bytes.Buffer
+		reader  bytes.Reader
+	)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		encBuf = encodeShardBatchFrame(encBuf, 3, shards)
+		wire.Reset()
+		if _, err := wire.Write(encBuf); err != nil {
+			b.Fatal(err)
+		}
+		reader.Reset(wire.Bytes())
+		_, body, err := readFrameInto(&reader, &rdBuf)
+		if err != nil {
+			b.Fatal(err)
+		}
+		arena.reset()
+		decoded, err = decodeShardBatchInto(body, &arena, decoded[:0])
+		if err != nil || len(decoded) != len(shards) {
+			b.Fatalf("decode: %d entries err %v", len(decoded), err)
 		}
 	}
 }
@@ -176,7 +340,9 @@ func TestCodecTruncationRejected(t *testing.T) {
 func TestCodecGoldenBytes(t *testing.T) {
 	pass := passMsg{
 		Pass:     0x0102030405060708,
+		FwdPass:  0x1112131415161718,
 		Backward: true,
+		Retain:   true,
 		Active:   [qsim.MaxTangents]bool{true, false, true},
 		Theta:    []float64{1, -0.5},
 	}
@@ -189,14 +355,26 @@ func TestCodecGoldenBytes(t *testing.T) {
 		},
 		GZ: []float64{-2},
 	}
+	batch := encodeShardBatchFrame(nil, 2, []shardMsg{
+		{Pass: 2, Shard: 1, Angles: []float64{0.25}},
+		{Pass: 2, Shard: 3, Angles: []float64{0.75}, GZ: []float64{-2}},
+	})
 	cases := []struct {
 		name string
 		got  []byte
 		want string
 	}{
-		{"pass", encodePass(pass), "0807060504030201010502000000000000000000f03f000000000000e0bf"},
+		{"pass", encodePass(pass),
+			"0807060504030201181716151413121101010502000000000000000000f03f000000000000e0bf"},
 		{"shard", encodeShard(shard),
 			"02000000000000000100000002000000000000000000d03f000000000000e83f0101000000000000000000f83f000100000000010100000000000000000000c0000000"},
+		// The batch encoder emits a complete frame: u32 length (type byte +
+		// 70-byte payload = 0x47) and the fShardBatch type lead the bytes.
+		{"shardBatch", batch,
+			"4700000007" +
+				"020000000000000002000000" +
+				"0100000001000000000000000000d03f00000000000000" +
+				"0300000001000000000000000000e83f000000010100000000000000000000c0000000"},
 	}
 	for _, c := range cases {
 		if got := hex.EncodeToString(c.got); got != c.want {

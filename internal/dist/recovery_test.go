@@ -1,6 +1,7 @@
 package dist_test
 
 import (
+	"fmt"
 	"math"
 	"math/rand"
 	"testing"
@@ -74,6 +75,96 @@ func TestDistSurvivesExternalKill(t *testing.T) {
 	comparePass(t, "after external kill", want, got)
 	if live := dist.LiveWorkersForTest(); live != 2 {
 		t.Fatalf("expected the pool respawned to 2 live workers, have %d", live)
+	}
+}
+
+// TestDistAffinityCacheServesBackward proves forward-state affinity
+// actually engages end to end: with a single worker and the worker-side
+// require-cached hook armed, every backward shard must be answered from the
+// retained forward states — a stateless recompute (affinity broken, pairing
+// lost, snapshot validation failing) kills the worker and fails the pass.
+// Two rounds with fresh inputs and theta check that each backward pairs
+// with its own round's forward rather than replaying stale states (the
+// worker validates cached inputs bit-for-bit before trusting a snapshot).
+func TestDistAffinityCacheServesBackward(t *testing.T) {
+	defer dist.Shutdown()
+	t.Setenv(dist.RequireCachedEnv, "1")
+	rng := rand.New(rand.NewSource(31337))
+	const n, nq = 96, 7
+	circ := qsim.CrossMesh.Build(nq, 2)
+
+	// One worker: with several, work stealing legitimately routes shards
+	// away from their forward owner and the hook would misfire.
+	dist.Configure(dist.Options{Workers: 1})
+	for round := 0; round < 2; round++ {
+		angles := randRows(rng, n*nq)
+		theta := randRows(rng, circ.NumParams)
+		tans := [][]float64{randRows(rng, n*nq), nil, randRows(rng, n*nq)}
+		gz := randRows(rng, n*nq)
+		gztans := [][]float64{randRows(rng, n*nq), nil, randRows(rng, n*nq)}
+		want := runPass(qsim.EngineSharded, circ, n, angles, tans, theta, gz, gztans)
+		got := runPass(qsim.EngineDist, circ, n, angles, tans, theta, gz, gztans)
+		comparePass(t, fmt.Sprintf("require-cached round %d", round), want, got)
+	}
+	if live := dist.LiveWorkersForTest(); live != 1 {
+		t.Fatalf("expected 1 live worker (no cache miss ever killed it), have %d", live)
+	}
+}
+
+// TestDistAffinityInvalidationOnWorkerDeath kills workers holding cached
+// forward states between a pass's forward and backward halves. The
+// backward must fall back to the stateless recompute on the survivors (or a
+// freshly respawned pool when every state-holder died) and stay
+// bit-identical to the in-process sharded engine — affinity is a fast path,
+// never a correctness dependency.
+func TestDistAffinityInvalidationOnWorkerDeath(t *testing.T) {
+	defer dist.Shutdown()
+	rng := rand.New(rand.NewSource(909))
+	const n, nq = 96, 7
+	circ := qsim.StronglyEntangling.Build(nq, 2)
+	angles := randRows(rng, n*nq)
+	theta := randRows(rng, circ.NumParams)
+	tans := [][]float64{randRows(rng, n*nq), nil, randRows(rng, n*nq)}
+	gz := randRows(rng, n*nq)
+	gztans := [][]float64{randRows(rng, n*nq), nil, randRows(rng, n*nq)}
+	want := runPass(qsim.EngineSharded, circ, n, angles, tans, theta, gz, gztans)
+
+	// splitPass runs forward, kills `kills` live workers while they hold
+	// the forward states, then runs the paired backward.
+	splitPass := func(kills int) passResult {
+		pqc := &qsim.PQC{Circ: circ, Eng: qsim.EngineDist}
+		ws := qsim.NewWorkspace(n, nq)
+		z, ztans := pqc.Forward(ws, angles, tans, theta)
+		for i := 0; i < kills; i++ {
+			if !dist.KillOneWorkerForTest() {
+				t.Fatal("no live worker to kill")
+			}
+		}
+		res := passResult{
+			z: z, ztans: ztans,
+			dAngles: make([]float64, n*nq),
+			dTheta:  make([]float64, circ.NumParams),
+			dTans:   make([][]float64, qsim.MaxTangents),
+		}
+		for k := range tans {
+			if tans[k] != nil {
+				res.dTans[k] = make([]float64, n*nq)
+			}
+		}
+		pqc.Backward(ws, gz, gztans, res.dAngles, res.dTans, res.dTheta)
+		return res
+	}
+
+	dist.Configure(dist.Options{Workers: 2})
+	comparePass(t, "clean affinity pass", want, splitPass(0))
+	// One state-holder dies: its shards re-dispatch to the survivor, which
+	// recomputes them statelessly next to its own cached shards.
+	comparePass(t, "one state-holder killed", want, splitPass(1))
+	// Every state-holder dies: the pool respawns mid-step and the whole
+	// backward runs stateless on workers that never saw the forward.
+	comparePass(t, "all state-holders killed", want, splitPass(2))
+	if live := dist.LiveWorkersForTest(); live != 2 {
+		t.Fatalf("expected the pool healed to 2 live workers, have %d", live)
 	}
 }
 

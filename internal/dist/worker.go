@@ -13,10 +13,18 @@ import (
 )
 
 // failAfterEnv is a test/chaos hook: when set to n > 0, the worker process
-// exits (code 3) upon receiving its (n+1)-th shard assignment, before
-// replying — a deterministic stand-in for a worker dying mid-pass, used by
+// exits (code 3) upon receiving its (n+1)-th shard assignment — counted per
+// shard, not per frame, so a batched assignment dies mid-batch — before
+// replying; a deterministic stand-in for a worker dying mid-pass, used by
 // the coordinator's re-dispatch recovery tests.
 const failAfterEnv = "TORQ_DIST_FAIL_AFTER_SHARDS"
+
+// requireCachedEnv is a test hook: when set, a paired backward shard that
+// misses the forward-state cache (or a backward pass that was never paired)
+// is an error instead of a silent stateless recompute. Only meaningful in
+// single-worker tests — with several workers, work stealing makes
+// legitimate misses part of normal operation.
+const requireCachedEnv = "TORQ_DIST_REQUIRE_CACHED"
 
 // session is one coordinator connection's worker-side state.
 type session struct {
@@ -27,8 +35,18 @@ type session struct {
 	pass     passMsg
 	havePass bool
 
-	served    int
-	failAfter int
+	served        int
+	failAfter     int
+	requireCached bool
+
+	// Steady-state transport scratch: frames read into and encode into
+	// session-owned buffers, and decoded batch arrays borrow the arena
+	// (reset per assignment frame — safe because the runner copies every
+	// input it keeps), so serving a batch allocates nothing.
+	rbuf  []byte
+	ebuf  []byte
+	arena f64Arena
+	smBuf []shardMsg
 }
 
 // ServeConn speaks the worker side of the dist protocol over (r, w) until
@@ -40,8 +58,9 @@ func ServeConn(r io.Reader, w io.Writer) error {
 	if v := os.Getenv(failAfterEnv); v != "" {
 		s.failAfter, _ = strconv.Atoi(v)
 	}
+	s.requireCached = os.Getenv(requireCachedEnv) != ""
 	for {
-		typ, body, err := readFrame(s.r)
+		typ, body, err := readFrameInto(s.r, &s.rbuf)
 		if errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF) || errors.Is(err, io.ErrClosedPipe) {
 			return nil
 		}
@@ -73,9 +92,22 @@ func (s *session) handle(typ byte, body []byte) error {
 			return err
 		}
 		s.pass, s.havePass = pm, true
+		if s.runner != nil {
+			// Align the runner's forward-state cache with the pass: a
+			// forward pass opens its own cache generation, a backward pass
+			// replays its paired forward's (FwdPass zero = unpaired, which
+			// rolls the generation and drops any stale states).
+			if pm.Backward {
+				s.runner.SetForwardPass(pm.FwdPass)
+			} else {
+				s.runner.SetForwardPass(pm.Pass)
+			}
+		}
 		return nil
 	case fShard:
 		return s.shard(body)
+	case fShardBatch:
+		return s.shardBatch(body)
 	case fError:
 		// Coordinator-side failure notice; nothing to do on this side.
 		return nil
@@ -125,6 +157,50 @@ func (s *session) shard(body []byte) error {
 	if err != nil {
 		return err
 	}
+	var rm resultMsg
+	if err := s.runShard(&sm, &rm); err != nil {
+		return err
+	}
+	return s.send(fResult, encodeResult(rm))
+}
+
+// shardBatch serves one fShardBatch frame: decode into session scratch, run
+// every shard through the same core as the single-shard path, answer with
+// one fResultBatch. The whole exchange reuses session buffers and the arena
+// (previous batch's decoded arrays are dead once its reply flushed), so the
+// steady-state data path allocates nothing. An error on any shard fails the
+// whole batch — the coordinator re-dispatches it as a unit.
+func (s *session) shardBatch(body []byte) error {
+	s.arena.reset()
+	var err error
+	s.smBuf, err = decodeShardBatchInto(body, &s.arena, s.smBuf[:0])
+	if err != nil {
+		return err
+	}
+	if len(s.smBuf) == 0 {
+		return errors.New("empty shard batch")
+	}
+	// Each entry serializes immediately after its shard runs — the runner's
+	// result arrays alias workspace buffers the next shard will overwrite.
+	e := beginResultBatchFrame(s.ebuf, s.pass.Pass, s.pass.Backward, len(s.smBuf))
+	for i := range s.smBuf {
+		var rm resultMsg
+		err := s.runShard(&s.smBuf[i], &rm)
+		if err != nil {
+			s.ebuf = e.b
+			return err
+		}
+		appendResultEntry(&e, &rm)
+	}
+	s.ebuf = finishFrame(e.b, fResultBatch)
+	if _, err := s.w.Write(s.ebuf); err != nil {
+		return err
+	}
+	return s.w.Flush()
+}
+
+// runShard validates and executes one shard assignment, filling rm.
+func (s *session) runShard(sm *shardMsg, rm *resultMsg) error {
 	if s.runner == nil || !s.havePass {
 		return errors.New("shard before handshake/pass broadcast")
 	}
@@ -170,14 +246,26 @@ func (s *session) shard(body []byte) error {
 	if sm.GZ != nil && len(sm.GZ) != n*nq {
 		return fmt.Errorf("shard gz has %d values, want %d", len(sm.GZ), n*nq)
 	}
-	rm := resultMsg{Pass: sm.Pass, Shard: sm.Shard, Backward: s.pass.Backward}
-	if s.pass.Backward {
+	rm.Pass, rm.Shard, rm.Backward = sm.Pass, sm.Shard, s.pass.Backward
+	switch {
+	case s.pass.Backward:
+		if s.pass.FwdPass != 0 {
+			if da, dat, dth, diagT, ok := s.runner.BackwardShardCached(sm.Shard, n, s.pass.Active, sm.Angles, sm.AngleTans, s.pass.Theta, sm.GZ, sm.GZTans); ok {
+				rm.DAngles, rm.DAngleTans, rm.DTheta, rm.DiagT = da, dat, dth, diagT
+				return nil
+			}
+		}
+		if s.requireCached {
+			return fmt.Errorf("backward shard %d missed the forward-state cache (fwdPass=%d)", sm.Shard, s.pass.FwdPass)
+		}
 		da, dat, dth, diagT := s.runner.BackwardShard(n, s.pass.Active, sm.Angles, sm.AngleTans, s.pass.Theta, sm.GZ, sm.GZTans)
 		rm.DAngles, rm.DAngleTans, rm.DTheta, rm.DiagT = da, dat, dth, diagT
-	} else {
+	case s.pass.Retain:
+		rm.Z, rm.ZTans = s.runner.ForwardShardRetain(sm.Shard, n, s.pass.Active, sm.Angles, sm.AngleTans, s.pass.Theta)
+	default:
 		rm.Z, rm.ZTans = s.runner.ForwardShard(n, s.pass.Active, sm.Angles, sm.AngleTans, s.pass.Theta)
 	}
-	return s.send(fResult, encodeResult(rm))
+	return nil
 }
 
 // ServeStdio runs the worker loop on stdin/stdout — the transport a

@@ -1,5 +1,7 @@
 package qsim
 
+import "math"
+
 // This file is the qsim half of the multi-process executor: the
 // coordinator-side distEngine that partitions a pass into the same fixed
 // cache-block shards as the in-process sharded engine and merges results in
@@ -21,9 +23,11 @@ type PassSpec struct {
 	// Backward selects the adjoint pass; GZ/GZTans are nil on forward.
 	Backward bool
 	N, NQ    int
-	// Block is the shard size in samples — identical to the in-process
-	// sharded engine's cache-block partition for this pass shape, so the
-	// shard-order reduction is bit-compatible between the two engines.
+	// Block is the shard size in samples. Backward passes use the in-process
+	// sharded engine's cache-block partition, so the shard-order reduction
+	// is bit-compatible between the two engines; forward passes reuse the
+	// same backward partition (see distEngine.Forward) so a training step's
+	// forward and backward shards align 1:1 for forward-state affinity.
 	Block  int
 	Active [MaxTangents]bool
 	Theta  []float64
@@ -95,10 +99,17 @@ func runDistPass(spec *PassSpec) []ShardResult {
 }
 
 func (distEngine) Forward(p *PQC, ws *Workspace, angles []float64, angleTans [][]float64, theta []float64) (z []float64, ztans [][]float64) {
-	prog, _, z, ztans, blk := prepForward(p, ws, angles, angleTans, theta)
+	prog, _, z, ztans, _ := prepForward(p, ws, angles, angleTans, theta)
+	// Partition the forward with the BACKWARD pass's block size, not the
+	// forward's own: forward z/ztans are strictly per-sample (no cross-sample
+	// reduction), so the partition never affects forward values, while the
+	// backward partition pins the gradient reduction order. Sharing it makes
+	// forward and backward shards of one training step align 1:1 by index,
+	// which is what lets the transport route each backward shard to the
+	// worker holding that exact shard's cached forward states.
 	spec := &PassSpec{
 		Circ: p.Circ, Prog: prog,
-		N: ws.n, NQ: ws.nq, Block: blk,
+		N: ws.n, NQ: ws.nq, Block: backwardBlock(ws),
 		Active: ws.active, Theta: ws.theta, Angles: ws.angles,
 	}
 	for k := 0; k < MaxTangents; k++ {
@@ -185,6 +196,46 @@ func (distEngine) Backward(p *PQC, ws *Workspace, gz []float64, gztans [][]float
 type ShardRunner struct {
 	pqc  PQC
 	free map[int]*shardState
+
+	// Forward-state affinity cache: snapshots of the forward ψ-states (and
+	// the exact inputs that produced them) retained by ForwardShardRetain,
+	// keyed by shard index and pinned to one forward pass id. A matching
+	// BackwardShardCached skips the forward recompute; SetForwardPass drops
+	// every snapshot the moment the pass id moves on, so stale-pass states
+	// can never leak into a later step's gradients.
+	fwdPass  uint64
+	fwdSnaps map[uint32]*fwdSnapshot
+	snapPool []*fwdSnapshot
+
+	// Coefficient cache: FillCoeffs/FillDerivCoeffs depend only on theta (the
+	// compiled program is fixed per runner), yet one pass splits into dozens
+	// of cache-block shards that all share one theta. Filling per shard would
+	// redo the fused matrix products O(shards) times per pass — the dominant
+	// worker overhead over the in-process engine, which fills once. The
+	// runner instead fills once per distinct theta (bit-compared, so any
+	// change refills) and shares the tables across every shard workspace.
+	coeff      []float64
+	dcoef      []float64
+	coeffTheta []float64
+	coeffOK    bool
+	derivOK    bool
+}
+
+// fwdSnapshot is one shard's retained forward execution: deep copies of the
+// post-embedding evolved states and of every input that produced them. The
+// input copies make the cache self-validating — BackwardShardCached replays
+// a snapshot only when the backward shard's inputs match bit for bit, so a
+// mispaired pass id degrades to a recompute, never to a wrong gradient.
+type fwdSnapshot struct {
+	n         int
+	active    [MaxTangents]bool
+	angles    []float64
+	angleTans [MaxTangents][]float64
+	theta     []float64
+	valRe     []float64
+	valIm     []float64
+	tanRe     [MaxTangents][]float64
+	tanIm     [MaxTangents][]float64
 }
 
 // shardState is the runner's reusable per-shard-size state: the workspace
@@ -205,10 +256,33 @@ type shardState struct {
 // NewShardRunner compiles circ at level 3 and prepares a per-shard-size
 // state cache.
 func NewShardRunner(circ *Circuit) *ShardRunner {
-	r := &ShardRunner{pqc: PQC{Circ: circ, Eng: EngineDist}, free: make(map[int]*shardState)}
+	r := &ShardRunner{
+		pqc:      PQC{Circ: circ, Eng: EngineDist},
+		free:     make(map[int]*shardState),
+		fwdSnaps: make(map[uint32]*fwdSnapshot),
+	}
 	r.pqc.Program()
 	return r
 }
+
+// SetForwardPass pins the forward pass the affinity cache serves. Any pass
+// id change — a new forward pass opening, or a backward pass naming the
+// forward it pairs with — drops every snapshot from other passes, so the
+// cache holds states of at most one forward pass at a time.
+func (r *ShardRunner) SetForwardPass(pass uint64) {
+	if pass == r.fwdPass {
+		return
+	}
+	for s, snap := range r.fwdSnaps {
+		r.snapPool = append(r.snapPool, snap)
+		delete(r.fwdSnaps, s)
+	}
+	r.fwdPass = pass
+}
+
+// CachedForwardShards reports how many forward-state snapshots the runner
+// currently holds (test and introspection hook).
+func (r *ShardRunner) CachedForwardShards() int { return len(r.fwdSnaps) }
 
 // Circuit returns the runner's circuit.
 func (r *ShardRunner) Circuit() *Circuit { return r.pqc.Circ }
@@ -237,6 +311,36 @@ func (r *ShardRunner) state(n int) *shardState {
 	}
 	r.free[n] = s
 	return s
+}
+
+// ensureCoeffs installs the coefficient tables for theta into the shard
+// workspace, refilling them only when theta's bit pattern differs from the
+// cached fill. Shards of one session run sequentially, so the runner-owned
+// tables can back every shard workspace at once; the derivative slots are
+// filled lazily on the first backward shard of a theta.
+func (r *ShardRunner) ensureCoeffs(ws *Workspace, theta []float64, deriv bool) (prog *Program, coeff []float64) {
+	prog = r.pqc.Program()
+	if !r.coeffOK || !bitsEqualF64(r.coeffTheta, theta) {
+		if cap(r.coeff) < prog.ncoef {
+			r.coeff = make([]float64, prog.ncoef)
+		}
+		prog.FillCoeffs(theta, r.coeff[:prog.ncoef])
+		r.coeffTheta = append(r.coeffTheta[:0], theta...)
+		r.coeffOK, r.derivOK = true, false
+	}
+	coeff = r.coeff[:prog.ncoef]
+	ws.coeff = coeff
+	if deriv && prog.nderiv > 0 {
+		if !r.derivOK {
+			if cap(r.dcoef) < prog.nderiv {
+				r.dcoef = make([]float64, prog.nderiv)
+			}
+			prog.FillDerivCoeffs(theta, r.dcoef[:prog.nderiv])
+			r.derivOK = true
+		}
+		ws.dcoef = r.dcoef[:prog.nderiv]
+	}
+	return prog, coeff
 }
 
 // tanSlices widens a fixed tangent array to the [][]float64 shape the engine
@@ -269,7 +373,8 @@ func (s *shardState) outputs(active [MaxTangents]bool) (z []float64, ztans [][]f
 // slices are owned by the runner and valid until the next *Shard call.
 func (r *ShardRunner) ForwardShard(n int, active [MaxTangents]bool, angles []float64, angleTans [MaxTangents][]float64, theta []float64) (z []float64, ztans [MaxTangents][]float64) {
 	s := r.state(n)
-	prog, coeff, _ := prepPass(&r.pqc, s.ws, angles, tanSlices(active, angleTans), theta)
+	s.ws.saveInputs(&r.pqc, angles, tanSlices(active, angleTans), theta)
+	prog, coeff := r.ensureCoeffs(s.ws, theta, false)
 	zb, ztb := s.outputs(active)
 	fwdBlock(s.ws, prog, coeff, 0, n, zb, ztb)
 	z = zb
@@ -288,13 +393,20 @@ func (r *ShardRunner) ForwardShard(n int, active [MaxTangents]bool, angles []flo
 func (r *ShardRunner) BackwardShard(n int, active [MaxTangents]bool, angles []float64, angleTans [MaxTangents][]float64, theta, gz []float64, gztans [MaxTangents][]float64) (dAngles []float64, dAngleTans [MaxTangents][]float64, dTheta, diagT []float64) {
 	s := r.state(n)
 	ws := s.ws
-	tans := tanSlices(active, angleTans)
-	prog, coeff, _ := prepPass(&r.pqc, ws, angles, tans, theta)
+	ws.saveInputs(&r.pqc, angles, tanSlices(active, angleTans), theta)
+	prog, coeff := r.ensureCoeffs(ws, theta, false)
 	zb, ztb := s.outputs(active)
 	fwdBlock(ws, prog, coeff, 0, n, zb, ztb)
+	return r.runAdjoint(s, prog, n, active, theta, gz, gztans)
+}
 
+// runAdjoint runs the adjoint walk over a workspace whose forward states are
+// already in place — freshly recomputed (BackwardShard) or restored from a
+// snapshot (BackwardShardCached) — and returns the shard's gradient partials.
+func (r *ShardRunner) runAdjoint(s *shardState, prog *Program, n int, active [MaxTangents]bool, theta, gz []float64, gztans [MaxTangents][]float64) (dAngles []float64, dAngleTans [MaxTangents][]float64, dTheta, diagT []float64) {
+	ws := s.ws
 	ws.ensureScratch()
-	refreshCoeffs(ws, prog, theta)
+	r.ensureCoeffs(ws, theta, true)
 	gzt := tanSlices(active, gztans)
 	prepBackward(ws, gz, gzt)
 
@@ -316,4 +428,91 @@ func (r *ShardRunner) BackwardShard(n int, active [MaxTangents]bool, angles []fl
 	clear(diagT)
 	bwdBlockV2(ws, prog, 0, n, gz, gzt, dAngles, dat, bwdScratch{dth: dTheta, diagT: diagT})
 	return dAngles, dAngleTans, dTheta, diagT
+}
+
+// ForwardShardRetain is ForwardShard plus a snapshot of the evolved states
+// and their inputs under the given shard index, for a later
+// BackwardShardCached of the same pass to replay.
+func (r *ShardRunner) ForwardShardRetain(shard uint32, n int, active [MaxTangents]bool, angles []float64, angleTans [MaxTangents][]float64, theta []float64) (z []float64, ztans [MaxTangents][]float64) {
+	z, ztans = r.ForwardShard(n, active, angles, angleTans, theta)
+	ws := r.free[n].ws
+	var snap *fwdSnapshot
+	if len(r.snapPool) > 0 {
+		snap = r.snapPool[len(r.snapPool)-1]
+		r.snapPool = r.snapPool[:len(r.snapPool)-1]
+	} else {
+		snap = &fwdSnapshot{}
+	}
+	snap.n = n
+	snap.active = active
+	snap.angles = append(snap.angles[:0], angles...)
+	snap.theta = append(snap.theta[:0], theta...)
+	snap.valRe = append(snap.valRe[:0], ws.val.Re...)
+	snap.valIm = append(snap.valIm[:0], ws.val.Im...)
+	for k := 0; k < MaxTangents; k++ {
+		if active[k] {
+			snap.angleTans[k] = append(snap.angleTans[k][:0], angleTans[k]...)
+			snap.tanRe[k] = append(snap.tanRe[k][:0], ws.tan[k].Re...)
+			snap.tanIm[k] = append(snap.tanIm[k][:0], ws.tan[k].Im...)
+		} else {
+			snap.angleTans[k] = snap.angleTans[k][:0]
+			snap.tanRe[k] = snap.tanRe[k][:0]
+			snap.tanIm[k] = snap.tanIm[k][:0]
+		}
+	}
+	r.fwdSnaps[shard] = snap
+	return z, ztans
+}
+
+// bitsEqualF64 compares two float slices by IEEE bit pattern — the cache
+// validity predicate. Bit equality (not ==) keeps the check total: two
+// bit-identical inputs always reproduce bit-identical forward states, NaN
+// payloads included.
+func bitsEqualF64(a, b []float64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if math.Float64bits(a[i]) != math.Float64bits(b[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// BackwardShardCached is BackwardShard minus the forward recompute: it
+// restores the shard's forward states from the snapshot ForwardShardRetain
+// took under the same shard index, then runs the adjoint walk on them. The
+// restored states are the exact bits the recompute would produce (the
+// snapshot is validated against the backward shard's full inputs before
+// use), so the gradients are bit-identical either way. ok is false — and
+// nothing is computed — when no valid snapshot exists: the caller falls back
+// to the stateless BackwardShard.
+func (r *ShardRunner) BackwardShardCached(shard uint32, n int, active [MaxTangents]bool, angles []float64, angleTans [MaxTangents][]float64, theta, gz []float64, gztans [MaxTangents][]float64) (dAngles []float64, dAngleTans [MaxTangents][]float64, dTheta, diagT []float64, ok bool) {
+	snap := r.fwdSnaps[shard]
+	if snap == nil || snap.n != n || snap.active != active ||
+		!bitsEqualF64(snap.angles, angles) || !bitsEqualF64(snap.theta, theta) {
+		return dAngles, dAngleTans, dTheta, diagT, false
+	}
+	for k := 0; k < MaxTangents; k++ {
+		if active[k] && !bitsEqualF64(snap.angleTans[k], angleTans[k]) {
+			return dAngles, dAngleTans, dTheta, diagT, false
+		}
+	}
+	s := r.state(n)
+	ws := s.ws
+	// Restore the saved inputs the adjoint reads from the workspace (angles
+	// for the reverse embedding, theta for the log-derivative fast paths) and
+	// the evolved states themselves.
+	ws.saveInputs(&r.pqc, angles, tanSlices(active, angleTans), theta)
+	copy(ws.val.Re, snap.valRe)
+	copy(ws.val.Im, snap.valIm)
+	for k := 0; k < MaxTangents; k++ {
+		if active[k] {
+			copy(ws.tan[k].Re, snap.tanRe[k])
+			copy(ws.tan[k].Im, snap.tanIm[k])
+		}
+	}
+	dAngles, dAngleTans, dTheta, diagT = r.runAdjoint(s, r.pqc.Program(), n, active, theta, gz, gztans)
+	return dAngles, dAngleTans, dTheta, diagT, true
 }

@@ -553,6 +553,132 @@ func TestU2LogDerivCoversAnsatzLeftovers(t *testing.T) {
 	}
 }
 
+// TestU4LogDerivFastPath pins the opU4 log-derivative adjoint fast path
+// (entangler blocks with one parametrized rotation commuting with everything
+// fused before it read their gradient off the recovered states) against the
+// dense 4×4 adjoint outer-product path at 1e-10, with the legacy per-gate
+// engine as the independent anchor. The two blocks cover both axis layouts:
+// an RX on the block's high qubit behind a CNOT targeting it, and an RZ on
+// the low qubit behind a CNOT controlled by it.
+func TestU4LogDerivFastPath(t *testing.T) {
+	rng := rand.New(rand.NewSource(271828))
+	const tol = 1e-10
+	// Disjoint qubit pairs keep the two blocks from merging into one opU8
+	// (union would span four qubits), so each compiles to a two-gate opU4
+	// with exactly one parameter.
+	circ := &Circuit{
+		Name: "entangled-rotations", NumQubits: 4, Layers: 1,
+		Gates: []Gate{
+			{CNOT, 1, 0, -1}, {RX, 1, -1, 0},
+			{CNOT, 3, 2, -1}, {RZ, 2, -1, 1},
+		},
+		NumParams: 2,
+	}
+	n, nq := 9, 4
+	angles := randAngles(rng, n, nq)
+	theta := randTheta(rng, circ.NumParams)
+	tans := [][]float64{randAngles(rng, n, nq), nil, randAngles(rng, n, nq)}
+	gz := randAngles(rng, n, nq)
+	gztans := [][]float64{randAngles(rng, n, nq), nil, randAngles(rng, n, nq)}
+
+	run := func(logDeriv bool) engineResult {
+		pqc := &PQC{Circ: circ, Eng: EngineFused}
+		prog := pqc.Program()
+		flagged := 0
+		for i := range prog.ins {
+			if prog.ins[i].op == opU4 && prog.ins[i].logDeriv {
+				if !logDeriv {
+					prog.ins[i].logDeriv = false
+				}
+				flagged++
+			}
+		}
+		if flagged != 2 {
+			t.Fatalf("expected 2 log-derivative opU4 blocks, compiler produced %d", flagged)
+		}
+		ws := NewWorkspace(n, nq)
+		z, ztans := pqc.Forward(ws, angles, tans, theta)
+		res := engineResult{
+			z: z, ztans: ztans,
+			dAngles: make([]float64, n*nq),
+			dTheta:  make([]float64, circ.NumParams),
+			dTans:   [][]float64{make([]float64, n*nq), nil, make([]float64, n*nq)},
+		}
+		pqc.Backward(ws, gz, gztans, res.dAngles, res.dTans, res.dTheta)
+		return res
+	}
+
+	fast := run(true)
+	dense := run(false)
+	check := func(name string, want, have []float64) {
+		if d := maxAbsDiff(want, have); d > tol {
+			t.Errorf("fast-vs-dense %s diverges by %v", name, d)
+		}
+	}
+	check("z", dense.z, fast.z)
+	check("dAngles", dense.dAngles, fast.dAngles)
+	check("dTheta", dense.dTheta, fast.dTheta)
+	for _, k := range []int{0, 2} {
+		check("ztans", dense.ztans[k], fast.ztans[k])
+		check("dTans", dense.dTans[k], fast.dTans[k])
+	}
+
+	ref := runEngine(EngineLegacy, circ, n, angles, tans, theta, gz, gztans)
+	check("dTheta vs legacy", ref.dTheta, fast.dTheta)
+	check("dAngles vs legacy", ref.dAngles, fast.dAngles)
+}
+
+// TestU4LogDerivMarking pins the eligibility rule: the fast path requires a
+// single parametrized single-qubit rotation whose generator commutes with
+// every gate fused before it — never after it.
+func TestU4LogDerivMarking(t *testing.T) {
+	countFlagged := func(c *Circuit) (u4, flagged int) {
+		prog := CompileProgram(c)
+		for i := range prog.ins {
+			if prog.ins[i].op == opU4 {
+				u4++
+				if prog.ins[i].logDeriv {
+					flagged++
+				}
+			}
+		}
+		return
+	}
+
+	// RY behind a CNOT targeting its qubit anticommutes with the X branch,
+	// so the block must stay on the dense oracle path.
+	ry := &Circuit{
+		Name: "ry-after-cnot", NumQubits: 2, Layers: 1,
+		Gates:     []Gate{{CNOT, 1, 0, -1}, {RY, 1, -1, 0}},
+		NumParams: 1,
+	}
+	if u4, flagged := countFlagged(ry); u4 != 1 || flagged != 0 {
+		t.Errorf("RY behind CNOT: %d opU4 blocks, %d flagged; want 1 and 0", u4, flagged)
+	}
+
+	// The same rotation leading the block has nothing before it to commute
+	// with, so it qualifies unconditionally.
+	ryFirst := &Circuit{
+		Name: "ry-before-cnot", NumQubits: 2, Layers: 1,
+		Gates:     []Gate{{RY, 1, -1, 0}, {CNOT, 1, 0, -1}},
+		NumParams: 1,
+	}
+	if u4, flagged := countFlagged(ryFirst); u4 != 1 || flagged != 1 {
+		t.Errorf("RY before CNOT: %d opU4 blocks, %d flagged; want 1 and 1", u4, flagged)
+	}
+
+	// Two parametrized rotations in one block exceed the single-parameter
+	// shape the scalar accumulator supports.
+	multi := &Circuit{
+		Name: "two-params", NumQubits: 2, Layers: 1,
+		Gates:     []Gate{{RX, 1, -1, 0}, {CNOT, 1, 0, -1}, {RX, 0, -1, 1}},
+		NumParams: 2,
+	}
+	if u4, flagged := countFlagged(multi); u4 != 1 || flagged != 0 {
+		t.Errorf("two-parameter block: %d opU4 blocks, %d flagged; want 1 and 0", u4, flagged)
+	}
+}
+
 // TestProgramDigestContent pins the digest the dist handshake relies on:
 // identical compiles agree, and two circuits with identical shape counts but
 // different content (or coefficient math) must disagree — shape-only

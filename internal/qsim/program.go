@@ -152,6 +152,7 @@ func CompileProgramLevel(circ *Circuit, level int) *Program {
 	}
 	if level >= 2 {
 		p.markU2LogDeriv()
+		p.markU4LogDeriv()
 	}
 	p.layout()
 	return p
@@ -171,6 +172,76 @@ func (p *Program) markU2LogDeriv() {
 			in.logDeriv = true
 		}
 	}
+}
+
+// markU4LogDeriv flags the opU4 entangler blocks whose single parametrized
+// source gate is a single-qubit rotation that commutes with everything fused
+// before it. Writing the block U = A·G(θ)·B with [B, dlogG] = 0 gives
+// dU/dθ = A·G·dlogG·B = U·(B†·dlogG·B), so
+// Re⟨λ_post, dU·ψ_pre⟩ = Re⟨λ_pre, dlogG·ψ_pre⟩ — the gradient reads off
+// the states the one U† traversal recovers anyway, with no 4×4 adjoint
+// outer product and no derivative-slot contraction (see revU4LogDerivRange).
+// The commutation condition only involves gates fused *before* G; blocks
+// where the rotation leads (the common wall-then-entangle layering) qualify
+// unconditionally. Like opU2 — and unlike opU2x3 — the derivative slots stay
+// allocated so tests can clear the flag and replay the dense outer-product
+// oracle on the same program.
+func (p *Program) markU4LogDeriv() {
+	for i := range p.ins {
+		in := &p.ins[i]
+		if in.op != opU4 {
+			continue
+		}
+		pi := -1
+		for gi, g := range in.gates {
+			if g.P >= 0 {
+				if pi >= 0 {
+					pi = -1
+					break
+				}
+				pi = gi
+			}
+		}
+		if pi < 0 || !isSingleQubit(in.gates[pi]) {
+			continue
+		}
+		ok := true
+		for _, b := range in.gates[:pi] {
+			if !commutesWithGenerator(b, in.gates[pi]) {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			in.logDeriv = true
+		}
+	}
+}
+
+// commutesWithGenerator reports whether gate b commutes with the Pauli
+// generator of the single-qubit rotation g (σ ∈ {X, Y, Z} on qubit g.Q).
+// Conservative: false only means the fast path is skipped, never a wrong
+// gradient.
+func commutesWithGenerator(b, g Gate) bool {
+	switch b.Kind {
+	case RX, RY, RZ:
+		// Disjoint supports always commute; same-qubit rotations share a
+		// generator only on the same axis.
+		return b.Q != g.Q || b.Kind == g.Kind
+	case CNOT:
+		if b.Q != g.Q && b.C != g.Q {
+			return true
+		}
+		// CNOT = |0⟩⟨0|_c⊗I + |1⟩⟨1|_c⊗X_t commutes with X on its target
+		// and Z on its control; every other Pauli on its qubits anticommutes
+		// with one of the two projector branches.
+		return (b.Q == g.Q && g.Kind == RX) || (b.C == g.Q && g.Kind == RZ)
+	case CRZ:
+		// Diagonal: commutes with Z generators anywhere, and with anything
+		// off its own support.
+		return g.Kind == RZ || (b.Q != g.Q && b.C != g.Q)
+	}
+	return false
 }
 
 // Level reports the fusion level the program was compiled at.
@@ -1265,6 +1336,9 @@ func (p *Program) FillDerivCoeffs(theta, dst []float64) {
 				pre = mul2(mats[i], pre)
 			}
 		case opU4:
+			if in.logDeriv {
+				continue // the adjoint fast path never reads these slots
+			}
 			k := len(in.gates)
 			mats := make([]mat4, k)
 			for i, g := range in.gates {
