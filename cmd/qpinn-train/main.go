@@ -16,6 +16,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/ftdc"
 	"repro/internal/maxwell"
 	"repro/internal/qsim"
 )
@@ -40,8 +41,29 @@ func main() {
 		paperPulse = flag.Bool("paperpulse", false, "use the paper's narrow pulse instead of the smoke-scale widened one")
 		savePath   = flag.String("save", "", "write a model checkpoint here after training")
 		loadPath   = flag.String("load", "", "warm-start from a checkpoint (overrides architecture flags)")
+		ftdcDump   = flag.String("ftdc-dump", "", "record flight-data telemetry and write the capture here at exit (and on SIGUSR1)")
+		ftdcEvery  = flag.Duration("ftdc-interval", 0, "telemetry sampling period (0 = 100ms)")
+		autotune   = flag.Bool("autotune", os.Getenv("TORQ_AUTOTUNE") != "", "let the recorder re-size par chunk grouping from observed steal ratios (also TORQ_AUTOTUNE=1); gradients stay bit-identical for every setting")
 	)
 	flag.Parse()
+
+	if *ftdcDump != "" || *autotune {
+		rec := ftdc.New(ftdc.Options{Interval: *ftdcEvery})
+		ftdc.StandardSources(rec)
+		if *autotune {
+			rec.EnableAutoTune()
+		}
+		rec.Start()
+		if *ftdcDump != "" {
+			rec.DumpOnSignal(*ftdcDump)
+			defer func() {
+				rec.Stop()
+				if err := rec.DumpFile(*ftdcDump); err != nil {
+					fmt.Fprintf(os.Stderr, "ftdc: %v\n", err)
+				}
+			}()
+		}
+	}
 
 	var c maxwell.Case
 	switch *caseName {

@@ -12,6 +12,7 @@ import (
 
 	"repro/internal/dist"
 	"repro/internal/experiments"
+	"repro/internal/ftdc"
 	"repro/internal/qsim"
 )
 
@@ -19,6 +20,9 @@ func main() {
 	preset := flag.String("preset", "smoke", "smoke | paper")
 	engine := flag.String("engine", "fused", "circuit-execution engine for the batched simulator ("+qsim.EngineNames()+"): fused runs the v3 compiler in process, sharded runs it as work-stealing sample shards with worker-count-independent gradients, dist ships the same shards to worker processes, fused2/fused1 are the PR-2/PR-1 compilers, legacy sweeps per gate, naive is the dense per-sample baseline")
 	distWorkers := flag.Int("dist-workers", 0, "subprocess worker count for -engine dist (0 = TORQ_DIST_WORKERS or 2); remote workers come from TORQ_DIST_ADDRS")
+	ftdcDump := flag.String("ftdc-dump", "", "record flight-data telemetry and write the capture here at exit (and on SIGUSR1)")
+	ftdcEvery := flag.Duration("ftdc-interval", 0, "telemetry sampling period (0 = 100ms)")
+	autotune := flag.Bool("autotune", os.Getenv("TORQ_AUTOTUNE") != "", "let the recorder re-size par chunk grouping from observed steal ratios (also TORQ_AUTOTUNE=1); gradients stay bit-identical for every setting")
 	flag.Parse()
 	o := experiments.Options{Preset: experiments.Smoke, Out: os.Stdout}
 	if *preset == "paper" {
@@ -33,6 +37,23 @@ func main() {
 	if *distWorkers > 0 {
 		dist.Configure(dist.Options{Workers: *distWorkers})
 		defer dist.Shutdown()
+	}
+	if *ftdcDump != "" || *autotune {
+		rec := ftdc.New(ftdc.Options{Interval: *ftdcEvery})
+		ftdc.StandardSources(rec)
+		if *autotune {
+			rec.EnableAutoTune()
+		}
+		rec.Start()
+		if *ftdcDump != "" {
+			rec.DumpOnSignal(*ftdcDump)
+			defer func() {
+				rec.Stop()
+				if err := rec.DumpFile(*ftdcDump); err != nil {
+					fmt.Fprintf(os.Stderr, "ftdc: %v\n", err)
+				}
+			}()
+		}
 	}
 	if err := experiments.Table2(o); err != nil {
 		fmt.Fprintln(os.Stderr, err)

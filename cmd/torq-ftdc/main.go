@@ -1,0 +1,119 @@
+// torq-ftdc decodes flight-data-recorder captures written by torq-bench or
+// qpinn-train (-ftdc-dump flag, or SIGUSR1 while running).
+//
+//	torq-ftdc -summary capture.ftdc   # digest + per-worker straggler check
+//	torq-ftdc -csv capture.ftdc       # full sample matrix for spreadsheets
+//	torq-ftdc -series dist. capture.ftdc  # only series with a name prefix
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+
+	"repro/internal/ftdc"
+)
+
+func main() {
+	csvOut := flag.Bool("csv", false, "print every sample as CSV (time in unix ns, one column per series)")
+	summary := flag.Bool("summary", false, "print the capture digest (default when no mode is given)")
+	series := flag.String("series", "", "restrict CSV columns to series whose name has this prefix")
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: torq-ftdc [-csv|-summary] [-series prefix] <capture>\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	if flag.NArg() != 1 {
+		flag.Usage()
+		os.Exit(2)
+	}
+	samples, err := ftdc.ReadFile(flag.Arg(0))
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "torq-ftdc: %v\n", err)
+		os.Exit(1)
+	}
+	if *csvOut {
+		printCSV(samples, *series)
+		return
+	}
+	_ = summary
+	printSummary(samples)
+}
+
+func printCSV(samples []ftdc.Sample, prefix string) {
+	cols := map[string]bool{}
+	for _, s := range samples {
+		for _, n := range s.Names {
+			if strings.HasPrefix(n, prefix) {
+				cols[n] = true
+			}
+		}
+	}
+	names := make([]string, 0, len(cols))
+	for n := range cols {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	fmt.Println("time_ns," + strings.Join(names, ","))
+	row := make([]string, len(names)+1)
+	for _, s := range samples {
+		row[0] = strconv.FormatInt(s.T.UnixNano(), 10)
+		for i, n := range names {
+			if v, ok := s.Value(n); ok {
+				row[i+1] = strconv.FormatInt(v, 10)
+			} else {
+				row[i+1] = ""
+			}
+		}
+		fmt.Println(strings.Join(row, ","))
+	}
+}
+
+func printSummary(samples []ftdc.Sample) {
+	sum := ftdc.Summarize(samples)
+	if sum.Samples == 0 {
+		fmt.Println("empty capture")
+		return
+	}
+	fmt.Printf("capture: %d samples, %s → %s (%s)\n",
+		sum.Samples,
+		sum.Start.Format("15:04:05.000"), sum.End.Format("15:04:05.000"),
+		sum.End.Sub(sum.Start).Round(1e6))
+	fmt.Printf("%-28s %14s %14s %14s\n", "series", "first", "last", "delta")
+	var hist []string
+	for _, m := range sum.Metrics {
+		// Histogram buckets and per-worker series are folded into their own
+		// sections below.
+		if b, ok := strings.CutPrefix(m.Name, "dist.lat_b"); ok {
+			if m.Last > 0 {
+				k, _ := strconv.Atoi(b)
+				lo := 0
+				if k > 0 {
+					lo = 1 << (k - 1)
+				}
+				hist = append(hist, fmt.Sprintf("[%dµs,%dµs): %d", lo, 1<<k, m.Last))
+			}
+			continue
+		}
+		if strings.HasPrefix(m.Name, "dist.w") && !strings.HasPrefix(m.Name, "dist.worker_") {
+			continue
+		}
+		fmt.Printf("%-28s %14d %14d %14d\n", m.Name, m.First, m.Last, m.Delta())
+	}
+	if len(hist) > 0 {
+		fmt.Printf("\nper-shard latency histogram: %s\n", strings.Join(hist, "  "))
+	}
+	if len(sum.Workers) > 0 {
+		fmt.Printf("\n%-8s %10s %10s %16s %s\n", "worker", "shards", "batches", "mean shard lat", "")
+		for _, w := range sum.Workers {
+			flag := ""
+			if w.Straggler {
+				flag = "  ⚠ STRAGGLER (latency outlier vs fleet median)"
+			}
+			fmt.Printf("w%-7d %10d %10d %16s%s\n", w.ID, w.Shards, w.Batches, w.MeanShardLat.Round(1e3), flag)
+		}
+	}
+}

@@ -1,0 +1,135 @@
+package repro
+
+// Doc-drift gates: documentation that describes code the tests can see is
+// checked against that code, so the docs cannot silently rot. Three
+// contracts are pinned here: the README engine table tracks the engine
+// registry, docs/PROTOCOL.md tracks the implemented protocol version, and
+// every internal package carries real package documentation (with an
+// `# Invariants` section where the package participates in the determinism
+// story).
+
+import (
+	"go/parser"
+	"go/token"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+
+	"repro/internal/dist"
+	"repro/internal/qsim"
+)
+
+// TestReadmeEngineTableMatchesRegistry parses the README's engine table and
+// requires exactly the engines qsim.EngineKinds() registers, in
+// presentation order, with the registered flag names — so landing an engine
+// without updating the README (or vice versa) fails the build.
+func TestReadmeEngineTableMatchesRegistry(t *testing.T) {
+	readme, err := os.ReadFile("README.md")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Rows look like: | `EngineFused` | `fused` | ... |
+	rowRE := regexp.MustCompile("(?m)^\\| `(Engine[A-Za-z0-9]+)` \\| `([a-z0-9]+)` \\|")
+	var gotNames, gotFlags []string
+	for _, m := range rowRE.FindAllStringSubmatch(string(readme), -1) {
+		gotNames = append(gotNames, m[1])
+		gotFlags = append(gotFlags, m[2])
+	}
+	kinds := qsim.EngineKinds()
+	if len(gotNames) != len(kinds) {
+		t.Fatalf("README engine table has %d rows %v, registry has %d engines (%s)",
+			len(gotNames), gotNames, len(kinds), qsim.EngineNames())
+	}
+	for i, k := range kinds {
+		if gotFlags[i] != k.String() {
+			t.Errorf("README engine table row %d: flag %q, registry says %q", i, gotFlags[i], k)
+		}
+		parsed, err := qsim.ParseEngine(gotFlags[i])
+		if err != nil || parsed != k {
+			t.Errorf("README engine table row %d: flag %q does not parse back to %v", i, gotFlags[i], k)
+		}
+	}
+	// The flag synopsis must be the registry's canonical string, not a
+	// hand-maintained copy.
+	if !strings.Contains(string(readme), "`-engine "+qsim.EngineNames()+"`") {
+		t.Errorf("README -engine synopsis drifted from qsim.EngineNames() = %q", qsim.EngineNames())
+	}
+}
+
+// TestReadmeLinksDocs keeps the README pointing at the two normative
+// documents; a quickstart that loses its deep links is how docs go unread.
+func TestReadmeLinksDocs(t *testing.T) {
+	readme, err := os.ReadFile("README.md")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, doc := range []string{"docs/ARCHITECTURE.md", "docs/PROTOCOL.md"} {
+		if !strings.Contains(string(readme), "("+doc+")") {
+			t.Errorf("README does not link %s", doc)
+		}
+		if _, err := os.Stat(doc); err != nil {
+			t.Errorf("linked document missing: %v", err)
+		}
+	}
+}
+
+// TestProtocolSpecMatchesProtoVersion fails when dist.ProtoVersion moves
+// without docs/PROTOCOL.md following: the spec is normative, so a protocol
+// change that skips the document is incomplete by definition.
+func TestProtocolSpecMatchesProtoVersion(t *testing.T) {
+	spec, err := os.ReadFile(filepath.Join("docs", "PROTOCOL.md"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := regexp.MustCompile(`(?m)^ProtoVersion: (\d+)$`).FindSubmatch(spec)
+	if m == nil {
+		t.Fatal("docs/PROTOCOL.md has no `ProtoVersion: N` marker line")
+	}
+	if got, want := string(m[1]), strconv.Itoa(int(dist.ProtoVersion)); got != want {
+		t.Fatalf("docs/PROTOCOL.md declares ProtoVersion %s but internal/dist implements %s — "+
+			"update the spec (frame layouts, version history) alongside the code", got, want)
+	}
+}
+
+// TestInternalPackagesDocumented walks every internal/ package and rejects
+// ones without a package-level doc comment; the four packages that carry
+// the determinism/telemetry contracts must additionally state them under
+// an `# Invariants` heading.
+func TestInternalPackagesDocumented(t *testing.T) {
+	needInvariants := map[string]bool{"qsim": true, "dist": true, "par": true, "ftdc": true}
+	dirs, err := filepath.Glob(filepath.Join("internal", "*"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, dir := range dirs {
+		if fi, err := os.Stat(dir); err != nil || !fi.IsDir() {
+			continue
+		}
+		fset := token.NewFileSet()
+		pkgs, err := parser.ParseDir(fset, dir, func(fi os.FileInfo) bool {
+			return !strings.HasSuffix(fi.Name(), "_test.go")
+		}, parser.ParseComments|parser.PackageClauseOnly)
+		if err != nil {
+			t.Fatalf("%s: %v", dir, err)
+		}
+		var doc string
+		for _, pkg := range pkgs {
+			for _, f := range pkg.Files {
+				if f.Doc != nil && len(f.Doc.Text()) > len(doc) {
+					doc = f.Doc.Text()
+				}
+			}
+		}
+		name := filepath.Base(dir)
+		if strings.TrimSpace(doc) == "" {
+			t.Errorf("internal/%s has no package doc comment — every internal package documents its role", name)
+			continue
+		}
+		if needInvariants[name] && !strings.Contains(doc, "# Invariants") {
+			t.Errorf("internal/%s package doc lacks an `# Invariants` section stating its determinism/telemetry contract", name)
+		}
+	}
+}

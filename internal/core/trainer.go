@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+	"time"
 
 	"repro/internal/ad"
 	"repro/internal/diag"
@@ -132,6 +133,7 @@ func TrainModel(model *Model, p maxwell.Problem, tcfg TrainConfig, ref *Referenc
 	}
 
 	for epoch := 0; epoch < tcfg.Epochs; epoch++ {
+		epochStart := time.Now()
 		adam.LR = tcfg.Schedule.At(startEpoch + epoch)
 
 		cfg := tcfg.Loss
@@ -172,6 +174,7 @@ func TrainModel(model *Model, p maxwell.Problem, tcfg TrainConfig, ref *Referenc
 			st.MW = modelMeyerWallach(model, mwProbe, 64)
 		}
 		res.History = append(res.History, st)
+		qsim.RecordEpoch(time.Since(epochStart))
 	}
 
 	model.TrainState = &TrainState{

@@ -161,6 +161,7 @@ type worker struct {
 func (w *worker) kill() {
 	w.dead.Store(true)
 	w.killOnce.Do(func() {
+		xstats.workerKills.Add(1)
 		if w.raw != nil {
 			w.raw.Close()
 		}
@@ -414,6 +415,7 @@ func (c *coordinator) handshake(w *worker, spec *qsim.PassSpec) error {
 		LayerStarts: circ.LayerStarts(),
 		Digest:      spec.Prog.Digest(),
 	}
+	xstats.handshakes.Add(1)
 	defer c.guard(w)()
 	if err := w.send(fHello, encodeHello(hm)); err != nil {
 		return err
@@ -467,6 +469,7 @@ type passSched struct {
 	remaining  int
 	batchCap   int
 	workers    int
+	paired     bool // pass carries affinity routing (owner map was supplied)
 }
 
 // newPassSched routes shard i to prefer[owner[i]] when that worker is in
@@ -480,6 +483,7 @@ func newPassSched(ns, batchCap int, live []*worker, owner []int32) *passSched {
 		remaining:  ns,
 		batchCap:   batchCap,
 		workers:    len(live),
+		paired:     owner != nil,
 	}
 	s.cond.L = &s.mu
 	alive := make(map[int]bool, len(live))
@@ -526,6 +530,7 @@ func (s *passSched) grab(w *worker) []int {
 		own = own[:len(own)-1]
 	}
 	s.prefer[w.id] = own
+	routed := len(out)
 	for len(out) < chunk && len(s.global) > 0 {
 		out = append(out, s.global[len(s.global)-1])
 		s.global = s.global[:len(s.global)-1]
@@ -548,6 +553,14 @@ func (s *passSched) grab(w *worker) []int {
 		s.prefer[vid] = victim[1:]
 	}
 	s.unassigned -= len(out)
+	// Affinity accounting (paired backward passes only): a shard grabbed
+	// from the worker's own prefer list rides its cached forward states; a
+	// shard grabbed from the global pool or stolen from another owner will
+	// recompute on a cold worker.
+	if s.paired {
+		xstats.affRouted.Add(int64(routed))
+		xstats.affMissed.Add(int64(len(out) - routed))
+	}
 	return out
 }
 
@@ -557,6 +570,7 @@ func (s *passSched) giveBack(shards []int) {
 	if len(shards) == 0 {
 		return
 	}
+	xstats.redispatched.Add(int64(len(shards)))
 	s.mu.Lock()
 	s.global = append(s.global, shards...)
 	s.unassigned += len(shards)
@@ -599,6 +613,12 @@ func (backend) RunPass(spec *qsim.PassSpec) ([]qsim.ShardResult, error) {
 	o := c.options()
 	c.passID++
 	pass := c.passID
+	xstats.passes.Add(1)
+	if spec.Backward {
+		xstats.bwdPasses.Add(1)
+	} else {
+		xstats.fwdPasses.Add(1)
+	}
 
 	// Handshake lazily: only workers whose session is pinned to a different
 	// circuit (or fresh workers) pay it, once per circuit change.
@@ -731,14 +751,24 @@ func (c *coordinator) workerRun(w *worker, o Options, spec *qsim.PassSpec, pass 
 		sched.wake()
 		return
 	}
-	flights := make(chan []int, o.pipelineDepth())
+	// A flight is one in-service batch; the send timestamp turns the
+	// receiver's FIFO drain into a per-batch round-trip latency measurement
+	// (queue wait included — a straggler backs its own pipeline up, which is
+	// exactly the signal the dump's outlier check keys on).
+	type flight struct {
+		shards []int
+		sent   time.Time
+	}
+	flights := make(chan flight, o.pipelineDepth())
 	var wg sync.WaitGroup
 	wg.Add(1)
 	go func() {
 		defer wg.Done()
 		failed := false
-		for shards := range flights {
+		for f := range flights {
+			shards := f.shards
 			if failed {
+				xstats.queueDepth.Add(int64(-len(shards)))
 				sched.giveBack(shards)
 				continue
 			}
@@ -746,10 +776,12 @@ func (c *coordinator) workerRun(w *worker, o Options, spec *qsim.PassSpec, pass 
 				fmt.Fprintf(os.Stderr, "dist: worker %d lost on pass %d (%v); re-dispatching %d shards\n", w.id, pass, err, len(shards))
 				w.kill()
 				failed = true
+				xstats.queueDepth.Add(int64(-len(shards)))
 				sched.giveBack(shards)
 				sched.wake()
 				continue
 			}
+			observeBatch(w.id, len(shards), time.Since(f.sent).Nanoseconds())
 			if fwd != nil {
 				// Each shard completes exactly once per pass, so these
 				// writes never contend across receivers.
@@ -758,6 +790,7 @@ func (c *coordinator) workerRun(w *worker, o Options, spec *qsim.PassSpec, pass 
 				}
 			}
 			w.inflight.Add(int32(-len(shards)))
+			xstats.queueDepth.Add(int64(-len(shards)))
 			sched.complete(len(shards))
 		}
 	}()
@@ -767,13 +800,15 @@ func (c *coordinator) workerRun(w *worker, o Options, spec *qsim.PassSpec, pass 
 			break
 		}
 		w.inflight.Add(int32(len(shards)))
+		xstats.queueDepth.Add(int64(len(shards)))
 		if err := c.sendBatch(w, spec, pass, shards); err != nil {
 			w.kill()
+			xstats.queueDepth.Add(int64(-len(shards)))
 			sched.giveBack(shards)
 			sched.wake()
 			break
 		}
-		flights <- shards
+		flights <- flight{shards: shards, sent: time.Now()}
 	}
 	close(flights)
 	wg.Wait()
@@ -809,6 +844,7 @@ func (c *coordinator) sendBatch(w *worker, spec *qsim.PassSpec, pass uint64, sha
 	w.ebuf = encodeShardBatchFrame(w.ebuf, pass, sms)
 	// The timeout covers the send too — a full pipe buffer against a wedged
 	// worker blocks the write exactly like a withheld reply blocks the read.
+	xstats.bytesOut.Add(int64(len(w.ebuf)))
 	defer c.guardN(w, len(shards))()
 	if _, err := w.w.Write(w.ebuf); err != nil {
 		return err
@@ -825,6 +861,7 @@ func (c *coordinator) recvBatch(w *worker, spec *qsim.PassSpec, pass uint64, sha
 	if err != nil {
 		return err
 	}
+	xstats.bytesIn.Add(int64(len(body)) + 5) // body + u32 length + type byte
 	switch typ {
 	case fError:
 		em, _ := decodeError(body)

@@ -20,6 +20,18 @@
 //
 // Importing the package registers the coordinator as qsim's dist backend;
 // nothing starts until the first EngineDist pass runs.
+//
+// # Invariants
+//
+// Shard results are a pure function of (program, theta, shard inputs):
+// which worker computes a shard, in what order, after how many deaths and
+// re-dispatches, never changes the merged result — the coordinator merges
+// per-shard partials in ascending shard order, bit-identical to the
+// in-process sharded engine. The wire protocol is versioned (ProtoVersion,
+// specified normatively in docs/PROTOCOL.md) and handshake-checked, and
+// forward-state affinity is a fast path only: workers validate cached
+// forward states bit-for-bit against the backward shard's inputs and fall
+// back to the stateless recompute on any mismatch.
 package dist
 
 import (

@@ -20,6 +20,10 @@ const FailAfterEnv = failAfterEnv
 // the forward-state affinity cache.
 const RequireCachedEnv = requireCachedEnv
 
+// StallEnv makes a worker sleep the given number of milliseconds per shard —
+// a deterministic straggler for the telemetry tests.
+const StallEnv = stallEnv
+
 // KillOneWorkerForTest kills the first live worker's process/connection,
 // simulating an external crash between (or during) passes. It reports
 // whether a live worker was found.

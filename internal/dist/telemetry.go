@@ -1,0 +1,141 @@
+package dist
+
+import (
+	"fmt"
+	"math/bits"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// Transport telemetry. The coordinator holds its own mutex for the entire
+// duration of a pass, so the ftdc recorder can never sample through
+// coordinator state — every counter here lives outside it, updated with
+// plain atomics at the instrumentation points (one add per batch or per
+// pass, never per amplitude) and snapshotted lock-free by Collect.
+
+// latBuckets is the size of the log2 per-shard latency histogram: bucket k
+// counts shards whose per-shard latency fell in [2^(k-1), 2^k) microseconds
+// (bucket 0: under 1µs), covering up to ~2^26 µs ≈ 67s — past the default
+// shard timeout.
+const latBuckets = 28
+
+var xstats struct {
+	passes, fwdPasses, bwdPasses atomic.Int64
+	shardsDone, batches          atomic.Int64
+	redispatched                 atomic.Int64
+	affRouted, affMissed         atomic.Int64
+	queueDepth                   atomic.Int64 // gauge: shards sent, not yet answered
+	bytesOut, bytesIn            atomic.Int64
+	handshakes, workerKills      atomic.Int64
+	lat                          [latBuckets]atomic.Int64
+}
+
+// workerStats accumulates one worker's per-shard service telemetry. Batch
+// round-trip latency is attributed evenly across the batch's shards; with
+// pipelining the measurement includes queue wait, which is exactly what a
+// straggler check wants — a slow worker backs its own queue up.
+type workerStats struct {
+	shards  atomic.Int64
+	latNS   atomic.Int64
+	batches atomic.Int64
+}
+
+var wstats struct {
+	mu sync.Mutex
+	m  map[int]*workerStats
+}
+
+func workerStatsFor(id int) *workerStats {
+	wstats.mu.Lock()
+	defer wstats.mu.Unlock()
+	if wstats.m == nil {
+		wstats.m = make(map[int]*workerStats)
+	}
+	ws := wstats.m[id]
+	if ws == nil {
+		ws = &workerStats{}
+		wstats.m[id] = ws
+	}
+	return ws
+}
+
+// observeBatch records one answered batch: n shards in latNS nanoseconds of
+// round-trip time, served by worker id.
+func observeBatch(id, n int, latNS int64) {
+	if n <= 0 {
+		return
+	}
+	xstats.shardsDone.Add(int64(n))
+	xstats.batches.Add(1)
+	perShard := latNS / int64(n)
+	b := bits.Len64(uint64(perShard / 1000)) // log2 bucket in µs
+	if b >= latBuckets {
+		b = latBuckets - 1
+	}
+	xstats.lat[b].Add(int64(n))
+	ws := workerStatsFor(id)
+	ws.shards.Add(int64(n))
+	ws.latNS.Add(latNS)
+	ws.batches.Add(1)
+}
+
+// Collect emits the transport counters in the flat name → int64 form the
+// ftdc recorder samples. Per-worker series are named dist.w<id>.*; worker
+// ids are never reused, so a respawned worker starts fresh series (the
+// recorder's schema-on-change encoding absorbs the set change).
+func Collect(emit func(name string, value int64)) {
+	emit("dist.passes", xstats.passes.Load())
+	emit("dist.fwd_passes", xstats.fwdPasses.Load())
+	emit("dist.bwd_passes", xstats.bwdPasses.Load())
+	emit("dist.shards_done", xstats.shardsDone.Load())
+	emit("dist.batches", xstats.batches.Load())
+	emit("dist.redispatched", xstats.redispatched.Load())
+	emit("dist.aff_routed", xstats.affRouted.Load())
+	emit("dist.aff_missed", xstats.affMissed.Load())
+	emit("dist.queue_depth", xstats.queueDepth.Load())
+	emit("dist.bytes_out", xstats.bytesOut.Load())
+	emit("dist.bytes_in", xstats.bytesIn.Load())
+	emit("dist.handshakes", xstats.handshakes.Load())
+	emit("dist.worker_kills", xstats.workerKills.Load())
+	for b := 0; b < latBuckets; b++ {
+		emit(fmt.Sprintf("dist.lat_b%02d", b), xstats.lat[b].Load())
+	}
+	wstats.mu.Lock()
+	ids := make([]int, 0, len(wstats.m))
+	for id := range wstats.m {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	for _, id := range ids {
+		ws := wstats.m[id]
+		emit(fmt.Sprintf("dist.w%d.shards", id), ws.shards.Load())
+		emit(fmt.Sprintf("dist.w%d.lat_ns", id), ws.latNS.Load())
+		emit(fmt.Sprintf("dist.w%d.batches", id), ws.batches.Load())
+	}
+	wstats.mu.Unlock()
+}
+
+// ResetTelemetry zeroes every transport counter and drops the per-worker
+// series (tests and A/B runs).
+func ResetTelemetry() {
+	xstats.passes.Store(0)
+	xstats.fwdPasses.Store(0)
+	xstats.bwdPasses.Store(0)
+	xstats.shardsDone.Store(0)
+	xstats.batches.Store(0)
+	xstats.redispatched.Store(0)
+	xstats.affRouted.Store(0)
+	xstats.affMissed.Store(0)
+	xstats.queueDepth.Store(0)
+	xstats.bytesOut.Store(0)
+	xstats.bytesIn.Store(0)
+	xstats.handshakes.Store(0)
+	xstats.workerKills.Store(0)
+	for b := range xstats.lat {
+		xstats.lat[b].Store(0)
+	}
+	wstats.mu.Lock()
+	wstats.m = nil
+	wstats.mu.Unlock()
+}

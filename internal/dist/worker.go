@@ -8,6 +8,7 @@ import (
 	"net"
 	"os"
 	"strconv"
+	"time"
 
 	"repro/internal/qsim"
 )
@@ -26,6 +27,13 @@ const failAfterEnv = "TORQ_DIST_FAIL_AFTER_SHARDS"
 // legitimate misses part of normal operation.
 const requireCachedEnv = "TORQ_DIST_REQUIRE_CACHED"
 
+// stallEnv is a test/chaos hook: when set to a positive integer, the worker
+// sleeps that many milliseconds before executing each shard — a
+// deterministic straggler for exercising the coordinator's latency telemetry
+// and the ftdc dump's outlier flagging. The work still completes and stays
+// bit-identical; only the timing changes.
+const stallEnv = "TORQ_DIST_STALL_MS"
+
 // session is one coordinator connection's worker-side state.
 type session struct {
 	r *bufio.Reader
@@ -38,6 +46,7 @@ type session struct {
 	served        int
 	failAfter     int
 	requireCached bool
+	stall         time.Duration
 
 	// Steady-state transport scratch: frames read into and encode into
 	// session-owned buffers, and decoded batch arrays borrow the arena
@@ -59,6 +68,9 @@ func ServeConn(r io.Reader, w io.Writer) error {
 		s.failAfter, _ = strconv.Atoi(v)
 	}
 	s.requireCached = os.Getenv(requireCachedEnv) != ""
+	if v, err := strconv.Atoi(os.Getenv(stallEnv)); err == nil && v > 0 {
+		s.stall = time.Duration(v) * time.Millisecond
+	}
 	for {
 		typ, body, err := readFrameInto(s.r, &s.rbuf)
 		if errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF) || errors.Is(err, io.ErrClosedPipe) {
@@ -209,6 +221,9 @@ func (s *session) runShard(sm *shardMsg, rm *resultMsg) error {
 	}
 	if s.failAfter > 0 && s.served >= s.failAfter {
 		os.Exit(3)
+	}
+	if s.stall > 0 {
+		time.Sleep(s.stall)
 	}
 	s.served++
 

@@ -1,0 +1,62 @@
+package ftdc
+
+import "repro/internal/par"
+
+// AutoTuner closes the first telemetry→control loop: it watches the
+// scheduler's steal rate relative to its scheduling-unit throughput and
+// re-sizes par's chunk grouping between samples. Steals far below the unit
+// count mean the load is uniform and per-chunk scheduling is pure deque
+// overhead — coarsen; steals rivaling the unit count mean the pool is
+// rebalancing constantly off an irregular load — refine so thieves can grab
+// closer-to-even shares.
+//
+// Safety: grouping only changes how many consecutive chunks move per deque
+// operation. RunChunk's partition (and therefore every per-chunk
+// accumulator slot and the sharded engines' merge order) is invariant
+// across settings, so the tuner can flip the knob mid-training without
+// disturbing a single gradient bit — pinned by the qsim determinism test.
+type AutoTuner struct {
+	prev par.SchedStats
+}
+
+const (
+	// tuneMinUnits is the evidence threshold: no decision until this many
+	// scheduling units have run since the last one.
+	tuneMinUnits = 64
+	// coarsenBelow/refineAbove bracket the steals-per-unit dead band.
+	coarsenBelow = 0.02
+	refineAbove  = 0.25
+	// tuneMaxGroup caps how far the tuner coarsens — past this, groups
+	// rival per-worker spans and further coarsening only costs parallelism.
+	tuneMaxGroup = 32
+)
+
+// NewAutoTuner starts a tuner from the scheduler's current counters.
+func NewAutoTuner() *AutoTuner {
+	return &AutoTuner{prev: par.Stats()}
+}
+
+// Step observes the scheduler delta since the previous decision and adjusts
+// par.SetChunkGroup by at most one doubling/halving — a slow outer loop
+// riding the recorder's sampling cadence (AddTicker), deliberately damped
+// so one noisy window cannot swing the granularity.
+func (t *AutoTuner) Step() { t.observe(par.Stats()) }
+
+// observe is Step on an explicit snapshot (separated so the policy tests
+// can drive it with synthetic counter deltas).
+func (t *AutoTuner) observe(s par.SchedStats) {
+	dUnits := s.Groups - t.prev.Groups
+	if dUnits < tuneMinUnits {
+		return
+	}
+	dSteals := s.Steals - t.prev.Steals
+	t.prev = s
+	ratio := float64(dSteals) / float64(dUnits)
+	g := par.ChunkGroup()
+	switch {
+	case ratio < coarsenBelow && g < tuneMaxGroup:
+		par.SetChunkGroup(g * 2)
+	case ratio > refineAbove && g > 1:
+		par.SetChunkGroup(g / 2)
+	}
+}

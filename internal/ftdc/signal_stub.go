@@ -1,0 +1,7 @@
+//go:build !unix
+
+package ftdc
+
+// DumpOnSignal is a no-op where SIGUSR1 does not exist; use the program's
+// -ftdc-dump exit-time dump instead.
+func (r *Recorder) DumpOnSignal(path string) {}

@@ -1,0 +1,29 @@
+//go:build unix
+
+package ftdc
+
+import (
+	"fmt"
+	"os"
+	"os/signal"
+	"syscall"
+)
+
+// DumpOnSignal arranges for every SIGUSR1 to write the recorder's current
+// capture to path (truncating the previous dump), so a long training run
+// can be inspected without stopping it:
+//
+//	kill -USR1 <pid> && torq-ftdc -summary <path>
+func (r *Recorder) DumpOnSignal(path string) {
+	ch := make(chan os.Signal, 1)
+	signal.Notify(ch, syscall.SIGUSR1)
+	go func() {
+		for range ch {
+			if err := r.DumpFile(path); err != nil {
+				fmt.Fprintf(os.Stderr, "ftdc: dump failed: %v\n", err)
+				continue
+			}
+			fmt.Fprintf(os.Stderr, "ftdc: capture written to %s\n", path)
+		}
+	}()
+}

@@ -1,0 +1,36 @@
+package ftdc
+
+import (
+	"repro/internal/dist"
+	"repro/internal/par"
+	"repro/internal/qsim"
+)
+
+// StandardSources attaches the repository's built-in collectors: the par
+// scheduler, the qsim engine pass/epoch timers, and the dist transport.
+// ftdc depends on those packages and not vice versa — subsystems export
+// plain counter snapshots and stay ignorant of the recorder.
+func StandardSources(r *Recorder) {
+	r.AddSource(CollectPar)
+	r.AddSource(qsim.CollectTelemetry)
+	r.AddSource(dist.Collect)
+}
+
+// CollectPar emits the work-stealing scheduler's counters plus the live
+// chunk-group setting (so a capture shows the auto-tuner acting).
+func CollectPar(emit func(name string, value int64)) {
+	s := par.Stats()
+	emit("par.regions", int64(s.Regions))
+	emit("par.chunks", int64(s.Chunks))
+	emit("par.groups", int64(s.Groups))
+	emit("par.steals", int64(s.Steals))
+	emit("par.chunk_group", int64(par.ChunkGroup()))
+	emit("par.max_workers", int64(par.MaxWorkers()))
+}
+
+// EnableAutoTune arms the steal-driven chunk-group controller on the
+// recorder's sampling cadence. Opt-in: callers gate it behind their
+// -autotune flag / TORQ_AUTOTUNE env knob.
+func (r *Recorder) EnableAutoTune() {
+	r.AddTicker(NewAutoTuner().Step)
+}

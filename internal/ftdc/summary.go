@@ -1,0 +1,132 @@
+package ftdc
+
+import (
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// MetricSummary condenses one metric's trajectory across a capture. Most
+// series are monotonic counters, so Last−First is the activity the capture
+// window saw.
+type MetricSummary struct {
+	Name                  string
+	First, Last, Min, Max int64
+}
+
+// Delta is the metric's net change over the capture.
+func (m MetricSummary) Delta() int64 { return m.Last - m.First }
+
+// WorkerSummary condenses one dist worker's service record, derived from
+// its dist.w<id>.* series.
+type WorkerSummary struct {
+	ID           int
+	Shards       int64
+	Batches      int64
+	MeanShardLat time.Duration // batch round-trip time attributed per shard
+	Straggler    bool
+}
+
+// Summary is the digest cmd/torq-ftdc prints and the straggler tests assert
+// against.
+type Summary struct {
+	Start, End time.Time
+	Samples    int
+	Metrics    []MetricSummary // sorted by name
+	Workers    []WorkerSummary // sorted by id
+}
+
+// stragglerFactor flags a worker whose mean per-shard latency exceeds this
+// multiple of the fleet's (lower-)median; stragglerFloor suppresses flags
+// when even the outlier is fast in absolute terms.
+const (
+	stragglerFactor = 3
+	stragglerFloor  = 2 * time.Millisecond
+)
+
+// Summarize digests decoded samples: per-metric first/last/min/max plus the
+// per-worker service summary with latency-outlier straggler flags. Workers
+// are compared on mean per-shard latency against the fleet's lower median —
+// the lower median keeps a 2-worker fleet's slow half from hiding behind an
+// average it dominates.
+func Summarize(samples []Sample) *Summary {
+	s := &Summary{Samples: len(samples)}
+	if len(samples) == 0 {
+		return s
+	}
+	s.Start, s.End = samples[0].T, samples[len(samples)-1].T
+	byName := map[string]*MetricSummary{}
+	for _, sm := range samples {
+		for i, n := range sm.Names {
+			v := sm.Vals[i]
+			m := byName[n]
+			if m == nil {
+				m = &MetricSummary{Name: n, First: v, Min: v, Max: v}
+				byName[n] = m
+			}
+			m.Last = v
+			if v < m.Min {
+				m.Min = v
+			}
+			if v > m.Max {
+				m.Max = v
+			}
+		}
+	}
+	for _, m := range byName {
+		s.Metrics = append(s.Metrics, *m)
+	}
+	sort.Slice(s.Metrics, func(i, j int) bool { return s.Metrics[i].Name < s.Metrics[j].Name })
+	s.Workers = workerSummaries(byName)
+	return s
+}
+
+func workerSummaries(byName map[string]*MetricSummary) []WorkerSummary {
+	var out []WorkerSummary
+	for name, m := range byName {
+		id, ok := workerMetricID(name, ".shards")
+		if !ok || m.Last == 0 {
+			continue
+		}
+		w := WorkerSummary{ID: id, Shards: m.Last}
+		if lat := byName["dist.w"+strconv.Itoa(id)+".lat_ns"]; lat != nil {
+			w.MeanShardLat = time.Duration(lat.Last / m.Last)
+		}
+		if b := byName["dist.w"+strconv.Itoa(id)+".batches"]; b != nil {
+			w.Batches = b.Last
+		}
+		out = append(out, w)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	if len(out) >= 2 {
+		lats := make([]time.Duration, len(out))
+		for i, w := range out {
+			lats[i] = w.MeanShardLat
+		}
+		sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
+		median := lats[(len(lats)-1)/2]
+		for i := range out {
+			l := out[i].MeanShardLat
+			out[i].Straggler = l > stragglerFloor && l > stragglerFactor*median
+		}
+	}
+	return out
+}
+
+// workerMetricID parses "dist.w<id><suffix>" names.
+func workerMetricID(name, suffix string) (int, bool) {
+	rest, ok := strings.CutPrefix(name, "dist.w")
+	if !ok {
+		return 0, false
+	}
+	rest, ok = strings.CutSuffix(rest, suffix)
+	if !ok {
+		return 0, false
+	}
+	id, err := strconv.Atoi(rest)
+	if err != nil {
+		return 0, false
+	}
+	return id, true
+}

@@ -1,0 +1,139 @@
+package par
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestChunkGroupPartitionInvariance pins RunChunk's determinism contract
+// against the group multiplier: for every group setting, fn runs exactly
+// once per chunk with exactly the (n, chunk)-derived bounds — grouping may
+// only change which worker runs a chunk, never the partition.
+func TestChunkGroupPartitionInvariance(t *testing.T) {
+	defer SetMaxWorkers(0)
+	defer SetChunkGroup(1)
+	const n, chunk = 103, 7 // deliberately non-divisible: partial tail chunk
+	nch := (n + chunk - 1) / chunk
+	for _, workers := range []int{1, 3, 8} {
+		for _, group := range []int{1, 2, 5, 64, 1 << 20} {
+			SetMaxWorkers(workers)
+			SetChunkGroup(group)
+			var mu sync.Mutex
+			seen := make(map[int][2]int)
+			RunChunk(n, chunk, func(_, lo, hi int) {
+				mu.Lock()
+				if prev, dup := seen[lo]; dup {
+					t.Fatalf("workers=%d group=%d: chunk at lo=%d executed twice (%v)", workers, group, lo, prev)
+				}
+				seen[lo] = [2]int{lo, hi}
+				mu.Unlock()
+			})
+			if len(seen) != nch {
+				t.Fatalf("workers=%d group=%d: %d chunks executed, want %d", workers, group, len(seen), nch)
+			}
+			for c := 0; c < nch; c++ {
+				lo := c * chunk
+				hi := min(lo+chunk, n)
+				got, ok := seen[lo]
+				if !ok || got != [2]int{lo, hi} {
+					t.Fatalf("workers=%d group=%d: chunk %d got %v, want [%d %d]", workers, group, c, got, lo, hi)
+				}
+			}
+		}
+	}
+}
+
+// TestChunkGroupClamped pins SetChunkGroup's bounds so a runaway tuner
+// cannot park the scheduler on a degenerate setting.
+func TestChunkGroupClamped(t *testing.T) {
+	defer SetChunkGroup(1)
+	SetChunkGroup(0)
+	if g := ChunkGroup(); g != 1 {
+		t.Fatalf("SetChunkGroup(0) left %d, want 1", g)
+	}
+	SetChunkGroup(-5)
+	if g := ChunkGroup(); g != 1 {
+		t.Fatalf("SetChunkGroup(-5) left %d, want 1", g)
+	}
+	SetChunkGroup(1 << 30)
+	if g := ChunkGroup(); g != maxChunkGroup {
+		t.Fatalf("SetChunkGroup(1<<30) left %d, want the %d cap", g, maxChunkGroup)
+	}
+}
+
+// TestStatsSampledWhileStealing is the ftdc consumer contract run under
+// -race: one goroutine samples Stats() on a tight loop (as the recorder
+// does) while stealing regions execute with a stalled owner forcing real
+// steals, and another goroutine flips the chunk-group knob (as the
+// auto-tuner does). Snapshots must be monotonic — the counters only ever
+// increase — and the final quiesced snapshot must account for every chunk.
+func TestStatsSampledWhileStealing(t *testing.T) {
+	defer SetMaxWorkers(0)
+	defer SetChunkGroup(1)
+	SetMaxWorkers(4)
+	ResetStats()
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() { // the recorder
+		defer wg.Done()
+		var last SchedStats
+		for {
+			s := Stats()
+			if s.Regions < last.Regions || s.Chunks < last.Chunks ||
+				s.Groups < last.Groups || s.Steals < last.Steals {
+				t.Errorf("counters went backwards: %+v after %+v", s, last)
+				return
+			}
+			last = s
+			select {
+			case <-stop:
+				return
+			default:
+			}
+		}
+	}()
+	go func() { // the auto-tuner
+		defer wg.Done()
+		g := 1
+		for {
+			SetChunkGroup(g%4 + 1)
+			g++
+			select {
+			case <-stop:
+				return
+			case <-time.After(100 * time.Microsecond):
+			}
+		}
+	}()
+
+	const regions, chunksPer = 40, 16
+	var executed atomic.Int64
+	for r := 0; r < regions; r++ {
+		RunChunk(chunksPer, 1, func(_, lo, _ int) {
+			executed.Add(1)
+			if lo == 0 {
+				time.Sleep(2 * time.Millisecond) // stall the owner: the rest must steal
+			}
+		})
+	}
+	close(stop)
+	wg.Wait()
+
+	if got := executed.Load(); got != regions*chunksPer {
+		t.Fatalf("executed %d chunks, want %d", got, regions*chunksPer)
+	}
+	s := Stats()
+	if s.Regions < regions || s.Chunks < regions*chunksPer {
+		t.Fatalf("quiesced stats undercount: %+v", s)
+	}
+	if s.Groups == 0 || s.Groups > s.Chunks {
+		t.Fatalf("group count out of range: %+v", s)
+	}
+	if s.Steals == 0 {
+		t.Fatalf("stalled-owner regions recorded no steals: %+v", s)
+	}
+}

@@ -17,12 +17,29 @@
 // workloads — noise trajectories, mixed fused/legacy comparators — no longer
 // idle the pool behind the slowest block. SetScheduler(SchedStatic) restores
 // the fixed PR-1 split for A/B measurements.
+//
+// # Invariants
+//
+// RunChunk's partition of [0, n) depends only on (n, chunk): fn is invoked
+// exactly once per chunk, every chunk starts at a multiple of chunk, and
+// neither the worker bound, the scheduler, nor the chunk-group multiplier
+// (SetChunkGroup) changes which [lo, hi) ranges fn sees. Grouping and
+// stealing only move whole chunks between workers; they never split, merge,
+// or reorder the per-chunk accumulator slots callers key off lo/chunk. This
+// is the foundation the sharded engine's bit-identical merge order is built
+// on: any floating-point reduction keyed per chunk is invariant across
+// worker counts, scheduler choice, and any runtime re-tuning.
+//
+// Scheduler telemetry (Stats) is exported through plain atomic counters so
+// the ftdc recorder can snapshot it off the hot path; counter increments are
+// the only cost the telemetry adds to a region.
 package par
 
 import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"unsafe"
 )
 
 // grain is the minimum number of items a goroutine must receive before the
@@ -72,19 +89,22 @@ func (s Scheduler) String() string {
 }
 
 // SchedStats is a snapshot of the region scheduler's cumulative telemetry:
-// how many regions ran, how many chunks they executed, and how many steals
-// rebalanced chunks between workers. Steals-per-region (and steals/chunks)
-// is the signal for sizing chunk granularity: a steal-free profile says the
-// chunks are too coarse to rebalance (or the load is uniform), while steals
-// rivaling chunk count says the chunks are so fine the deques have become
-// the hot path.
+// how many regions ran, how many chunks they executed, how many scheduling
+// units (chunk groups) those chunks were bound into, and how many steals
+// rebalanced units between workers. The steals/units ratio is the signal the
+// auto-tuner sizes granularity from: steals far below the unit count mean
+// the load is uniform and the fine units are pure scheduling overhead —
+// coarsen the grouping; steals rivaling the unit count mean the pool is
+// rebalancing constantly off an irregular load — refine the grouping so
+// thieves can grab closer-to-even shares.
 type SchedStats struct {
 	Regions uint64 // region entries (Run/RunChunk/For families, serial fast paths included)
 	Chunks  uint64 // chunk executions (a serial fast-path region counts as one chunk)
-	Steals  uint64 // successful steal operations (each moves ≥1 chunk)
+	Groups  uint64 // scheduling units: chunks/ChunkGroup per region, the deques' currency
+	Steals  uint64 // successful steal operations (each moves ≥1 unit)
 }
 
-var statRegions, statChunks, statSteals atomic.Uint64
+var statRegions, statChunks, statGroups, statSteals atomic.Uint64
 
 // Stats returns the cumulative scheduler telemetry since process start or
 // the last ResetStats. The counters are updated atomically but read
@@ -94,6 +114,7 @@ func Stats() SchedStats {
 	return SchedStats{
 		Regions: statRegions.Load(),
 		Chunks:  statChunks.Load(),
+		Groups:  statGroups.Load(),
 		Steals:  statSteals.Load(),
 	}
 }
@@ -102,8 +123,41 @@ func Stats() SchedStats {
 func ResetStats() {
 	statRegions.Store(0)
 	statChunks.Store(0)
+	statGroups.Store(0)
 	statSteals.Store(0)
 }
+
+// maxChunkGroup bounds the group multiplier: beyond this, grouping has long
+// since flattened deque traffic and only erodes parallelism (a region with
+// fewer groups than workers caps its own worker count).
+const maxChunkGroup = 64
+
+// chunkGroup is the number of consecutive chunks a stealing region binds
+// into one scheduling unit. It tunes only how much work moves per deque
+// operation: within a unit the chunks still execute one fn call each, in
+// ascending order, against the same lo/chunk-keyed accumulator slots, so
+// every setting produces bit-identical results (see the package invariants).
+// Written by the ftdc auto-tuner between samples, read at region entry.
+var chunkGroup atomic.Int64
+
+func init() { chunkGroup.Store(1) }
+
+// SetChunkGroup sets how many consecutive chunks stealing regions schedule
+// as one unit. m ≤ 1 restores per-chunk scheduling; values above the
+// internal cap are clamped. Safe to call while regions are in flight — a
+// region reads the multiplier once at entry.
+func SetChunkGroup(m int) {
+	if m < 1 {
+		m = 1
+	}
+	if m > maxChunkGroup {
+		m = maxChunkGroup
+	}
+	chunkGroup.Store(int64(m))
+}
+
+// ChunkGroup reports the current chunk-group multiplier.
+func ChunkGroup() int { return int(chunkGroup.Load()) }
 
 // schedMode holds the current Scheduler. Like maxWorkers it may be toggled
 // by a benchmark goroutine while regions are in flight, so access is atomic.
@@ -150,17 +204,47 @@ func dispatch(f func()) {
 	}
 }
 
-// chunkDeque is one worker's share of a region: a contiguous range of chunk
-// indices [lo, hi). The owner pops single chunks from the bottom; thieves
-// remove the top half of the remaining range in one operation (chunked
-// stealing), so a steal costs one lock acquisition regardless of how much
-// work it transfers. A plain mutex suffices at this granularity — each chunk
-// is a whole sample block streamed through a compiled program, so deque
-// operations are orders of magnitude rarer than amplitude updates.
+// chunkDeque is one worker's share of a region: a contiguous range of
+// scheduling-unit indices [lo, hi). The owner pops single units from the
+// bottom; thieves remove the top half of the remaining range in one
+// operation (chunked stealing), so a steal costs one lock acquisition
+// regardless of how much work it transfers. A plain mutex suffices at this
+// granularity — each unit is one or more whole sample blocks streamed
+// through a compiled program, so deque operations are orders of magnitude
+// rarer than amplitude updates.
 type chunkDeque struct {
 	mu     sync.Mutex
 	lo, hi int
 }
+
+// paddedDeque keeps each worker's deque on its own cache lines. The deques
+// of a region used to share an unpadded array, so every owner pop bounced
+// the same lines between the cores polling their neighbours for steals.
+type paddedDeque struct {
+	chunkDeque
+	_ [128 - unsafe.Sizeof(chunkDeque{})%128]byte
+}
+
+// dequePool recycles deque arrays across regions. Reuse matters twice over:
+// it removes the per-region allocation from the epoch hot path, and it keeps
+// each worker's deque on the pages the worker already touched — on NUMA
+// machines first-touch placement makes a recycled deque local to the socket
+// that has been using it, where a fresh allocation lands wherever the
+// region-entering goroutine happens to run. A pool (rather than one global
+// array) is required because regions nest: an inner region on a pool worker
+// must not scribble over its enclosing region's live deques.
+var dequePool sync.Pool
+
+func getDeques(workers int) []paddedDeque {
+	if v := dequePool.Get(); v != nil {
+		if d := v.([]paddedDeque); cap(d) >= workers {
+			return d[:workers]
+		}
+	}
+	return make([]paddedDeque, workers)
+}
+
+func putDeques(d []paddedDeque) { dequePool.Put(d[:cap(d)]) }
 
 // pop removes the bottom chunk for the owning worker.
 func (d *chunkDeque) pop() (int, bool) {
@@ -199,21 +283,39 @@ func (d *chunkDeque) refill(lo, hi int) {
 }
 
 // region executes fn once per chunk of [0, n) on `workers` goroutines with
-// dense worker ids. Chunk c covers [c*chunk, min((c+1)*chunk, n)). Deques
-// are seeded with contiguous chunk spans split as evenly as possible; when
-// steal is set, a worker that drains its own deque takes half of a victim's
-// remaining span and continues. Work is never orphaned: chunks live in
-// exactly one deque until popped, a thief immediately republishes what it
-// stole into its own (empty) deque, and a worker only exits with an empty
-// deque after a full scan finds every other deque empty — any chunks that
-// appear after that scan belong to a still-live worker that drains its own
-// deque before exiting.
+// dense worker ids. Chunk c covers [c*chunk, min((c+1)*chunk, n)). When
+// steal is set, consecutive chunks are bound into groups of ChunkGroup() and
+// the groups become the scheduling unit: deques are seeded with contiguous
+// group spans split as evenly as possible, and a worker that drains its own
+// deque takes half of a victim's remaining span and continues. Executing a
+// group calls fn once per member chunk in ascending order, so grouping is
+// invisible to callers beyond which worker runs which chunk. Work is never
+// orphaned: groups live in exactly one deque until popped, a thief
+// immediately republishes what it stole into its own (empty) deque, and a
+// worker only exits with an empty deque after a full scan finds every other
+// deque empty — any groups that appear after that scan belong to a
+// still-live worker that drains its own deque before exiting.
+//
+// Deque seeding doubles as the NUMA placement policy: worker w's seeded span
+// is the same contiguous range of chunks every time a region of the same
+// shape runs, so across the repeated passes of a training loop each worker
+// keeps touching the same slice of the sample arrays and first-touch pages
+// stay local. Stealing only migrates span tails, and only when the load is
+// actually imbalanced.
 func region(n, chunk, workers int, steal bool, fn func(worker, lo, hi int)) {
 	nch := (n + chunk - 1) / chunk
+	group := 1
+	if steal {
+		if g := int(chunkGroup.Load()); g > 1 {
+			group = g
+		}
+	}
+	ngr := (nch + group - 1) / group
 	statRegions.Add(1)
 	statChunks.Add(uint64(nch))
-	if workers > nch {
-		workers = nch
+	statGroups.Add(uint64(ngr))
+	if workers > ngr {
+		workers = ngr
 	}
 	if workers <= 1 {
 		for lo := 0; lo < n; lo += chunk {
@@ -221,8 +323,8 @@ func region(n, chunk, workers int, steal bool, fn func(worker, lo, hi int)) {
 		}
 		return
 	}
-	deques := make([]chunkDeque, workers)
-	per, extra := nch/workers, nch%workers
+	deques := getDeques(workers)
+	per, extra := ngr/workers, ngr%workers
 	start := 0
 	for w := 0; w < workers; w++ {
 		cnt := per
@@ -233,10 +335,13 @@ func region(n, chunk, workers int, steal bool, fn func(worker, lo, hi int)) {
 		start += cnt
 	}
 	body := func(w int) {
-		self := &deques[w]
+		self := &deques[w].chunkDeque
 		for {
-			if c, ok := self.pop(); ok {
-				fn(w, c*chunk, min((c+1)*chunk, n))
+			if g, ok := self.pop(); ok {
+				last := min((g+1)*group, nch)
+				for c := g * group; c < last; c++ {
+					fn(w, c*chunk, min((c+1)*chunk, n))
+				}
 				continue
 			}
 			if !steal {
@@ -267,6 +372,7 @@ func region(n, chunk, workers int, steal bool, fn func(worker, lo, hi int)) {
 	}
 	body(workers - 1)
 	wg.Wait()
+	putDeques(deques)
 }
 
 // forBlocks splits [0,n) into `workers` contiguous blocks, one fn call per
@@ -301,6 +407,7 @@ func ForGrain(n, itemCost int, fn func(start, end int)) {
 	if workers <= 1 {
 		statRegions.Add(1)
 		statChunks.Add(1)
+		statGroups.Add(1)
 		fn(0, n)
 		return
 	}
@@ -330,6 +437,7 @@ func Run(n int, fn func(worker, lo, hi int)) {
 	if workers <= 1 {
 		statRegions.Add(1)
 		statChunks.Add(1)
+		statGroups.Add(1)
 		fn(0, 0, n)
 		return
 	}

@@ -23,6 +23,18 @@
 //
 // The batchwide Apply* methods on State are thin wrappers that parallelize
 // the per-sample-range kernels the fused executor calls directly.
+//
+// # Invariants
+//
+// Every engine agrees with every other to 1e-10 relative tolerance on z,
+// tangents, and all gradients (pinned by the engine-parity tests); the
+// fused/sharded/dist family agrees bit-for-bit among itself. The sharded
+// and dist engines partition a batch into fixed cache-block shards keyed by
+// lo/blockSamples, accumulate gradients per shard, and merge in ascending
+// shard order — so their results are bit-identical for any worker count,
+// scheduler, chunk-group setting, or process placement. These guarantees
+// rest on par.RunChunk's partition determinism (see the par package doc)
+// and must survive any scheduler or transport change.
 package qsim
 
 import (

@@ -1,0 +1,80 @@
+package qsim
+
+import (
+	"sync/atomic"
+	"time"
+)
+
+// Pass telemetry: wall time and counts for every engine forward/backward
+// pass, kept in plain atomics so the ftdc recorder can snapshot them without
+// touching any engine state. Two clock reads and two atomic adds per pass —
+// a pass streams whole statevector batches, so the cost is noise.
+var (
+	statFwdPasses atomic.Uint64
+	statFwdNanos  atomic.Uint64
+	statBwdPasses atomic.Uint64
+	statBwdNanos  atomic.Uint64
+	statEpochs    atomic.Uint64
+	statEpochNano atomic.Uint64
+)
+
+// PassStats is a snapshot of the engine pass telemetry.
+type PassStats struct {
+	FwdPasses, FwdNanos uint64
+	BwdPasses, BwdNanos uint64
+	Epochs, EpochNanos  uint64
+}
+
+// EngineStats returns the cumulative pass/epoch telemetry since process
+// start or the last ResetEngineStats. Counters are read individually, so a
+// snapshot taken mid-pass is approximate.
+func EngineStats() PassStats {
+	return PassStats{
+		FwdPasses:  statFwdPasses.Load(),
+		FwdNanos:   statFwdNanos.Load(),
+		BwdPasses:  statBwdPasses.Load(),
+		BwdNanos:   statBwdNanos.Load(),
+		Epochs:     statEpochs.Load(),
+		EpochNanos: statEpochNano.Load(),
+	}
+}
+
+// ResetEngineStats zeroes the pass/epoch telemetry.
+func ResetEngineStats() {
+	statFwdPasses.Store(0)
+	statFwdNanos.Store(0)
+	statBwdPasses.Store(0)
+	statBwdNanos.Store(0)
+	statEpochs.Store(0)
+	statEpochNano.Store(0)
+}
+
+// RecordEpoch accounts one completed training/evaluation epoch of the given
+// wall time. The trainer calls it once per epoch; ftdc samples the totals.
+func RecordEpoch(d time.Duration) {
+	statEpochs.Add(1)
+	statEpochNano.Add(uint64(d.Nanoseconds()))
+}
+
+func recordForward(start time.Time) {
+	statFwdPasses.Add(1)
+	statFwdNanos.Add(uint64(time.Since(start).Nanoseconds()))
+}
+
+func recordBackward(start time.Time) {
+	statBwdPasses.Add(1)
+	statBwdNanos.Add(uint64(time.Since(start).Nanoseconds()))
+}
+
+// CollectTelemetry emits the engine pass counters in the flat name → int64
+// form the ftdc recorder samples. Durations are nanosecond totals; readers
+// derive per-pass means from the count series.
+func CollectTelemetry(emit func(name string, value int64)) {
+	s := EngineStats()
+	emit("qsim.fwd_passes", int64(s.FwdPasses))
+	emit("qsim.fwd_ns", int64(s.FwdNanos))
+	emit("qsim.bwd_passes", int64(s.BwdPasses))
+	emit("qsim.bwd_ns", int64(s.BwdNanos))
+	emit("qsim.epochs", int64(s.Epochs))
+	emit("qsim.epoch_ns", int64(s.EpochNanos))
+}
