@@ -98,6 +98,7 @@ func main() {
 			continue
 		}
 		matches := func(m map[string]float64) bool {
+			//torq:allow maprange -- existence scan, any order finds the same answer
 			for name := range m {
 				if strings.Contains(name, req) {
 					return true
@@ -118,8 +119,13 @@ func main() {
 	// Every baseline benchmark must appear in the fresh output: a unit that
 	// silently stops running (bench-regex drift, a rename without a baseline
 	// update) would otherwise pass the gate while losing coverage.
-	var names, missing []string
+	baseNames := make([]string, 0, len(base.Benchmarks))
 	for name := range base.Benchmarks {
+		baseNames = append(baseNames, name)
+	}
+	sort.Strings(baseNames)
+	var names, missing []string
+	for _, name := range baseNames {
 		if name == *ref {
 			continue
 		}
@@ -129,8 +135,6 @@ func main() {
 			missing = append(missing, name)
 		}
 	}
-	sort.Strings(names)
-	sort.Strings(missing)
 	if len(names) == 0 {
 		fmt.Fprintln(os.Stderr, "bench-gate: no overlapping benchmarks to compare")
 		os.Exit(2)

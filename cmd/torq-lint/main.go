@@ -1,0 +1,66 @@
+// torq-lint statically enforces the repository's determinism,
+// lock-free-telemetry, and zero-alloc invariants (see internal/lint).
+//
+// It speaks the `go vet` vettool protocol, so CI runs it as
+//
+//	go build -o torq-lint ./cmd/torq-lint
+//	go vet -vettool=$PWD/torq-lint ./...
+//
+// and, as a convenience, invoking it directly with package patterns
+// re-execs itself through go vet:
+//
+//	torq-lint ./...
+package main
+
+import (
+	"fmt"
+	"os"
+	"os/exec"
+	"strings"
+
+	"golang.org/x/tools/go/analysis/unitchecker"
+
+	"repro/internal/lint"
+)
+
+func main() {
+	if patterns := packagePatterns(os.Args[1:]); patterns != nil {
+		os.Exit(runGoVet(patterns))
+	}
+	unitchecker.Main(lint.Analyzers()...)
+}
+
+// packagePatterns reports the arguments as package patterns when torq-lint
+// is invoked standalone (torq-lint ./...), nil when it is being driven by
+// go vet itself (-V=full handshake, -flags, or a unit *.cfg file).
+func packagePatterns(args []string) []string {
+	if len(args) == 0 {
+		return nil
+	}
+	for _, a := range args {
+		if strings.HasPrefix(a, "-") || strings.HasSuffix(a, ".cfg") {
+			return nil
+		}
+	}
+	return args
+}
+
+func runGoVet(patterns []string) int {
+	self, err := os.Executable()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "torq-lint:", err)
+		return 1
+	}
+	cmd := exec.Command("go", append([]string{"vet", "-vettool=" + self}, patterns...)...)
+	cmd.Stdout = os.Stdout
+	cmd.Stderr = os.Stderr
+	cmd.Stdin = os.Stdin
+	if err := cmd.Run(); err != nil {
+		if ee, ok := err.(*exec.ExitError); ok {
+			return ee.ExitCode()
+		}
+		fmt.Fprintln(os.Stderr, "torq-lint:", err)
+		return 1
+	}
+	return 0
+}

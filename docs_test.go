@@ -19,6 +19,7 @@ import (
 	"testing"
 
 	"repro/internal/dist"
+	"repro/internal/lint"
 	"repro/internal/qsim"
 )
 
@@ -94,6 +95,44 @@ func TestProtocolSpecMatchesProtoVersion(t *testing.T) {
 	}
 }
 
+// TestLintSuiteDocumentedAndFixtured ties the analyzer registry to its two
+// proof surfaces: every analyzer torq-lint ships must be named in the
+// "Invariants → enforcement" table in docs/ARCHITECTURE.md, and must keep a
+// broken-fixture package under internal/lint/testdata/src — deleting either
+// (or landing an analyzer without them) fails the build.
+func TestLintSuiteDocumentedAndFixtured(t *testing.T) {
+	arch, err := os.ReadFile(filepath.Join("docs", "ARCHITECTURE.md"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The nolocktelemetry fixture is the two-package nolock/ tree; every
+	// other analyzer's fixture directory carries its name.
+	fixtureDir := map[string]string{"nolocktelemetry": "nolock"}
+	for _, a := range lint.Analyzers() {
+		if !strings.Contains(string(arch), "`"+a.Name+"`") {
+			t.Errorf("docs/ARCHITECTURE.md invariants table does not mention analyzer `%s`", a.Name)
+		}
+		rel := a.Name
+		if d, ok := fixtureDir[a.Name]; ok {
+			rel = d
+		}
+		dir := filepath.Join("internal", "lint", "testdata", "src", rel)
+		goFiles := 0
+		err := filepath.WalkDir(dir, func(path string, d os.DirEntry, err error) error {
+			if err != nil {
+				return err
+			}
+			if !d.IsDir() && strings.HasSuffix(path, ".go") {
+				goFiles++
+			}
+			return nil
+		})
+		if err != nil || goFiles == 0 {
+			t.Errorf("analyzer %s has no fixture under %s (err=%v) — each analyzer keeps a broken fixture proving it fires", a.Name, dir, err)
+		}
+	}
+}
+
 // TestInternalPackagesDocumented walks every internal/ package and rejects
 // ones without a package-level doc comment; the four packages that carry
 // the determinism/telemetry contracts must additionally state them under
@@ -116,7 +155,7 @@ func TestInternalPackagesDocumented(t *testing.T) {
 			t.Fatalf("%s: %v", dir, err)
 		}
 		var doc string
-		for _, pkg := range pkgs {
+		for _, pkg := range pkgs { //torq:allow maprange -- longest-doc max reduction
 			for _, f := range pkg.Files {
 				if f.Doc != nil && len(f.Doc.Text()) > len(doc) {
 					doc = f.Doc.Text()

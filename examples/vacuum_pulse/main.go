@@ -42,14 +42,17 @@ func main() {
 	t.Render(os.Stdout)
 
 	curves := map[string][]float64{}
-	for name, r := range map[string]*core.RunResult{
-		"QPINN+energy": qe, "QPINN no-energy": qn, "classical": cl,
+	for _, e := range []struct {
+		name string
+		r    *core.RunResult
+	}{
+		{"QPINN+energy", qe}, {"QPINN no-energy", qn}, {"classical", cl},
 	} {
-		c := make([]float64, len(r.History))
-		for i, h := range r.History {
+		c := make([]float64, len(e.r.History))
+		for i, h := range e.r.History {
 			c[i] = h.Total
 		}
-		curves[name] = c
+		curves[e.name] = c
 	}
 	fmt.Println()
 	report.LinePlot(os.Stdout, "Training loss (log scale)", 72, 16, true, curves)

@@ -1,3 +1,7 @@
 module repro
 
 go 1.23
+
+// Vendored (see vendor/): the go/analysis framework backing internal/lint and
+// cmd/torq-lint. Pinned to the exact revision the Go 1.24 toolchain ships.
+require golang.org/x/tools v0.28.1-0.20250131145412-98746475647e

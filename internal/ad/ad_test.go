@@ -331,7 +331,7 @@ func TestResetPreservesConstData(t *testing.T) {
 			tp.Reset()
 		}
 		for i, want := range []float64{1, 2, 3, 4} {
-			if persistent[i] != want {
+			if math.Float64bits(persistent[i]) != math.Float64bits(want) {
 				t.Fatalf("step %d: const data corrupted: %v", step, persistent)
 			}
 		}

@@ -147,7 +147,7 @@ func TestSeedDeterminism(t *testing.T) {
 	for i := range a.Reg.Params {
 		pa, pb := a.Reg.Params[i], b.Reg.Params[i]
 		for j := range pa.W {
-			if pa.W[j] != pb.W[j] {
+			if math.Float64bits(pa.W[j]) != math.Float64bits(pb.W[j]) {
 				t.Fatalf("seeded init differs at %s[%d]", pa.Name, j)
 			}
 		}
@@ -158,7 +158,7 @@ func TestSeedDeterminism(t *testing.T) {
 	for i := range a.Reg.Params {
 		pa, pc := a.Reg.Params[i], c.Reg.Params[i]
 		for j := range pa.W {
-			if pa.W[j] != pc.W[j] {
+			if math.Float64bits(pa.W[j]) != math.Float64bits(pc.W[j]) {
 				same = false
 			}
 		}
@@ -205,7 +205,7 @@ func TestCheckpointRoundTrip(t *testing.T) {
 	a := res.Model.EvalEz(coords, 2)
 	b := restored.EvalEz(coords, 2)
 	for i := range a {
-		if a[i] != b[i] {
+		if math.Float64bits(a[i]) != math.Float64bits(b[i]) {
 			t.Fatalf("prediction %d differs after reload: %v vs %v", i, a[i], b[i])
 		}
 	}
@@ -280,13 +280,13 @@ func TestWarmRestartEquivalence(t *testing.T) {
 	for i := range model.Reg.Params {
 		a, b := model.Reg.Params[i], restored.Reg.Params[i]
 		for j := range a.W {
-			if a.W[j] != b.W[j] {
+			if math.Float64bits(a.W[j]) != math.Float64bits(b.W[j]) {
 				t.Fatalf("resumed parameter %s[%d] differs: %v vs %v", a.Name, j, a.W[j], b.W[j])
 			}
 		}
 	}
 	for i := range resMem.History {
-		if resMem.History[i].Total != resCkpt.History[i].Total {
+		if math.Float64bits(resMem.History[i].Total) != math.Float64bits(resCkpt.History[i].Total) {
 			t.Fatalf("epoch %d loss differs after restore: %v vs %v",
 				i, resMem.History[i].Total, resCkpt.History[i].Total)
 		}
@@ -335,7 +335,7 @@ func TestWarmRestartChangesFirstStep(t *testing.T) {
 	for i := range warm.Reg.Params {
 		a, b := warm.Reg.Params[i], cold.Reg.Params[i]
 		for j := range a.W {
-			if a.W[j] != b.W[j] {
+			if math.Float64bits(a.W[j]) != math.Float64bits(b.W[j]) {
 				same = false
 			}
 		}
@@ -376,7 +376,7 @@ func TestCheckpointV1StillLoads(t *testing.T) {
 	a := model.EvalEz(coords, 2)
 	b := restored.EvalEz(coords, 2)
 	for i := range a {
-		if a[i] != b[i] {
+		if math.Float64bits(a[i]) != math.Float64bits(b[i]) {
 			t.Fatalf("v1-restored prediction %d differs: %v vs %v", i, a[i], b[i])
 		}
 	}
@@ -440,7 +440,7 @@ func TestReferenceCoordsLayout(t *testing.T) {
 	}
 	for s, tt := range times {
 		for j := 0; j < ref.PerSlice; j++ {
-			if ref.Coords[(s*ref.PerSlice+j)*3+2] != tt {
+			if math.Float64bits(ref.Coords[(s*ref.PerSlice+j)*3+2]) != math.Float64bits(tt) {
 				t.Fatalf("slice %d point %d has t=%v want %v", s, j,
 					ref.Coords[(s*ref.PerSlice+j)*3+2], tt)
 			}

@@ -320,6 +320,7 @@ func (c *coordinator) spawnProc() (*worker, error) {
 		return nil, fmt.Errorf("dist: spawning worker %q: %w", bin, err)
 	}
 	c.nextID++
+	registerWorkerStats(c.nextID)
 	return &worker{
 		id:  c.nextID,
 		r:   bufio.NewReaderSize(stdout, 1<<16),
@@ -336,6 +337,7 @@ func (c *coordinator) dialWorker(addr string) (*worker, error) {
 		return nil, fmt.Errorf("dist: dialing worker %s: %w", addr, err)
 	}
 	c.nextID++
+	registerWorkerStats(c.nextID)
 	return &worker{
 		id:   c.nextID,
 		addr: addr,
@@ -539,9 +541,11 @@ func (s *passSched) grab(w *worker) []int {
 		// Steal from the worker hoarding the most preferred shards, from
 		// the far end of its list — losing the affinity hint only costs the
 		// victim's cached forward state a recompute on another worker.
+		// Lowest id wins ties so the victim choice is map-order-independent.
 		vid, max := 0, 0
+		//torq:allow maprange -- max-by-length with lowest-id tie-break; order-insensitive
 		for id, l := range s.prefer {
-			if len(l) > max {
+			if len(l) > max || (len(l) == max && max > 0 && id < vid) {
 				vid, max = id, len(l)
 			}
 		}

@@ -74,8 +74,11 @@ func readFrame(r io.Reader) (typ byte, payload []byte, err error) {
 // aliases *buf and is valid until the next call with the same buffer — the
 // per-session read path holds exactly one frame at a time, so one buffer per
 // session makes the steady-state read allocation-free.
+//
+//torq:hotpath
 func readFrameInto(r io.Reader, buf *[]byte) (typ byte, payload []byte, err error) {
 	if cap(*buf) < 8 {
+		//torq:allow hotalloc -- first-use buffer creation, amortized across the session
 		*buf = make([]byte, 1<<12)
 	}
 	hdr := (*buf)[:4]
@@ -84,9 +87,11 @@ func readFrameInto(r io.Reader, buf *[]byte) (typ byte, payload []byte, err erro
 	}
 	n := binary.LittleEndian.Uint32(hdr)
 	if n < 1 || n > maxFrame {
+		//torq:allow hotalloc -- malformed-frame error path; the connection is torn down
 		return 0, nil, fmt.Errorf("dist: bad frame length %d", n)
 	}
 	if uint32(cap(*buf)) < n {
+		//torq:allow hotalloc -- buffer growth to the session's max frame size, amortized
 		*buf = make([]byte, n)
 	}
 	b := (*buf)[:cap(*buf)]
@@ -101,7 +106,10 @@ func readFrameInto(r io.Reader, buf *[]byte) (typ byte, payload []byte, err erro
 // enc builds a payload.
 type enc struct{ b []byte }
 
+//torq:hotpath
 func (e *enc) u8(v byte) { e.b = append(e.b, v) }
+
+//torq:hotpath
 func (e *enc) bool(v bool) {
 	if v {
 		e.u8(1)
@@ -109,11 +117,23 @@ func (e *enc) bool(v bool) {
 		e.u8(0)
 	}
 }
+
+//torq:hotpath
 func (e *enc) u16(v uint16) { e.b = binary.LittleEndian.AppendUint16(e.b, v) }
+
+//torq:hotpath
 func (e *enc) u32(v uint32) { e.b = binary.LittleEndian.AppendUint32(e.b, v) }
+
+//torq:hotpath
 func (e *enc) u64(v uint64) { e.b = binary.LittleEndian.AppendUint64(e.b, v) }
-func (e *enc) int(v int)    { e.u64(uint64(int64(v))) }
+
+//torq:hotpath
+func (e *enc) int(v int) { e.u64(uint64(int64(v))) }
+
+//torq:hotpath
 func (e *enc) str(s string) { e.u32(uint32(len(s))); e.b = append(e.b, s...) }
+
+//torq:hotpath
 func (e *enc) f64s(v []float64) {
 	e.u32(uint32(len(v)))
 	for _, f := range v {
@@ -122,6 +142,8 @@ func (e *enc) f64s(v []float64) {
 }
 
 // optF64s encodes a nil-able array: presence byte, then the array when set.
+//
+//torq:hotpath
 func (e *enc) optF64s(v []float64) {
 	if v == nil {
 		e.u8(0)
@@ -147,6 +169,7 @@ type f64Arena struct {
 	off int
 }
 
+//torq:hotpath
 func (a *f64Arena) alloc(n int) []float64 {
 	if n == 0 {
 		return emptyF64
@@ -159,6 +182,7 @@ func (a *f64Arena) alloc(n int) []float64 {
 		if sz < 1<<12 {
 			sz = 1 << 12
 		}
+		//torq:allow hotalloc -- arena chunk doubling, amortized to zero per decode
 		a.buf = make([]float64, sz)
 		a.off = 0
 	}
@@ -167,6 +191,7 @@ func (a *f64Arena) alloc(n int) []float64 {
 	return s
 }
 
+//torq:hotpath
 func (a *f64Arena) reset() { a.off = 0 }
 
 // dec consumes a payload; the first malformed field latches err and turns
@@ -185,6 +210,7 @@ func (d *dec) fail(format string, args ...any) {
 	}
 }
 
+//torq:hotpath
 func (d *dec) take(n int) []byte {
 	if d.err != nil {
 		return nil
@@ -198,36 +224,49 @@ func (d *dec) take(n int) []byte {
 	return s
 }
 
+//torq:hotpath
 func (d *dec) u8() byte {
 	if s := d.take(1); s != nil {
 		return s[0]
 	}
 	return 0
 }
+
+//torq:hotpath
 func (d *dec) bool() bool { return d.u8() != 0 }
+
+//torq:hotpath
 func (d *dec) u16() uint16 {
 	if s := d.take(2); s != nil {
 		return binary.LittleEndian.Uint16(s)
 	}
 	return 0
 }
+
+//torq:hotpath
 func (d *dec) u32() uint32 {
 	if s := d.take(4); s != nil {
 		return binary.LittleEndian.Uint32(s)
 	}
 	return 0
 }
+
+//torq:hotpath
 func (d *dec) u64() uint64 {
 	if s := d.take(8); s != nil {
 		return binary.LittleEndian.Uint64(s)
 	}
 	return 0
 }
+
+//torq:hotpath
 func (d *dec) int() int { return int(int64(d.u64())) }
 func (d *dec) str() string {
 	n := d.u32()
 	return string(d.take(int(n)))
 }
+
+//torq:hotpath
 func (d *dec) f64s() []float64 {
 	n := int(d.u32())
 	if n > maxFrame/8 {
@@ -242,6 +281,7 @@ func (d *dec) f64s() []float64 {
 	if d.arena != nil {
 		out = d.arena.alloc(n)
 	} else {
+		//torq:allow hotalloc -- arena-less decode is the cold handshake path
 		out = make([]float64, n)
 	}
 	for i := range out {
@@ -249,6 +289,8 @@ func (d *dec) f64s() []float64 {
 	}
 	return out
 }
+
+//torq:hotpath
 func (d *dec) optF64s() []float64 {
 	if d.u8() == 0 {
 		return nil
@@ -257,6 +299,8 @@ func (d *dec) optF64s() []float64 {
 }
 
 // done checks the payload was consumed exactly.
+//
+//torq:hotpath
 func (d *dec) done() error {
 	if d.err == nil && d.off != len(d.b) {
 		d.fail("%d trailing bytes", len(d.b)-d.off)
@@ -518,8 +562,11 @@ func decodeResult(b []byte) (resultMsg, error) {
 // beginFrame reserves the 5-byte frame header at the start of the encode
 // buffer; finishFrame fills in the length prefix and frame type once the
 // payload length is known.
+//
+//torq:hotpath
 func (e *enc) beginFrame() { e.b = append(e.b, 0, 0, 0, 0, 0) }
 
+//torq:hotpath
 func finishFrame(b []byte, typ byte) []byte {
 	binary.LittleEndian.PutUint32(b[:4], uint32(len(b)-4))
 	b[4] = typ
@@ -528,8 +575,11 @@ func finishFrame(b []byte, typ byte) []byte {
 
 // frameBody strips the frame header from an encodeShardBatchFrame /
 // encodeResultBatchFrame result, yielding the payload a decoder consumes.
+//
+//torq:hotpath
 func frameBody(frame []byte) []byte { return frame[5:] }
 
+//torq:hotpath
 func encodeShardBatchFrame(buf []byte, pass uint64, shards []shardMsg) []byte {
 	e := enc{b: buf[:0]}
 	e.beginFrame()
@@ -550,6 +600,7 @@ func encodeShardBatchFrame(buf []byte, pass uint64, shards []shardMsg) []byte {
 	return finishFrame(e.b, fShardBatch)
 }
 
+//torq:hotpath
 func decodeShardBatchInto(b []byte, a *f64Arena, dst []shardMsg) ([]shardMsg, error) {
 	d := dec{b: b, arena: a}
 	pass := d.u64()
@@ -577,6 +628,8 @@ func decodeShardBatchInto(b []byte, a *f64Arena, dst []shardMsg) ([]shardMsg, er
 // computing the next shard: ShardRunner results alias its reusable
 // workspace buffers, so holding resultMsg values across shard executions
 // would leave every entry pointing at the last shard's numbers.
+//
+//torq:hotpath
 func beginResultBatchFrame(buf []byte, pass uint64, backward bool, count int) enc {
 	e := enc{b: buf[:0]}
 	e.beginFrame()
@@ -586,6 +639,7 @@ func beginResultBatchFrame(buf []byte, pass uint64, backward bool, count int) en
 	return e
 }
 
+//torq:hotpath
 func appendResultEntry(e *enc, m *resultMsg) {
 	e.u32(m.Shard)
 	e.optF64s(m.Z)
@@ -600,6 +654,7 @@ func appendResultEntry(e *enc, m *resultMsg) {
 	e.optF64s(m.DiagT)
 }
 
+//torq:hotpath
 func encodeResultBatchFrame(buf []byte, pass uint64, backward bool, results []resultMsg) []byte {
 	e := beginResultBatchFrame(buf, pass, backward, len(results))
 	for i := range results {
@@ -608,6 +663,7 @@ func encodeResultBatchFrame(buf []byte, pass uint64, backward bool, results []re
 	return finishFrame(e.b, fResultBatch)
 }
 
+//torq:hotpath
 func decodeResultBatchInto(b []byte, a *f64Arena, dst []resultMsg) ([]resultMsg, error) {
 	d := dec{b: b, arena: a}
 	pass := d.u64()

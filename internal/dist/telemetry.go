@@ -3,8 +3,6 @@ package dist
 import (
 	"fmt"
 	"math/bits"
-	"sort"
-	"sync"
 	"sync/atomic"
 )
 
@@ -12,7 +10,11 @@ import (
 // duration of a pass, so the ftdc recorder can never sample through
 // coordinator state — every counter here lives outside it, updated with
 // plain atomics at the instrumentation points (one add per batch or per
-// pass, never per amplitude) and snapshotted lock-free by Collect.
+// pass, never per amplitude) and snapshotted lock-free by Collect. The
+// torq-lint nolocktelemetry analyzer holds the sampling surface to that
+// claim: observeBatch, Collect, and ResetTelemetry are //torq:nolock, so
+// anything needing a lock, a map, or an allocation (series-name formatting
+// included) must happen at worker registration instead.
 
 // latBuckets is the size of the log2 per-shard latency histogram: bucket k
 // counts shards whose per-shard latency fell in [2^(k-1), 2^k) microseconds
@@ -31,37 +33,64 @@ var xstats struct {
 	lat                          [latBuckets]atomic.Int64
 }
 
+// latNames precomputes the histogram series names so Collect never formats.
+var latNames = func() (a [latBuckets]string) {
+	for b := range a {
+		a[b] = fmt.Sprintf("dist.lat_b%02d", b)
+	}
+	return
+}()
+
 // workerStats accumulates one worker's per-shard service telemetry. Batch
 // round-trip latency is attributed evenly across the batch's shards; with
 // pipelining the measurement includes queue wait, which is exactly what a
-// straggler check wants — a slow worker backs its own queue up.
+// straggler check wants — a slow worker backs its own queue up. Series
+// names are baked in at registration, the one place allowed to allocate.
 type workerStats struct {
 	shards  atomic.Int64
 	latNS   atomic.Int64
 	batches atomic.Int64
+
+	nameShards, nameLatNS, nameBatches string
 }
 
-var wstats struct {
-	mu sync.Mutex
-	m  map[int]*workerStats
+// maxWorkerSlots bounds the per-worker slot array. Worker ids are monotonic
+// and never reused, so the index doubles as a spawn counter; a run that
+// churns through more than this many workers keeps exact aggregate counters
+// and just stops opening new per-worker series.
+const maxWorkerSlots = 512
+
+var wslots struct {
+	slots [maxWorkerSlots]atomic.Pointer[workerStats]
+	maxID atomic.Int64
 }
 
-func workerStatsFor(id int) *workerStats {
-	wstats.mu.Lock()
-	defer wstats.mu.Unlock()
-	if wstats.m == nil {
-		wstats.m = make(map[int]*workerStats)
+// registerWorkerStats opens the per-worker telemetry slot for a newly
+// spawned or dialed worker. It runs on the coordinator's spawn path, where
+// allocating and formatting are fine; the sampling functions below only
+// ever load what is published here.
+func registerWorkerStats(id int) {
+	if id <= 0 || id >= maxWorkerSlots || wslots.slots[id].Load() != nil {
+		return
 	}
-	ws := wstats.m[id]
-	if ws == nil {
-		ws = &workerStats{}
-		wstats.m[id] = ws
+	ws := &workerStats{
+		nameShards:  fmt.Sprintf("dist.w%d.shards", id),
+		nameLatNS:   fmt.Sprintf("dist.w%d.lat_ns", id),
+		nameBatches: fmt.Sprintf("dist.w%d.batches", id),
 	}
-	return ws
+	wslots.slots[id].CompareAndSwap(nil, ws)
+	for {
+		cur := wslots.maxID.Load()
+		if int64(id) <= cur || wslots.maxID.CompareAndSwap(cur, int64(id)) {
+			return
+		}
+	}
 }
 
 // observeBatch records one answered batch: n shards in latNS nanoseconds of
 // round-trip time, served by worker id.
+//
+//torq:nolock
 func observeBatch(id, n int, latNS int64) {
 	if n <= 0 {
 		return
@@ -74,16 +103,23 @@ func observeBatch(id, n int, latNS int64) {
 		b = latBuckets - 1
 	}
 	xstats.lat[b].Add(int64(n))
-	ws := workerStatsFor(id)
-	ws.shards.Add(int64(n))
-	ws.latNS.Add(latNS)
-	ws.batches.Add(1)
+	if id <= 0 || id >= maxWorkerSlots {
+		return
+	}
+	if ws := wslots.slots[id].Load(); ws != nil {
+		ws.shards.Add(int64(n))
+		ws.latNS.Add(latNS)
+		ws.batches.Add(1)
+	}
 }
 
 // Collect emits the transport counters in the flat name → int64 form the
 // ftdc recorder samples. Per-worker series are named dist.w<id>.*; worker
 // ids are never reused, so a respawned worker starts fresh series (the
-// recorder's schema-on-change encoding absorbs the set change).
+// recorder's schema-on-change encoding absorbs the set change). Slots are
+// walked in id order, so emission order is deterministic.
+//
+//torq:nolock
 func Collect(emit func(name string, value int64)) {
 	emit("dist.passes", xstats.passes.Load())
 	emit("dist.fwd_passes", xstats.fwdPasses.Load())
@@ -99,25 +135,24 @@ func Collect(emit func(name string, value int64)) {
 	emit("dist.handshakes", xstats.handshakes.Load())
 	emit("dist.worker_kills", xstats.workerKills.Load())
 	for b := 0; b < latBuckets; b++ {
-		emit(fmt.Sprintf("dist.lat_b%02d", b), xstats.lat[b].Load())
+		emit(latNames[b], xstats.lat[b].Load())
 	}
-	wstats.mu.Lock()
-	ids := make([]int, 0, len(wstats.m))
-	for id := range wstats.m {
-		ids = append(ids, id)
+	max := wslots.maxID.Load()
+	for id := int64(1); id <= max && id < maxWorkerSlots; id++ {
+		ws := wslots.slots[id].Load()
+		if ws == nil {
+			continue
+		}
+		emit(ws.nameShards, ws.shards.Load())
+		emit(ws.nameLatNS, ws.latNS.Load())
+		emit(ws.nameBatches, ws.batches.Load())
 	}
-	sort.Ints(ids)
-	for _, id := range ids {
-		ws := wstats.m[id]
-		emit(fmt.Sprintf("dist.w%d.shards", id), ws.shards.Load())
-		emit(fmt.Sprintf("dist.w%d.lat_ns", id), ws.latNS.Load())
-		emit(fmt.Sprintf("dist.w%d.batches", id), ws.batches.Load())
-	}
-	wstats.mu.Unlock()
 }
 
 // ResetTelemetry zeroes every transport counter and drops the per-worker
 // series (tests and A/B runs).
+//
+//torq:nolock
 func ResetTelemetry() {
 	xstats.passes.Store(0)
 	xstats.fwdPasses.Store(0)
@@ -135,7 +170,9 @@ func ResetTelemetry() {
 	for b := range xstats.lat {
 		xstats.lat[b].Store(0)
 	}
-	wstats.mu.Lock()
-	wstats.m = nil
-	wstats.mu.Unlock()
+	max := wslots.maxID.Load()
+	for id := int64(1); id <= max && id < maxWorkerSlots; id++ {
+		wslots.slots[id].Store(nil)
+	}
+	wslots.maxID.Store(0)
 }

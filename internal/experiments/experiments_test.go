@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"math"
 	"strings"
 	"testing"
 
@@ -127,10 +128,10 @@ func TestSmokeProblemWidensPulse(t *testing.T) {
 	paper := Options{Preset: Paper}
 	ps := smoke.problem(0)
 	pp := paper.problem(0)
-	if ps.Pulse.SX != 2*pp.Pulse.SX {
+	if math.Float64bits(ps.Pulse.SX) != math.Float64bits(2*pp.Pulse.SX) {
 		t.Fatalf("smoke pulse SX %v vs paper %v", ps.Pulse.SX, pp.Pulse.SX)
 	}
-	if ps.TMax != pp.TMax {
+	if math.Float64bits(ps.TMax) != math.Float64bits(pp.TMax) {
 		t.Fatal("smoke preset must not change the time horizon")
 	}
 }

@@ -18,6 +18,8 @@ func StandardSources(r *Recorder) {
 
 // CollectPar emits the work-stealing scheduler's counters plus the live
 // chunk-group setting (so a capture shows the auto-tuner acting).
+//
+//torq:nolock
 func CollectPar(emit func(name string, value int64)) {
 	s := par.Stats()
 	emit("par.regions", int64(s.Regions))

@@ -74,6 +74,7 @@ func Summarize(samples []Sample) *Summary {
 			}
 		}
 	}
+	//torq:allow maprange -- collected into s.Metrics and sorted by name below
 	for _, m := range byName {
 		s.Metrics = append(s.Metrics, *m)
 	}
@@ -84,6 +85,7 @@ func Summarize(samples []Sample) *Summary {
 
 func workerSummaries(byName map[string]*MetricSummary) []WorkerSummary {
 	var out []WorkerSummary
+	//torq:allow maprange -- one summary per worker id, sorted by id below
 	for name, m := range byName {
 		id, ok := workerMetricID(name, ".shards")
 		if !ok || m.Last == 0 {

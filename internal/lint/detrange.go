@@ -1,0 +1,119 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+
+	"golang.org/x/tools/go/analysis"
+	"golang.org/x/tools/go/analysis/passes/inspect"
+	"golang.org/x/tools/go/ast/inspector"
+)
+
+// DetRange flags `range` over a map: iteration order is deliberately
+// randomized by the runtime, so any map-ordered work — gradient/diagT
+// merges, checkpoint save/load, report and experiment output — silently
+// breaks the bit-identity family (or just diffs across runs). Two
+// order-insensitive idioms pass without annotation:
+//
+//	for k := range m { keys = append(keys, k) }   // collect, sort after
+//	for k := range m { delete(m, k) }             // drain the whole map
+//
+// Anything else must sort keys first or carry //torq:allow maprange with a
+// reason stating why order cannot matter.
+var DetRange = &analysis.Analyzer{
+	Name:     "detrange",
+	Doc:      "flag range over a map unless the loop is an order-insensitive idiom",
+	Requires: []*analysis.Analyzer{inspect.Analyzer},
+	Flags:    newPackagesFlag("detrange", "repro"),
+	Run:      runDetRange,
+}
+
+func runDetRange(pass *analysis.Pass) (interface{}, error) {
+	if !pkgMatch(pass.Pkg.Path(), packagesFlag(pass)) {
+		return nil, nil
+	}
+	ins := pass.ResultOf[inspect.Analyzer].(*inspector.Inspector)
+	allow := buildAllowIndex(pass.Fset, pass.Files)
+	ins.Preorder([]ast.Node{(*ast.RangeStmt)(nil)}, func(n ast.Node) {
+		rs := n.(*ast.RangeStmt)
+		t := pass.TypesInfo.TypeOf(rs.X)
+		if t == nil {
+			return
+		}
+		if _, isMap := t.Underlying().(*types.Map); !isMap {
+			return
+		}
+		if keyCollectionLoop(rs) || drainLoop(rs) {
+			return
+		}
+		if allow.allowed(pass.Fset, rs.For, "maprange") {
+			return
+		}
+		pass.Reportf(rs.For, "range over map has nondeterministic iteration order: sort the keys first, or //torq:allow maprange -- reason")
+	})
+	return nil, nil
+}
+
+// keyCollectionLoop matches `for k := range m { s = append(s, k) }`: the only
+// map-ordered effect is the order of a slice the caller is expected to sort
+// (the sortedKeys idiom). The value variable must be unused.
+func keyCollectionLoop(rs *ast.RangeStmt) bool {
+	k, ok := rangeKeyIdent(rs)
+	if !ok || len(rs.Body.List) != 1 {
+		return false
+	}
+	as, ok := rs.Body.List[0].(*ast.AssignStmt)
+	if !ok || len(as.Lhs) != 1 || len(as.Rhs) != 1 {
+		return false
+	}
+	call, ok := as.Rhs[0].(*ast.CallExpr)
+	if !ok || len(call.Args) != 2 || call.Ellipsis.IsValid() {
+		return false
+	}
+	fn, ok := call.Fun.(*ast.Ident)
+	if !ok || fn.Name != "append" {
+		return false
+	}
+	arg, ok := call.Args[1].(*ast.Ident)
+	return ok && arg.Name == k &&
+		types.ExprString(as.Lhs[0]) == types.ExprString(call.Args[0])
+}
+
+// drainLoop matches `for k := range m { delete(m, k) }` — whole-map deletion
+// is order-insensitive (and blessed by the spec).
+func drainLoop(rs *ast.RangeStmt) bool {
+	k, ok := rangeKeyIdent(rs)
+	if !ok || len(rs.Body.List) != 1 {
+		return false
+	}
+	es, ok := rs.Body.List[0].(*ast.ExprStmt)
+	if !ok {
+		return false
+	}
+	call, ok := es.X.(*ast.CallExpr)
+	if !ok || len(call.Args) != 2 {
+		return false
+	}
+	fn, ok := call.Fun.(*ast.Ident)
+	if !ok || fn.Name != "delete" {
+		return false
+	}
+	arg, ok := call.Args[1].(*ast.Ident)
+	return ok && arg.Name == k &&
+		types.ExprString(call.Args[0]) == types.ExprString(rs.X)
+}
+
+// rangeKeyIdent returns the loop's key identifier when the value slot is
+// absent or blank.
+func rangeKeyIdent(rs *ast.RangeStmt) (string, bool) {
+	k, ok := rs.Key.(*ast.Ident)
+	if !ok || k.Name == "_" {
+		return "", false
+	}
+	if rs.Value != nil {
+		if v, ok := rs.Value.(*ast.Ident); !ok || v.Name != "_" {
+			return "", false
+		}
+	}
+	return k.Name, true
+}

@@ -1,0 +1,93 @@
+package lint
+
+import (
+	"flag"
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"golang.org/x/tools/go/analysis"
+	"golang.org/x/tools/go/analysis/passes/inspect"
+	"golang.org/x/tools/go/ast/inspector"
+)
+
+// FloatBits forbids == and != on floating-point or complex operands: in a
+// codebase whose load-bearing guarantee is bit-identical trajectories,
+// equality on computed floats is either a bit-identity assertion (belongs on
+// math.Float64bits, which is total — it distinguishes NaN payloads and
+// signed zeros instead of lying about them) or a parity assertion (belongs
+// on a tolerance). Comparisons against constants (skip-zero guards, exact
+// sentinel checks) and the x != x NaN idiom are allowed; anything else
+// needs a //torq:allow floateq with a reason.
+var FloatBits = &analysis.Analyzer{
+	Name:     "floatbits",
+	Doc:      "forbid ==/!= on float/complex operands outside constant comparisons and the NaN idiom",
+	Requires: []*analysis.Analyzer{inspect.Analyzer},
+	Flags:    newPackagesFlag("floatbits", "repro"),
+	Run:      runFloatBits,
+}
+
+// newPackagesFlag builds the shared `packages` scoping flag: comma-separated
+// import-path prefixes the analyzer applies to, "*" for everything.
+func newPackagesFlag(analyzer, def string) flag.FlagSet {
+	fs := flag.NewFlagSet(analyzer, flag.ExitOnError)
+	fs.String("packages", def, "comma-separated import-path prefixes to check (\"*\" for all)")
+	return *fs
+}
+
+func packagesFlag(pass *analysis.Pass) string {
+	return pass.Analyzer.Flags.Lookup("packages").Value.String()
+}
+
+func runFloatBits(pass *analysis.Pass) (interface{}, error) {
+	if !pkgMatch(pass.Pkg.Path(), packagesFlag(pass)) {
+		return nil, nil
+	}
+	ins := pass.ResultOf[inspect.Analyzer].(*inspector.Inspector)
+	allow := buildAllowIndex(pass.Fset, pass.Files)
+	ins.Preorder([]ast.Node{(*ast.BinaryExpr)(nil)}, func(n ast.Node) {
+		be := n.(*ast.BinaryExpr)
+		if be.Op != token.EQL && be.Op != token.NEQ {
+			return
+		}
+		if !hasFloatComponent(pass.TypesInfo.TypeOf(be.X)) && !hasFloatComponent(pass.TypesInfo.TypeOf(be.Y)) {
+			return
+		}
+		// Constant on either side: deliberate exact semantics (skip-zero
+		// guards, sentinel checks) — the hazard is computed-vs-computed.
+		if pass.TypesInfo.Types[be.X].Value != nil || pass.TypesInfo.Types[be.Y].Value != nil {
+			return
+		}
+		// x != x / x == x is the NaN self-test idiom, bit-safe by definition.
+		if types.ExprString(be.X) == types.ExprString(be.Y) {
+			return
+		}
+		if allow.allowed(pass.Fset, be.OpPos, "floateq") {
+			return
+		}
+		pass.Reportf(be.OpPos, "%s on floating-point operands: use math.Float64bits for bit-identity, a tolerance for parity, or //torq:allow floateq -- reason", be.Op)
+	})
+	return nil, nil
+}
+
+// hasFloatComponent reports whether == on t compares floating-point or
+// complex values anywhere: basic float/complex kinds, and arrays or structs
+// with such components (Go compares them elementwise).
+func hasFloatComponent(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	switch u := t.Underlying().(type) {
+	case *types.Basic:
+		return u.Info()&(types.IsFloat|types.IsComplex) != 0
+	case *types.Array:
+		return hasFloatComponent(u.Elem())
+	case *types.Struct:
+		for i := 0; i < u.NumFields(); i++ {
+			if hasFloatComponent(u.Field(i).Type()) {
+				return true
+			}
+		}
+	}
+	return false
+}

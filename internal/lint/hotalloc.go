@@ -1,0 +1,206 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"golang.org/x/tools/go/analysis"
+	"golang.org/x/tools/go/analysis/passes/inspect"
+	"golang.org/x/tools/go/ast/inspector"
+)
+
+// HotAlloc gives the 0-allocs/op benchmarks compile-time teeth: a function
+// annotated //torq:hotpath (frame codec, ShardRunner shard loop,
+// per-sample-range kernels) may not contain the constructs that put a heap
+// allocation on every call:
+//
+//   - heap-escaping composite literals (&T{...}, slice or map literals)
+//   - make / new
+//   - fmt calls
+//   - growing appends — any append whose result is not assigned back to
+//     its own first argument, i.e. anything but the x = append(x, ...)
+//     reuse idiom the steady-state buffers depend on
+//   - closures capturing enclosing variables (captures force a heap box)
+//   - allocating conversions (string ↔ []byte / []rune) and non-constant
+//     string concatenation
+//   - go statements
+//
+// The check is body-local by design: helpers a hot function calls are
+// annotated (and checked) themselves, or pinned by AllocsPerRun tests.
+// Amortized growth paths inside a hot body carry //torq:allow hotalloc
+// with a reason.
+var HotAlloc = &analysis.Analyzer{
+	Name:     "hotalloc",
+	Doc:      "forbid per-call heap allocation constructs in //torq:hotpath functions",
+	Requires: []*analysis.Analyzer{inspect.Analyzer},
+	Run:      runHotAlloc,
+}
+
+func runHotAlloc(pass *analysis.Pass) (interface{}, error) {
+	ins := pass.ResultOf[inspect.Analyzer].(*inspector.Inspector)
+	allow := buildAllowIndex(pass.Fset, pass.Files)
+	report := func(pos token.Pos, format string, args ...interface{}) {
+		if !allow.allowed(pass.Fset, pos, "hotalloc") {
+			pass.Reportf(pos, "//torq:hotpath function: "+format, args...)
+		}
+	}
+	ins.Preorder([]ast.Node{(*ast.FuncDecl)(nil)}, func(n ast.Node) {
+		decl := n.(*ast.FuncDecl)
+		if decl.Body == nil || !hasFuncDirective(decl, dirHotpath) {
+			return
+		}
+		checkHotBody(pass, decl, report)
+	})
+	return nil, nil
+}
+
+func checkHotBody(pass *analysis.Pass, decl *ast.FuncDecl, report func(token.Pos, string, ...interface{})) {
+	info := pass.TypesInfo
+	selfAppends := selfAppendCalls(decl.Body)
+	ast.Inspect(decl.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			if caps := captures(info, decl, n); len(caps) > 0 {
+				report(n.Pos(), "closure captures %s from the enclosing function (heap box per call)", strings.Join(caps, ", "))
+			}
+			return false // the closure body is the closure's own contract
+		case *ast.GoStmt:
+			report(n.Pos(), "go statement allocates a goroutine")
+		case *ast.UnaryExpr:
+			if n.Op == token.AND {
+				if _, ok := ast.Unparen(n.X).(*ast.CompositeLit); ok {
+					report(n.Pos(), "heap-escaping composite literal &T{...}")
+				}
+			}
+		case *ast.CompositeLit:
+			if t := info.TypeOf(n); t != nil {
+				switch t.Underlying().(type) {
+				case *types.Slice:
+					report(n.Pos(), "slice literal allocates its backing array")
+				case *types.Map:
+					report(n.Pos(), "map literal allocates")
+				}
+			}
+		case *ast.BinaryExpr:
+			if n.Op == token.ADD && isStringType(info.TypeOf(n)) && info.Types[n].Value == nil {
+				report(n.OpPos, "string concatenation allocates")
+			}
+		case *ast.CallExpr:
+			checkHotCall(pass, n, selfAppends, report)
+		}
+		return true
+	})
+}
+
+func checkHotCall(pass *analysis.Pass, call *ast.CallExpr, selfAppends map[*ast.CallExpr]bool, report func(token.Pos, string, ...interface{})) {
+	info := pass.TypesInfo
+	if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok {
+		if b, ok := info.Uses[id].(*types.Builtin); ok {
+			switch b.Name() {
+			case "make":
+				report(call.Pos(), "make allocates")
+			case "new":
+				report(call.Pos(), "new allocates")
+			case "append":
+				if !selfAppends[call] {
+					report(call.Pos(), "growing append: only the x = append(x, ...) reuse idiom keeps capacity amortized")
+				}
+			}
+			return
+		}
+	}
+	if fn := calleeFunc(info, call); fn != nil && fn.Pkg() != nil && fn.Pkg().Path() == "fmt" {
+		report(call.Pos(), "fmt.%s allocates (interface boxing of every operand)", fn.Name())
+		return
+	}
+	// Allocating conversions: string([]byte), []byte(string), []rune(string).
+	if len(call.Args) == 1 {
+		if tv, ok := info.Types[call.Fun]; ok && tv.IsType() {
+			to, from := tv.Type, info.TypeOf(call.Args[0])
+			if allocatingConversion(to, from) {
+				report(call.Pos(), "%s(%s) conversion copies and allocates",
+					types.ExprString(call.Fun), types.TypeString(from, nil))
+			}
+		}
+	}
+}
+
+// selfAppendCalls collects the append calls written as the amortizing reuse
+// idiom `x = append(x, ...)` (single-assign, result back into the first
+// argument). Every other append in a hot body is a finding.
+func selfAppendCalls(body *ast.BlockStmt) map[*ast.CallExpr]bool {
+	ok := make(map[*ast.CallExpr]bool)
+	ast.Inspect(body, func(n ast.Node) bool {
+		as, isAssign := n.(*ast.AssignStmt)
+		if !isAssign || len(as.Lhs) != 1 || len(as.Rhs) != 1 {
+			return true
+		}
+		call, isCall := ast.Unparen(as.Rhs[0]).(*ast.CallExpr)
+		if !isCall || len(call.Args) == 0 {
+			return true
+		}
+		if fn, isIdent := ast.Unparen(call.Fun).(*ast.Ident); !isIdent || fn.Name != "append" {
+			return true
+		}
+		if types.ExprString(as.Lhs[0]) == types.ExprString(call.Args[0]) {
+			ok[call] = true
+		}
+		return true
+	})
+	return ok
+}
+
+func isStringType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsString != 0
+}
+
+func allocatingConversion(to, from types.Type) bool {
+	if to == nil || from == nil {
+		return false
+	}
+	if isStringType(to) {
+		if fs, ok := from.Underlying().(*types.Slice); ok {
+			if b, ok := fs.Elem().Underlying().(*types.Basic); ok {
+				return b.Kind() == types.Byte || b.Kind() == types.Rune
+			}
+		}
+		return false
+	}
+	if ts, ok := to.Underlying().(*types.Slice); ok && isStringType(from) {
+		if b, ok := ts.Elem().Underlying().(*types.Basic); ok {
+			return b.Kind() == types.Byte || b.Kind() == types.Rune
+		}
+	}
+	return false
+}
+
+// captures lists the enclosing-function variables a func literal references:
+// declared inside the enclosing function, outside the literal. Package-level
+// variables and the literal's own locals/parameters are not captures.
+func captures(info *types.Info, enclosing *ast.FuncDecl, lit *ast.FuncLit) []string {
+	var names []string
+	seen := map[string]bool{}
+	ast.Inspect(lit, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		v, ok := info.Uses[id].(*types.Var)
+		if !ok || seen[v.Name()] {
+			return true
+		}
+		if v.Pos() >= enclosing.Pos() && v.Pos() < enclosing.End() &&
+			(v.Pos() < lit.Pos() || v.Pos() >= lit.End()) {
+			seen[v.Name()] = true
+			names = append(names, v.Name())
+		}
+		return true
+	})
+	return names
+}

@@ -1,0 +1,19 @@
+// Package lint is the torq-lint analyzer suite; see doc.go for the
+// invariant each analyzer enforces.
+package lint
+
+import "golang.org/x/tools/go/analysis"
+
+// Analyzers returns the full torq-lint suite in the order diagnostics are
+// grouped: directive hygiene first (a typo there silently disables the
+// rest), then the determinism rules, then the performance contracts.
+func Analyzers() []*analysis.Analyzer {
+	return []*analysis.Analyzer{
+		TorqDirective,
+		DetRange,
+		FloatBits,
+		NonDet,
+		NoLockTelemetry,
+		HotAlloc,
+	}
+}

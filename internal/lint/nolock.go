@@ -1,0 +1,256 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"golang.org/x/tools/go/analysis"
+)
+
+// NoLockTelemetry proves that //torq:nolock functions — the telemetry
+// collectors the ftdc recorder samples from its own goroutine — are
+// atomics-only, transitively. A sampler that takes a mutex can stall behind
+// a pass holding it; one that allocates perturbs the GC it is measuring; a
+// channel op can deadlock the recorder outright. So a nolock function and
+// everything it reaches may not:
+//
+//   - call into package sync (sync/atomic is the point and is allowed)
+//   - send, receive, close, select, or range over channels; start goroutines
+//   - read, write, delete, or range over maps
+//   - allocate: make/new/append, slice or map literals, &T{...}, capturing
+//     closures
+//
+// Reachability crosses package boundaries through analysis facts: a clean
+// exported function gets a fact, and callers in other repro packages trust
+// it (ftdc.CollectPar → par.Stats). Stdlib leaf packages that are known
+// lock- and alloc-free — sync/atomic, math, math/bits, time's clock reads —
+// are allowlisted. Dynamic calls are permitted only through function-typed
+// parameters of the function under check (the emit callback pattern): the
+// caller supplies the sink and owns its discipline.
+var NoLockTelemetry = &analysis.Analyzer{
+	Name:      "nolocktelemetry",
+	Doc:       "prove //torq:nolock telemetry functions are transitively atomics-only and allocation-free",
+	Flags:     newPackagesFlag("nolocktelemetry", "repro"),
+	Run:       runNoLock,
+	FactTypes: []analysis.Fact{new(nolockFact)},
+}
+
+// nolockFact marks a function proven atomics-only; importers trust it in
+// place of re-analyzing the callee's package.
+type nolockFact struct{}
+
+func (*nolockFact) AFact()         {}
+func (*nolockFact) String() string { return "nolock" }
+
+// nolockStdlib are stdlib packages whose exported functions and methods are
+// known to take no locks and allocate nothing on the paths collectors use.
+var nolockStdlib = map[string]bool{
+	"sync/atomic": true,
+	"math":        true,
+	"math/bits":   true,
+	"time":        true, // monotonic clock reads; collectors never build timers here
+}
+
+type nlViolation struct {
+	pos token.Pos
+	msg string
+}
+
+type nolockChecker struct {
+	pass  *analysis.Pass
+	allow allowIndex
+	decls map[*types.Func]*ast.FuncDecl
+	memo  map[*types.Func][]nlViolation
+	busy  map[*types.Func]bool
+}
+
+func runNoLock(pass *analysis.Pass) (interface{}, error) {
+	if !pkgMatch(pass.Pkg.Path(), packagesFlag(pass)) {
+		return nil, nil
+	}
+	c := &nolockChecker{
+		pass:  pass,
+		allow: buildAllowIndex(pass.Fset, pass.Files),
+		decls: make(map[*types.Func]*ast.FuncDecl),
+		memo:  make(map[*types.Func][]nlViolation),
+		busy:  make(map[*types.Func]bool),
+	}
+	var order []*types.Func // source order, so diagnostics come out sorted
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			if fn, ok := pass.TypesInfo.Defs[fd.Name].(*types.Func); ok {
+				c.decls[fn] = fd
+				order = append(order, fn)
+			}
+		}
+	}
+	// Prove every function in the package, exporting facts for the clean
+	// ones so downstream packages can call them from nolock context; report
+	// only on the annotated ones.
+	for _, fn := range order {
+		fd := c.decls[fn]
+		v := c.check(fn)
+		if len(v) == 0 {
+			c.pass.ExportObjectFact(fn, &nolockFact{})
+		}
+		if hasFuncDirective(fd, dirNolock) {
+			for _, viol := range v {
+				pass.Reportf(viol.pos, "//torq:nolock function %s %s", fn.Name(), viol.msg)
+			}
+		}
+	}
+	return nil, nil
+}
+
+// check returns fn's violations, memoized; recursion cycles are treated as
+// clean optimistically (the cycle's real ops are found on its own frames).
+func (c *nolockChecker) check(fn *types.Func) []nlViolation {
+	if v, ok := c.memo[fn]; ok {
+		return v
+	}
+	if c.busy[fn] {
+		return nil
+	}
+	c.busy[fn] = true
+	v := c.scan(fn, c.decls[fn])
+	c.busy[fn] = false
+	c.memo[fn] = v
+	return v
+}
+
+func (c *nolockChecker) scan(fn *types.Func, decl *ast.FuncDecl) []nlViolation {
+	if decl == nil {
+		return nil
+	}
+	info := c.pass.TypesInfo
+	var out []nlViolation
+	add := func(pos token.Pos, format string, args ...interface{}) {
+		if !c.allow.allowed(c.pass.Fset, pos, "nolock") {
+			out = append(out, nlViolation{pos, fmt.Sprintf(format, args...)})
+		}
+	}
+	ast.Inspect(decl.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.GoStmt:
+			add(n.Pos(), "starts a goroutine")
+		case *ast.SendStmt:
+			add(n.Pos(), "sends on a channel")
+		case *ast.SelectStmt:
+			add(n.Pos(), "selects on channels")
+		case *ast.UnaryExpr:
+			if n.Op == token.ARROW {
+				add(n.Pos(), "receives from a channel")
+			} else if n.Op == token.AND {
+				if _, ok := ast.Unparen(n.X).(*ast.CompositeLit); ok {
+					add(n.Pos(), "allocates (&composite literal)")
+				}
+			}
+		case *ast.RangeStmt:
+			if t := info.TypeOf(n.X); t != nil {
+				switch t.Underlying().(type) {
+				case *types.Map:
+					add(n.For, "ranges over a map")
+				case *types.Chan:
+					add(n.For, "ranges over a channel")
+				}
+			}
+		case *ast.IndexExpr:
+			if t := info.TypeOf(n.X); t != nil {
+				if _, ok := t.Underlying().(*types.Map); ok {
+					add(n.Pos(), "accesses a map")
+				}
+			}
+		case *ast.CompositeLit:
+			if t := info.TypeOf(n); t != nil {
+				switch t.Underlying().(type) {
+				case *types.Slice:
+					add(n.Pos(), "allocates (slice literal)")
+				case *types.Map:
+					add(n.Pos(), "allocates (map literal)")
+				}
+			}
+		case *ast.FuncLit:
+			if caps := captures(info, decl, n); len(caps) > 0 {
+				add(n.Pos(), "allocates (closure capturing "+strings.Join(caps, ", ")+")")
+			}
+		case *ast.CallExpr:
+			c.scanCall(fn, decl, n, add)
+		}
+		return true
+	})
+	return out
+}
+
+func (c *nolockChecker) scanCall(fn *types.Func, decl *ast.FuncDecl, call *ast.CallExpr, add func(token.Pos, string, ...interface{})) {
+	info := c.pass.TypesInfo
+	if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok {
+		if b, ok := info.Uses[id].(*types.Builtin); ok {
+			switch b.Name() {
+			case "make", "new", "append":
+				add(call.Pos(), "allocates (%s)", b.Name())
+			case "delete":
+				add(call.Pos(), "deletes from a map")
+			case "close":
+				add(call.Pos(), "closes a channel")
+			}
+			return
+		}
+	}
+	if tv, ok := info.Types[call.Fun]; ok && tv.IsType() {
+		if len(call.Args) == 1 && allocatingConversion(tv.Type, info.TypeOf(call.Args[0])) {
+			add(call.Pos(), "allocates (string/byte-slice conversion)")
+		}
+		return // other conversions are free
+	}
+	callee := calleeFunc(info, call)
+	if callee == nil {
+		// Dynamic call: only function-typed parameters of the function under
+		// check are trusted (the emit callback pattern).
+		if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok {
+			if v, ok := info.Uses[id].(*types.Var); ok && isParamOf(fn, v) {
+				return
+			}
+		}
+		add(call.Pos(), "makes a dynamic call through %s (only function parameters are trusted)", types.ExprString(call.Fun))
+		return
+	}
+	pkg := callee.Pkg()
+	if pkg == nil {
+		return // error.Error and friends from the universe scope
+	}
+	if pkg == c.pass.Pkg {
+		if sub := c.check(callee); len(sub) > 0 {
+			add(call.Pos(), "calls %s, which %s", callee.Name(), sub[0].msg)
+		}
+		return
+	}
+	if nolockStdlib[pkg.Path()] {
+		return
+	}
+	if c.pass.ImportObjectFact(callee, &nolockFact{}) {
+		return
+	}
+	add(call.Pos(), "calls %s.%s, which is not proven atomics-only", pkg.Path(), callee.Name())
+}
+
+// isParamOf reports whether v is one of fn's declared parameters.
+func isParamOf(fn *types.Func, v *types.Var) bool {
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok {
+		return false
+	}
+	params := sig.Params()
+	for i := 0; i < params.Len(); i++ {
+		if params.At(i) == v {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,97 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"golang.org/x/tools/go/analysis"
+	"golang.org/x/tools/go/analysis/passes/inspect"
+	"golang.org/x/tools/go/ast/inspector"
+)
+
+// NonDet forbids ambient nondeterminism inside the numeric packages, where
+// it would leak into training trajectories: wall-clock reads (time.Now and
+// friends), the process-global math/rand source (seeded from entropy —
+// rand.New with an explicit source is fine), and machine-shape reads
+// (runtime.GOMAXPROCS/NumCPU, par.MaxWorkers) whose value must never steer
+// a numeric branch. Telemetry-only timing carries //torq:allow nondet with
+// a reason; test files are exempt (benchmarks time things legitimately).
+var NonDet = &analysis.Analyzer{
+	Name:     "nondet",
+	Doc:      "forbid wall-clock, global-rand, and machine-shape reads in numeric packages",
+	Requires: []*analysis.Analyzer{inspect.Analyzer},
+	Flags: newPackagesFlag("nondet",
+		"repro/internal/qsim,repro/internal/ad,repro/internal/opt,repro/internal/maxwell"),
+	Run: runNonDet,
+}
+
+// nondetFuncs maps package path → forbidden package-level functions. An
+// empty set forbids every package-level function of that package except the
+// listed constructors.
+var nondetFuncs = map[string]map[string]bool{
+	"time": {
+		"Now": true, "Since": true, "Until": true, "Tick": true,
+		"After": true, "AfterFunc": true, "NewTimer": true, "NewTicker": true,
+	},
+	"runtime":            {"GOMAXPROCS": true, "NumCPU": true, "NumGoroutine": true},
+	"repro/internal/par": {"MaxWorkers": true},
+}
+
+// nondetRandOK are the math/rand{,/v2} package-level constructors that take
+// explicit sources/seeds and therefore stay deterministic.
+var nondetRandOK = map[string]bool{
+	"New": true, "NewSource": true, "NewZipf": true, "NewPCG": true, "NewChaCha8": true,
+}
+
+func runNonDet(pass *analysis.Pass) (interface{}, error) {
+	if !pkgMatch(pass.Pkg.Path(), packagesFlag(pass)) {
+		return nil, nil
+	}
+	ins := pass.ResultOf[inspect.Analyzer].(*inspector.Inspector)
+	allow := buildAllowIndex(pass.Fset, pass.Files)
+	ins.Preorder([]ast.Node{(*ast.CallExpr)(nil)}, func(n ast.Node) {
+		call := n.(*ast.CallExpr)
+		fn := calleeFunc(pass.TypesInfo, call)
+		if fn == nil || fn.Pkg() == nil {
+			return
+		}
+		if fn.Signature().Recv() != nil {
+			return // methods (e.g. on a caller-seeded *rand.Rand) are fine
+		}
+		path := fn.Pkg().Path()
+		forbidden := false
+		switch {
+		case path == "math/rand" || path == "math/rand/v2":
+			forbidden = !nondetRandOK[fn.Name()]
+		default:
+			forbidden = nondetFuncs[path][fn.Name()]
+		}
+		if !forbidden {
+			return
+		}
+		pos := pass.Fset.Position(call.Pos())
+		if strings.HasSuffix(pos.Filename, "_test.go") {
+			return
+		}
+		if allow.allowed(pass.Fset, call.Pos(), "nondet") {
+			return
+		}
+		pass.Reportf(call.Pos(), "%s.%s in a numeric package leaks nondeterminism into trajectories: thread a seeded source/explicit value through, or //torq:allow nondet -- reason", path, fn.Name())
+	})
+	return nil, nil
+}
+
+// calleeFunc resolves the called function when the call is static (direct
+// function or method call), nil for dynamic calls and conversions.
+func calleeFunc(info *types.Info, call *ast.CallExpr) *types.Func {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		fn, _ := info.Uses[fun].(*types.Func)
+		return fn
+	case *ast.SelectorExpr:
+		fn, _ := info.Uses[fun.Sel].(*types.Func)
+		return fn
+	}
+	return nil
+}

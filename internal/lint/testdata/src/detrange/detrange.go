@@ -1,0 +1,41 @@
+// Package detrange is the torq-lint fixture for the detrange analyzer: each
+// want comment pins a diagnostic, everything else must stay clean.
+package detrange
+
+import "sort"
+
+func sum(m map[string]int) int {
+	total := 0
+	for _, v := range m { // want "range over map has nondeterministic iteration order"
+		total += v
+	}
+	return total
+}
+
+func sortedSum(m map[string]int) int {
+	keys := make([]string, 0, len(m))
+	for k := range m { // collect-then-sort idiom: no finding
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	total := 0
+	for _, k := range keys {
+		total += m[k]
+	}
+	return total
+}
+
+func drain(m map[string]int) {
+	for k := range m { // whole-map drain idiom: no finding
+		delete(m, k)
+	}
+}
+
+func allowed(m map[string]int) int {
+	n := 0
+	//torq:allow maprange -- pure count, order cannot matter
+	for range m {
+		n++
+	}
+	return n
+}

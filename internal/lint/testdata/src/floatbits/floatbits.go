@@ -1,0 +1,39 @@
+// Package floatbits is the torq-lint fixture for the floatbits analyzer.
+package floatbits
+
+import "math"
+
+type point struct{ x, y float64 }
+
+func bad(a, b float64) bool {
+	return a == b // want "== on floating-point operands"
+}
+
+func badNeq(a, b []float64) bool {
+	return a[0] != b[1] // want "!= on floating-point operands"
+}
+
+func structBad(a, b point) bool {
+	return a == b // want "== on floating-point operands"
+}
+
+func complexBad(a, b complex128) bool {
+	return a == b // want "== on floating-point operands"
+}
+
+func constOK(x float64) bool {
+	return x == 0 // constant comparison: deliberate exact semantics
+}
+
+func nanIdiom(x float64) bool {
+	return x != x // NaN self-test, bit-safe by definition
+}
+
+func bits(a, b float64) bool {
+	return math.Float64bits(a) == math.Float64bits(b) // uint64 compare
+}
+
+func allowedEq(a, b float64) bool {
+	//torq:allow floateq -- fixture exercising the allow path
+	return a == b
+}

@@ -1,0 +1,77 @@
+// Package hotalloc is the torq-lint fixture for the hotalloc analyzer. Only
+// //torq:hotpath functions are checked; coldPath shows the default-off side.
+package hotalloc
+
+import "fmt"
+
+type vec struct{ xs []float64 }
+
+//torq:hotpath
+func axpy(a float64, x, y []float64) {
+	for i := range x {
+		y[i] += a * x[i]
+	}
+}
+
+//torq:hotpath
+func badMake(n int) []float64 {
+	return make([]float64, n) // want "make allocates"
+}
+
+//torq:hotpath
+func badLit() []int {
+	return []int{1, 2, 3} // want "slice literal allocates its backing array"
+}
+
+//torq:hotpath
+func badPtr() *vec {
+	return &vec{} // want "heap-escaping composite literal"
+}
+
+//torq:hotpath
+func badFmt(x float64) {
+	fmt.Println(x) // want "fmt.Println allocates"
+}
+
+//torq:hotpath
+func badAppend(dst, src []float64) []float64 {
+	out := dst
+	out = append(out, src...)    // x = append(x, ...) reuse idiom: no finding
+	grown := append(dst, 1.0)    // want "growing append"
+	return append(grown, out...) // want "growing append"
+}
+
+//torq:hotpath
+func badClosure(xs []float64) func() {
+	total := 0.0
+	return func() { // want "closure captures total, xs"
+		total += xs[0]
+	}
+}
+
+//torq:hotpath
+func badConv(s string) []byte {
+	return []byte(s) // want "conversion copies and allocates"
+}
+
+//torq:hotpath
+func badConcat(a, b string) string {
+	return a + b // want "string concatenation allocates"
+}
+
+//torq:hotpath
+func badGo(f func()) {
+	go f() // want "go statement allocates a goroutine"
+}
+
+//torq:hotpath
+func amortized(buf []byte, n int) []byte {
+	if cap(buf) < n {
+		buf = make([]byte, n) //torq:allow hotalloc -- amortized growth path
+	}
+	return buf[:n]
+}
+
+func coldPath(n int) []float64 {
+	return make([]float64, n) // not annotated: no finding
+}

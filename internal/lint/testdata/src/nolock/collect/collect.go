@@ -1,0 +1,57 @@
+// Package collect is the importing half of the nolocktelemetry fact fixture:
+// cross-package calls are judged by the facts stats exported.
+package collect
+
+import (
+	"sync"
+
+	"repro/lintfixture/nolock/stats"
+)
+
+var (
+	mu   sync.Mutex
+	buf  []int64
+	m    = map[string]int64{}
+	ch   = make(chan int64, 1)
+	sink func(int64)
+)
+
+//torq:nolock
+func Collect(emit func(name string, value int64)) {
+	emit("hits", stats.Hits()) // fact-proven callee + emit callback: clean
+}
+
+//torq:nolock
+func BadLock() {
+	mu.Lock()   // want "calls sync.Lock, which is not proven atomics-only"
+	mu.Unlock() // want "calls sync.Unlock, which is not proven atomics-only"
+}
+
+//torq:nolock
+func BadGrow() {
+	buf = append(buf, stats.Hits()) // want "allocates .append."
+}
+
+//torq:nolock
+func BadCross() {
+	buf = stats.Grow(buf) // want "calls repro/lintfixture/nolock/stats.Grow, which is not proven atomics-only"
+}
+
+//torq:nolock
+func BadTransitive() {
+	viaHelper() // want "calls viaHelper, which sends on a channel"
+}
+
+func viaHelper() {
+	ch <- 1
+}
+
+//torq:nolock
+func BadMap() int64 {
+	return m["x"] // want "accesses a map"
+}
+
+//torq:nolock
+func BadDynamic() {
+	sink(1) // want "makes a dynamic call through sink"
+}

@@ -1,0 +1,18 @@
+// Package stats is the exporting half of the nolocktelemetry fact fixture:
+// Hits is proven atomics-only (and gets a fact), Grow allocates (no fact).
+// Neither is annotated, so this package itself produces no diagnostics.
+package stats
+
+import "sync/atomic"
+
+var counter atomic.Int64
+
+// Hits is atomics-only; the analyzer exports a nolock fact for it.
+func Hits() int64 {
+	return counter.Load()
+}
+
+// Grow allocates, so no fact is exported and nolock callers are flagged.
+func Grow(xs []int64) []int64 {
+	return append(xs, counter.Load())
+}

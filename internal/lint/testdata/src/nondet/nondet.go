@@ -1,0 +1,31 @@
+// Package nondet is the torq-lint fixture for the nondet analyzer; the test
+// scopes the analyzer to this package via its -packages flag.
+package nondet
+
+import (
+	"math/rand"
+	"runtime"
+	"time"
+)
+
+func stamp() int64 {
+	return time.Now().UnixNano() // want "time.Now in a numeric package"
+}
+
+func noise() float64 {
+	return rand.Float64() // want "math/rand.Float64 in a numeric package"
+}
+
+func shape() int {
+	return runtime.NumCPU() // want "runtime.NumCPU in a numeric package"
+}
+
+func seeded() float64 {
+	r := rand.New(rand.NewSource(42)) // explicit source: deterministic
+	return r.Float64()                // method on a caller-seeded source: fine
+}
+
+func allowed() time.Duration {
+	start := time.Now()      //torq:allow nondet -- telemetry timing only
+	return time.Since(start) //torq:allow nondet -- telemetry timing only
+}

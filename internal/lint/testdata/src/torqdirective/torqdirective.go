@@ -1,0 +1,31 @@
+// Package torqdirective is the torq-lint fixture for directive hygiene.
+package torqdirective
+
+//torq:bogus directive // want "unknown //torq: directive"
+var x int
+
+//torq:hotpath
+func hot() {
+	_ = x
+}
+
+//torq:nolock
+func cold() {
+	_ = x
+}
+
+//torq:hotpath extra // want "takes no arguments"
+func hotExtra() {
+	_ = x
+}
+
+func misplaced() {
+	//torq:hotpath // want "must be in a function's doc comment"
+	_ = x
+}
+
+func badAllow(a, b float64) bool {
+	//torq:allow nosuchrule -- reason // want "unknown rule"
+	//torq:allow floateq missing separator // want "reason must follow a -- separator"
+	return a < b
+}

@@ -148,11 +148,12 @@ func TestCollocationPartition(t *testing.T) {
 func TestMirrorBatches(t *testing.T) {
 	p := NewProblem(VacuumCase)
 	c := NewCollocation(p, 4, 2)
+	differ := func(a, b float64) bool { return math.Float64bits(a) != math.Float64bits(b) }
 	for i := 0; i < c.N; i++ {
-		if c.MirrorX[i*3] != -c.Coords[i*3] || c.MirrorX[i*3+1] != c.Coords[i*3+1] || c.MirrorX[i*3+2] != c.Coords[i*3+2] {
+		if differ(c.MirrorX[i*3], -c.Coords[i*3]) || differ(c.MirrorX[i*3+1], c.Coords[i*3+1]) || differ(c.MirrorX[i*3+2], c.Coords[i*3+2]) {
 			t.Fatal("x-mirror batch wrong")
 		}
-		if c.MirrorY[i*3] != c.Coords[i*3] || c.MirrorY[i*3+1] != -c.Coords[i*3+1] {
+		if differ(c.MirrorY[i*3], c.Coords[i*3]) || differ(c.MirrorY[i*3+1], -c.Coords[i*3+1]) {
 			t.Fatal("y-mirror batch wrong")
 		}
 	}

@@ -176,11 +176,11 @@ func TestPeriodicTimeUsesLearnedPeriod(t *testing.T) {
 	p.TPeriod.W[0] = 8.0
 	f2 := featAt()
 	for i := 0; i < 4; i++ {
-		if f1[i] != f2[i] {
+		if math.Float64bits(f1[i]) != math.Float64bits(f2[i]) {
 			t.Fatalf("spatial feature %d changed with time period", i)
 		}
 	}
-	if f1[4] == f2[4] && f1[5] == f2[5] {
+	if math.Float64bits(f1[4]) == math.Float64bits(f2[4]) && math.Float64bits(f1[5]) == math.Float64bits(f2[5]) {
 		t.Fatal("time features ignored the learned period")
 	}
 }

@@ -68,6 +68,8 @@ func SetMaxWorkers(n int) {
 }
 
 // MaxWorkers reports the current worker bound.
+//
+//torq:nolock
 func MaxWorkers() int { return int(maxWorkers.Load()) }
 
 // Scheduler selects how region APIs distribute chunks across workers.
@@ -110,6 +112,8 @@ var statRegions, statChunks, statGroups, statSteals atomic.Uint64
 // the last ResetStats. The counters are updated atomically but read
 // individually, so a snapshot taken while regions are in flight is
 // approximate — quiesce first for exact accounting.
+//
+//torq:nolock
 func Stats() SchedStats {
 	return SchedStats{
 		Regions: statRegions.Load(),
@@ -120,6 +124,8 @@ func Stats() SchedStats {
 }
 
 // ResetStats zeroes the scheduler telemetry counters.
+//
+//torq:nolock
 func ResetStats() {
 	statRegions.Store(0)
 	statChunks.Store(0)
@@ -157,6 +163,8 @@ func SetChunkGroup(m int) {
 }
 
 // ChunkGroup reports the current chunk-group multiplier.
+//
+//torq:nolock
 func ChunkGroup() int { return int(chunkGroup.Load()) }
 
 // schedMode holds the current Scheduler. Like maxWorkers it may be toggled

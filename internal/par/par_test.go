@@ -88,6 +88,7 @@ func TestRunCoversRangeWithDenseWorkerIDs(t *testing.T) {
 				partials[worker] += int64(hi - lo)
 			})
 			if sched == SchedStatic {
+				//torq:allow maprange -- independent per-worker assertions
 				for w, c := range calls {
 					if c > 1 {
 						t.Errorf("static: worker id %d called %d times within one region", w, c)
@@ -144,6 +145,7 @@ func TestRunChunkPartitionStable(t *testing.T) {
 				if len(got) != len(want) {
 					t.Fatalf("n=%d chunk=%d workers=%d %v: %d chunks, want %d", c.n, c.chunk, workers, sched, len(got), len(want))
 				}
+				//torq:allow maprange -- independent per-chunk assertions
 				for lo, hi := range want {
 					if got[lo] != hi {
 						t.Fatalf("n=%d chunk=%d workers=%d %v: chunk [%d,%d) became [%d,%d)", c.n, c.chunk, workers, sched, lo, hi, lo, got[lo])

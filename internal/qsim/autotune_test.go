@@ -34,6 +34,7 @@ func TestShardedBitIdenticalAcrossChunkGroups(t *testing.T) {
 
 	check := func(ctx string, got engineResult) {
 		t.Helper()
+		//torq:allow maprange -- independent per-series assertions
 		for name, pair := range map[string][2][]float64{
 			"z": {ref.z, got.z}, "dAngles": {ref.dAngles, got.dAngles},
 			"dTheta": {ref.dTheta, got.dTheta},

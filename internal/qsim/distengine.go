@@ -251,6 +251,14 @@ type shardState struct {
 	dat     [][]float64
 	dTheta  []float64
 	diagT   []float64
+
+	// Reused [][]float64 view headers, so the steady-state shard loop never
+	// re-allocates them: tanView widens fixed tangent arrays for the engine
+	// entry points, ztView carries the forward output views, datView the
+	// gradient accumulator views. Each call overwrites every slot.
+	tanView [][]float64
+	ztView  [][]float64
+	datView [][]float64
 }
 
 // NewShardRunner compiles circ at level 3 and prepares a per-shard-size
@@ -273,6 +281,7 @@ func (r *ShardRunner) SetForwardPass(pass uint64) {
 	if pass == r.fwdPass {
 		return
 	}
+	//torq:allow maprange -- whole-map drain; pool recycling order never reaches results
 	for s, snap := range r.fwdSnaps {
 		r.snapPool = append(r.snapPool, snap)
 		delete(r.fwdSnaps, s)
@@ -304,6 +313,9 @@ func (r *ShardRunner) state(n int) *shardState {
 		dat:     make([][]float64, MaxTangents),
 		dTheta:  make([]float64, r.pqc.Circ.NumParams),
 		diagT:   make([]float64, prog.ndiag*(1<<nq)),
+		tanView: make([][]float64, MaxTangents),
+		ztView:  make([][]float64, MaxTangents),
+		datView: make([][]float64, MaxTangents),
 	}
 	for k := 0; k < MaxTangents; k++ {
 		s.ztans[k] = make([]float64, n*nq)
@@ -344,12 +356,17 @@ func (r *ShardRunner) ensureCoeffs(ws *Workspace, theta []float64, deriv bool) (
 }
 
 // tanSlices widens a fixed tangent array to the [][]float64 shape the engine
-// entry points take, keeping nil for inactive channels.
-func tanSlices(active [MaxTangents]bool, t [MaxTangents][]float64) [][]float64 {
-	out := make([][]float64, MaxTangents)
+// entry points take, keeping nil for inactive channels. The returned header
+// is s.tanView: each call overwrites the previous one, which is safe because
+// no two results are live at once — saveInputs copies what it needs before
+// the adjoint path builds its own view.
+func (s *shardState) tanSlices(active [MaxTangents]bool, t [MaxTangents][]float64) [][]float64 {
+	out := s.tanView
 	for k := 0; k < MaxTangents; k++ {
 		if active[k] {
 			out[k] = t[k]
+		} else {
+			out[k] = nil
 		}
 	}
 	return out
@@ -359,10 +376,12 @@ func tanSlices(active [MaxTangents]bool, t [MaxTangents][]float64) [][]float64 {
 // sample-major kernels overwrite every element in range, so the reused
 // buffers need no zeroing.
 func (s *shardState) outputs(active [MaxTangents]bool) (z []float64, ztans [][]float64) {
-	ztans = make([][]float64, MaxTangents)
+	ztans = s.ztView
 	for k := 0; k < MaxTangents; k++ {
 		if active[k] {
 			ztans[k] = s.ztans[k]
+		} else {
+			ztans[k] = nil
 		}
 	}
 	return s.z, ztans
@@ -371,9 +390,11 @@ func (s *shardState) outputs(active [MaxTangents]bool) (z []float64, ztans [][]f
 // ForwardShard runs the forward pass over one shard of n samples and returns
 // the shard's z rows and tangent rows (nil for inactive channels). Returned
 // slices are owned by the runner and valid until the next *Shard call.
+//
+//torq:hotpath
 func (r *ShardRunner) ForwardShard(n int, active [MaxTangents]bool, angles []float64, angleTans [MaxTangents][]float64, theta []float64) (z []float64, ztans [MaxTangents][]float64) {
 	s := r.state(n)
-	s.ws.saveInputs(&r.pqc, angles, tanSlices(active, angleTans), theta)
+	s.ws.saveInputs(&r.pqc, angles, s.tanSlices(active, angleTans), theta)
 	prog, coeff := r.ensureCoeffs(s.ws, theta, false)
 	zb, ztb := s.outputs(active)
 	fwdBlock(s.ws, prog, coeff, 0, n, zb, ztb)
@@ -390,10 +411,12 @@ func (r *ShardRunner) ForwardShard(n int, active [MaxTangents]bool, angles []flo
 // accumulator (contracted by the coordinator after the shard-order merge,
 // exactly as the in-process sharded engine does). Returned slices are owned
 // by the runner and valid until the next *Shard call.
+//
+//torq:hotpath
 func (r *ShardRunner) BackwardShard(n int, active [MaxTangents]bool, angles []float64, angleTans [MaxTangents][]float64, theta, gz []float64, gztans [MaxTangents][]float64) (dAngles []float64, dAngleTans [MaxTangents][]float64, dTheta, diagT []float64) {
 	s := r.state(n)
 	ws := s.ws
-	ws.saveInputs(&r.pqc, angles, tanSlices(active, angleTans), theta)
+	ws.saveInputs(&r.pqc, angles, s.tanSlices(active, angleTans), theta)
 	prog, coeff := r.ensureCoeffs(ws, theta, false)
 	zb, ztb := s.outputs(active)
 	fwdBlock(ws, prog, coeff, 0, n, zb, ztb)
@@ -403,19 +426,22 @@ func (r *ShardRunner) BackwardShard(n int, active [MaxTangents]bool, angles []fl
 // runAdjoint runs the adjoint walk over a workspace whose forward states are
 // already in place — freshly recomputed (BackwardShard) or restored from a
 // snapshot (BackwardShardCached) — and returns the shard's gradient partials.
+//
+//torq:hotpath
 func (r *ShardRunner) runAdjoint(s *shardState, prog *Program, n int, active [MaxTangents]bool, theta, gz []float64, gztans [MaxTangents][]float64) (dAngles []float64, dAngleTans [MaxTangents][]float64, dTheta, diagT []float64) {
 	ws := s.ws
 	ws.ensureScratch()
 	r.ensureCoeffs(ws, theta, true)
-	gzt := tanSlices(active, gztans)
+	gzt := s.tanSlices(active, gztans)
 	prepBackward(ws, gz, gzt)
 
 	// The adjoint walk accumulates (+=) into every gradient buffer, so the
 	// reused ones must start zeroed.
 	dAngles = s.dAngles
 	clear(dAngles)
-	dat := make([][]float64, MaxTangents)
+	dat := s.datView
 	for k := 0; k < MaxTangents; k++ {
+		dat[k] = nil
 		if active[k] {
 			dAngleTans[k] = s.dat[k]
 			clear(dAngleTans[k])
@@ -488,6 +514,8 @@ func bitsEqualF64(a, b []float64) bool {
 // use), so the gradients are bit-identical either way. ok is false — and
 // nothing is computed — when no valid snapshot exists: the caller falls back
 // to the stateless BackwardShard.
+//
+//torq:hotpath
 func (r *ShardRunner) BackwardShardCached(shard uint32, n int, active [MaxTangents]bool, angles []float64, angleTans [MaxTangents][]float64, theta, gz []float64, gztans [MaxTangents][]float64) (dAngles []float64, dAngleTans [MaxTangents][]float64, dTheta, diagT []float64, ok bool) {
 	snap := r.fwdSnaps[shard]
 	if snap == nil || snap.n != n || snap.active != active ||
@@ -504,7 +532,7 @@ func (r *ShardRunner) BackwardShardCached(shard uint32, n int, active [MaxTangen
 	// Restore the saved inputs the adjoint reads from the workspace (angles
 	// for the reverse embedding, theta for the log-derivative fast paths) and
 	// the evolved states themselves.
-	ws.saveInputs(&r.pqc, angles, tanSlices(active, angleTans), theta)
+	ws.saveInputs(&r.pqc, angles, s.tanSlices(active, angleTans), theta)
 	copy(ws.val.Re, snap.valRe)
 	copy(ws.val.Im, snap.valIm)
 	for k := 0; k < MaxTangents; k++ {

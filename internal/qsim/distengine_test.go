@@ -92,3 +92,40 @@ func TestShardRunnerForwardStateCache(t *testing.T) {
 	}
 	reject("stale pass", 3, theta)
 }
+
+// TestShardRunnerSteadyStateAllocs pins the shard loop's zero-alloc
+// contract (the //torq:hotpath annotations on ForwardShard / BackwardShard /
+// runAdjoint): once the per-size state is warm, repeated shard executions
+// must not allocate — the view headers (tanSlices, outputs, the adjoint's
+// dat) are reused runner buffers, not per-call makes.
+func TestShardRunnerSteadyStateAllocs(t *testing.T) {
+	rng := rand.New(rand.NewSource(70707))
+	circ := StronglyEntangling.Build(4, 2)
+	r := NewShardRunner(circ)
+	const n, nq = 5, 4
+	active := [MaxTangents]bool{true, false, true}
+	rows := func() []float64 { return randAngles(rng, n, nq) }
+	angles, gz := rows(), rows()
+	var angleTans, gztans [MaxTangents][]float64
+	for k := 0; k < MaxTangents; k++ {
+		if active[k] {
+			angleTans[k], gztans[k] = rows(), rows()
+		}
+	}
+	theta := randTheta(rng, circ.NumParams)
+
+	// Warm the per-size state and both coefficient tables.
+	r.ForwardShard(n, active, angles, angleTans, theta)
+	r.BackwardShard(n, active, angles, angleTans, theta, gz, gztans)
+
+	if avg := testing.AllocsPerRun(20, func() {
+		r.ForwardShard(n, active, angles, angleTans, theta)
+	}); avg != 0 {
+		t.Errorf("warm ForwardShard allocates %.1f objects per call, want 0", avg)
+	}
+	if avg := testing.AllocsPerRun(20, func() {
+		r.BackwardShard(n, active, angles, angleTans, theta, gz, gztans)
+	}); avg != 0 {
+		t.Errorf("warm BackwardShard allocates %.1f objects per call, want 0", avg)
+	}
+}

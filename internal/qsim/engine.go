@@ -231,6 +231,8 @@ func prepPass(p *PQC, ws *Workspace, angles []float64, angleTans [][]float64, th
 // fwdBlock streams the whole program through samples [lo, hi): state init,
 // every instruction, then the ⟨Z⟩ and tangent readouts while the block is
 // still hot.
+//
+//torq:hotpath
 func fwdBlock(ws *Workspace, prog *Program, coeff []float64, lo, hi int, z []float64, ztans [][]float64) {
 	ws.val.resetRange(lo, hi, false)
 	for k := 0; k < MaxTangents; k++ {
@@ -405,7 +407,7 @@ func (fusedEngine) Backward(p *PQC, ws *Workspace, gz []float64, gztans [][]floa
 	// gradients are reproducible only to FP-reassociation level (~1e-15) —
 	// callers needing bit-exact, worker-count-independent gradients use
 	// EngineSharded, whose partials are per-shard instead of per-worker.
-	nw := par.MaxWorkers()
+	nw := par.MaxWorkers() //torq:allow nondet -- sizes per-worker scratch only; reassociation caveat documented above
 	if len(ws.dthW) < nw {
 		ws.dthW = make([][]float64, nw)
 	}
@@ -586,6 +588,8 @@ func bwdBlock(ws *Workspace, prog *Program, gch []float64, lo, hi int, gz []floa
 // the fused instruction stream itself in reverse, so every fused block pays
 // one inverse+gradient traversal instead of one per source gate, and the
 // embedding un-applies as a single fused instruction.
+//
+//torq:hotpath
 func bwdBlockV2(ws *Workspace, prog *Program, lo, hi int, gz []float64, gztans [][]float64, dAngles []float64, dAngleTans [][]float64, sc bwdScratch) {
 	seedAdjointsRange(ws, lo, hi, gz, gztans)
 	coeff := ws.coeff[:prog.ncoef]
@@ -596,6 +600,7 @@ func bwdBlockV2(ws *Workspace, prog *Program, lo, hi int, gz []float64, gztans [
 			reverseEmbedAllRange(ws, lo, hi, dAngles, dAngleTans)
 		case opCNOT:
 			g := in.gates[0]
+			//torq:allow hotalloc -- forChannelPairs and this literal fully inline (-m shows no escape)
 			ws.forChannelPairs(func(psi, lam *State) {
 				reverseStepRange(g, 0, 0, psi, lam, lo, hi)
 			})
@@ -622,6 +627,7 @@ func bwdBlockV2(ws *Workspace, prog *Program, lo, hi int, gz []float64, gztans [
 		case opPerm8:
 			// Un-apply the compile-time permutation on both states; a
 			// CNOT-only block carries no parameters, so there is no gradient.
+			//torq:allow hotalloc -- forChannelPairs and this literal fully inline (-m shows no escape)
 			ws.forChannelPairs(func(psi, lam *State) {
 				psi.applyPerm8Range(lo, hi, in.q, in.c, in.q2, in.invCycles)
 				lam.applyPerm8Range(lo, hi, in.q, in.c, in.q2, in.invCycles)

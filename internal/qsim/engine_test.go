@@ -121,6 +121,7 @@ func TestEngineParityNoTangents(t *testing.T) {
 	zL, daL, dtL := run(EngineLegacy)
 	for _, kind := range []EngineKind{EngineFused, EngineSharded, EngineFusedV2, EngineFusedV1, EngineNaive} {
 		z, da, dt := run(kind)
+		//torq:allow maprange -- independent per-series assertions
 		for name, pair := range map[string][2][]float64{
 			"z": {zL, z}, "dAngles": {daL, da}, "dTheta": {dtL, dt},
 		} {
@@ -234,6 +235,7 @@ func TestEngineParityForcedParallel(t *testing.T) {
 			for _, workers := range []int{3, 8} {
 				par.SetMaxWorkers(workers)
 				got := runEngine(kind, circ, n, angles, tans, theta, gz, gztans)
+				//torq:allow maprange -- independent per-series assertions
 				for name, pair := range map[string][2][]float64{
 					"z": {serial.z, got.z}, "dAngles": {serial.dAngles, got.dAngles},
 					"dTheta": {serial.dTheta, got.dTheta},
@@ -282,6 +284,7 @@ func TestShardedDeterministicAcrossWorkerCounts(t *testing.T) {
 				par.SetScheduler(sched)
 				par.SetMaxWorkers(workers)
 				got := runEngine(EngineSharded, circ, n, angles, tans, theta, gz, gztans)
+				//torq:allow maprange -- independent per-series assertions
 				for name, pair := range map[string][2][]float64{
 					"z": {ref.z, got.z}, "dAngles": {ref.dAngles, got.dAngles},
 					"dTheta": {ref.dTheta, got.dTheta},

@@ -34,7 +34,7 @@ type PQC struct {
 // the Pauli-Z expectations z (n×nq) and their tangents ztans[k] (nil where
 // the input tangent was nil). Returned slices are freshly allocated.
 func (p *PQC) Forward(ws *Workspace, angles []float64, angleTans [][]float64, theta []float64) (z []float64, ztans [][]float64) {
-	defer recordForward(time.Now())
+	defer recordForward(time.Now()) //torq:allow nondet -- telemetry timing only, never feeds the numerics
 	return p.Eng.engine().Forward(p, ws, angles, angleTans, theta)
 }
 
@@ -43,7 +43,7 @@ func (p *PQC) Forward(ws *Workspace, angles []float64, angleTans [][]float64, th
 // dAngleTans[k] (n×nq, may be nil) and dTheta. Forward must have been called
 // on the same workspace; the workspace's states are destroyed.
 func (p *PQC) Backward(ws *Workspace, gz []float64, gztans [][]float64, dAngles []float64, dAngleTans [][]float64, dTheta []float64) {
-	defer recordBackward(time.Now())
+	defer recordBackward(time.Now()) //torq:allow nondet -- telemetry timing only, never feeds the numerics
 	p.Eng.engine().Backward(p, ws, gz, gztans, dAngles, dAngleTans, dTheta)
 }
 

@@ -191,6 +191,7 @@ func TestProgramDiagCommutationAbsorb(t *testing.T) {
 		ref := runEngine(EngineLegacy, c, n, angles, tans, theta, gz, gztans)
 		for _, kind := range []EngineKind{EngineFused, EngineFusedV2, EngineNaive} {
 			got := runEngine(kind, c, n, angles, tans, theta, gz, gztans)
+			//torq:allow maprange -- independent per-series assertions
 			for name, pair := range map[string][2][]float64{
 				"z": {ref.z, got.z}, "dAngles": {ref.dAngles, got.dAngles},
 				"dTheta": {ref.dTheta, got.dTheta},
@@ -299,6 +300,7 @@ func TestProgramDenseTripleBlock(t *testing.T) {
 	refRes := runEngine(EngineLegacy, circ, n, angles, tans, theta, gz, gztans)
 	for _, kind := range []EngineKind{EngineFused, EngineFusedV2, EngineNaive} {
 		gotRes := runEngine(kind, circ, n, angles, tans, theta, gz, gztans)
+		//torq:allow maprange -- independent per-series assertions
 		for name, pair := range map[string][2][]float64{
 			"z": {refRes.z, gotRes.z}, "dAngles": {refRes.dAngles, gotRes.dAngles},
 			"dTheta": {refRes.dTheta, gotRes.dTheta},

@@ -36,6 +36,7 @@ func TestParamCountsMatchTable1(t *testing.T) {
 		CrossMeshCNOT:      84,
 		NoEntanglement:     84,
 	}
+	//torq:allow maprange -- independent per-ansatz assertions
 	for a, w := range want {
 		c := a.Build(7, 4)
 		if c.NumParams != w {
@@ -409,7 +410,7 @@ func TestNoisyEvalZ(t *testing.T) {
 
 	zero := NoisyEvalZ(circ, angles, theta, n, NoiseModel{P: 0, Trajectories: 10}, rng)
 	for i := range exact {
-		if zero[i] != exact[i] {
+		if math.Float64bits(zero[i]) != math.Float64bits(exact[i]) {
 			t.Fatalf("p=0 path diverged at %d", i)
 		}
 	}
@@ -464,7 +465,7 @@ func TestNoisyEvalZTwoQubitChannel(t *testing.T) {
 	// p = 0 path must remain bit-exact.
 	zero := NoisyEvalZ(circ, angles, nil, n, NoiseModel{P: 0, Trajectories: 50}, rng)
 	for i := range exact {
-		if zero[i] != exact[i] {
+		if math.Float64bits(zero[i]) != math.Float64bits(exact[i]) {
 			t.Fatalf("p=0 path diverged at %d", i)
 		}
 	}

@@ -127,6 +127,7 @@ func (s *State) ApplyIX(q int, a, b float64) {
 	})
 }
 
+//torq:hotpath
 func (s *State) applyIXRange(lo, hi, q int, a, b float64) {
 	stride := 1 << q
 	step := stride << 1
@@ -157,6 +158,7 @@ func (s *State) ApplyIXPerSample(q int, a, b []float64) {
 	})
 }
 
+//torq:hotpath
 func (s *State) applyIXPerSampleRange(lo, hi, q int, a, b []float64) {
 	stride := 1 << q
 	step := stride << 1
@@ -187,6 +189,7 @@ func (s *State) ApplyY(q int, a, b float64) {
 	})
 }
 
+//torq:hotpath
 func (s *State) applyYRange(lo, hi, q int, a, b float64) {
 	stride := 1 << q
 	step := stride << 1
@@ -217,6 +220,7 @@ func (s *State) ApplyU2(q int, u *[8]float64) {
 	})
 }
 
+//torq:hotpath
 func (s *State) applyU2Range(lo, hi, q int, u *[8]float64) {
 	stride := 1 << q
 	step := stride << 1
@@ -249,6 +253,7 @@ func (s *State) ApplyU4(qa, qb int, u *[32]float64) {
 	})
 }
 
+//torq:hotpath
 func (s *State) applyU4Range(lo, hi, qa, qb int, u *[32]float64) {
 	sa, sb := 1<<qa, 1<<qb
 	dim := s.Dim
@@ -282,6 +287,8 @@ func (s *State) applyU4Range(lo, hi, qa, qb int, u *[32]float64) {
 // (qa, qb, qc), qa < qb < qc, given row-major as interleaved re/im pairs
 // with qa as bit 0 of the local basis index — the kernel behind fused
 // three-qubit entangler blocks.
+//
+//torq:hotpath
 func (s *State) applyU8Range(lo, hi, qa, qb, qc int, u *[128]float64) {
 	sa, sb, sc := 1<<qa, 1<<qb, 1<<qc
 	dim := s.Dim
@@ -330,6 +337,8 @@ func (s *State) applyU8Range(lo, hi, qa, qb, qc int, u *[128]float64) {
 // single-qubit applications; the win is one memory traversal instead of
 // three. The factor stages are unrolled over the group's pair structure so
 // the whole group lives in registers between load and store.
+//
+//torq:hotpath
 func (s *State) applyU2x3Range(lo, hi, qa, qb, qc int, u *[24]float64) {
 	sa, sb, sc := 1<<qa, 1<<qb, 1<<qc
 	dim := s.Dim
@@ -449,6 +458,8 @@ func (s *State) applyU2x3Range(lo, hi, qa, qb, qc int, u *[24]float64) {
 // (see permCycles) — the kernel behind fused CNOT-only blocks: one
 // zero-arithmetic pass replacing one swap pass per source CNOT, touching
 // only the amplitudes that actually move.
+//
+//torq:hotpath
 func (s *State) applyPerm8Range(lo, hi, qa, qb, qc int, cycles [][]uint8) {
 	sa, sb, sc := 1<<qa, 1<<qb, 1<<qc
 	var offs [8]int
@@ -498,6 +509,7 @@ func (s *State) ApplyDiagN(ph []float64) {
 	})
 }
 
+//torq:hotpath
 func (s *State) applyDiagNRange(lo, hi int, ph []float64) {
 	dim := s.Dim
 	re, im := s.Re, s.Im
@@ -521,6 +533,7 @@ func (s *State) ApplyDiag(q int, p0r, p0i, p1r, p1i float64) {
 	})
 }
 
+//torq:hotpath
 func (s *State) applyDiagRange(lo, hi, q int, p0r, p0i, p1r, p1i float64) {
 	stride := 1 << q
 	step := stride << 1
@@ -551,6 +564,7 @@ func (s *State) ApplyCNOT(c, t int) {
 	})
 }
 
+//torq:hotpath
 func (s *State) applyCNOTRange(lo, hi, c, t int) {
 	strideT := 1 << t
 	stepT := strideT << 1
@@ -580,6 +594,7 @@ func (s *State) ApplyCtrlDiag(c, t int, p0r, p0i, p1r, p1i float64) {
 	})
 }
 
+//torq:hotpath
 func (s *State) applyCtrlDiagRange(lo, hi, c, t int, p0r, p0i, p1r, p1i float64) {
 	strideT := 1 << t
 	stepT := strideT << 1
@@ -615,6 +630,7 @@ func (s *State) ZeroOutDerivCtrl(c int) {
 	})
 }
 
+//torq:hotpath
 func (s *State) zeroOutDerivCtrlRange(lo, hi, c int) {
 	cMask := 1 << c
 	dim := s.Dim
@@ -638,6 +654,7 @@ func (s *State) ExpZ(out []float64) {
 	})
 }
 
+//torq:hotpath
 func (s *State) expZRange(lo, hi int, out []float64) {
 	dim, nq := s.Dim, s.NQ
 	re, im := s.Re, s.Im
@@ -669,6 +686,7 @@ func CrossZ(v, w *State, out []float64) {
 	})
 }
 
+//torq:hotpath
 func crossZRange(v, w *State, out []float64, lo, hi int) {
 	dim, nq := v.Dim, v.NQ
 	for smp := lo; smp < hi; smp++ {
@@ -697,6 +715,7 @@ func innerRe(a, b *State, out []float64) {
 	})
 }
 
+//torq:hotpath
 func innerReRange(a, b *State, out []float64, lo, hi int) {
 	dim := a.Dim
 	for smp := lo; smp < hi; smp++ {
@@ -716,6 +735,7 @@ func axpyState(dst, src *State, c []float64) {
 	})
 }
 
+//torq:hotpath
 func axpyRange(dst, src *State, c []float64, lo, hi int) {
 	dim := dst.Dim
 	for smp := lo; smp < hi; smp++ {

@@ -28,6 +28,8 @@ type PassStats struct {
 // EngineStats returns the cumulative pass/epoch telemetry since process
 // start or the last ResetEngineStats. Counters are read individually, so a
 // snapshot taken mid-pass is approximate.
+//
+//torq:nolock
 func EngineStats() PassStats {
 	return PassStats{
 		FwdPasses:  statFwdPasses.Load(),
@@ -40,6 +42,8 @@ func EngineStats() PassStats {
 }
 
 // ResetEngineStats zeroes the pass/epoch telemetry.
+//
+//torq:nolock
 func ResetEngineStats() {
 	statFwdPasses.Store(0)
 	statFwdNanos.Store(0)
@@ -51,24 +55,30 @@ func ResetEngineStats() {
 
 // RecordEpoch accounts one completed training/evaluation epoch of the given
 // wall time. The trainer calls it once per epoch; ftdc samples the totals.
+//
+//torq:nolock
 func RecordEpoch(d time.Duration) {
 	statEpochs.Add(1)
 	statEpochNano.Add(uint64(d.Nanoseconds()))
 }
 
+//torq:nolock
 func recordForward(start time.Time) {
 	statFwdPasses.Add(1)
-	statFwdNanos.Add(uint64(time.Since(start).Nanoseconds()))
+	statFwdNanos.Add(uint64(time.Since(start).Nanoseconds())) //torq:allow nondet -- telemetry timing only
 }
 
+//torq:nolock
 func recordBackward(start time.Time) {
 	statBwdPasses.Add(1)
-	statBwdNanos.Add(uint64(time.Since(start).Nanoseconds()))
+	statBwdNanos.Add(uint64(time.Since(start).Nanoseconds())) //torq:allow nondet -- telemetry timing only
 }
 
 // CollectTelemetry emits the engine pass counters in the flat name → int64
 // form the ftdc recorder samples. Durations are nanosecond totals; readers
 // derive per-pass means from the count series.
+//
+//torq:nolock
 func CollectTelemetry(emit func(name string, value int64)) {
 	s := EngineStats()
 	emit("qsim.fwd_passes", int64(s.FwdPasses))

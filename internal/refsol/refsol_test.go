@@ -197,10 +197,10 @@ func TestSlabGeometry(t *testing.T) {
 	if s.EpsAt(0.5, 0.2) != 4 || s.EpsAt(-0.5, 0.2) != 1 {
 		t.Fatal("slab eps misplaced")
 	}
-	if s.EpsAt(0.5, 0.7) != s.EpsAt(0.5, -0.7) {
+	if math.Float64bits(s.EpsAt(0.5, 0.7)) != math.Float64bits(s.EpsAt(0.5, -0.7)) {
 		t.Fatal("slab must be y-symmetric")
 	}
-	if s.EpsAt(0.5, 0) == s.EpsAt(-0.5, 0) {
+	if math.Float64bits(s.EpsAt(0.5, 0)) == math.Float64bits(s.EpsAt(-0.5, 0)) {
 		t.Fatal("slab must break x-symmetry")
 	}
 	sm := SmoothSlab(0.05)

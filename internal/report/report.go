@@ -116,6 +116,7 @@ func LinePlot(w io.Writer, title string, width, height int, logY bool, series ma
 		}
 		return v
 	}
+	//torq:allow maprange -- min/max/len reduction, order-insensitive
 	for _, s := range series {
 		if len(s) > maxLen {
 			maxLen = len(s)
@@ -137,6 +138,7 @@ func LinePlot(w io.Writer, title string, width, height int, logY bool, series ma
 		fmt.Fprintln(w, "(no data)")
 		return
 	}
+	//torq:allow floateq -- degenerate-range guard, exact equality intended
 	if hi == lo {
 		hi = lo + 1
 	}
@@ -233,6 +235,7 @@ func Histogram(w io.Writer, title string, values []float64, bins int, width int)
 		fmt.Fprintf(w, "%s: (no data)\n", title)
 		return
 	}
+	//torq:allow floateq -- degenerate-range guard, exact equality intended
 	if hi == lo {
 		hi = lo + 1e-12
 	}
