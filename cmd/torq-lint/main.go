@@ -1,5 +1,8 @@
 // torq-lint statically enforces the repository's determinism,
-// lock-free-telemetry, and zero-alloc invariants (see internal/lint).
+// lock-free-telemetry, zero-alloc, codec-symmetry, and merge-order
+// invariants (see internal/lint), bundling the relevant stock vet analyzers
+// (atomic, copylocks, lostcancel, unusedresult) so one required job runs
+// everything.
 //
 // It speaks the `go vet` vettool protocol, so CI runs it as
 //
@@ -9,13 +12,24 @@
 // and, as a convenience, invoking it directly with package patterns
 // re-execs itself through go vet:
 //
-//	torq-lint ./...
+//	torq-lint ./...            # human-readable vet output
+//	torq-lint -json ./...      # machine-readable findings (file/line/analyzer/message)
+//	torq-lint -github ./...    # GitHub Actions ::error annotations, one per finding
+//
+// The -json and -github modes parse `go vet -json` output and exit 1 when
+// any finding exists, 2 when the build itself fails.
 package main
 
 import (
+	"bufio"
+	"bytes"
+	"encoding/json"
 	"fmt"
 	"os"
 	"os/exec"
+	"path/filepath"
+	"sort"
+	"strconv"
 	"strings"
 
 	"golang.org/x/tools/go/analysis/unitchecker"
@@ -24,10 +38,25 @@ import (
 )
 
 func main() {
-	if patterns := packagePatterns(os.Args[1:]); patterns != nil {
+	args := os.Args[1:]
+	// A leading -json/-github selects annotation mode — but only when the
+	// rest of the argv is package patterns. `go vet -json` forwards -json to
+	// the vettool followed by a unit vet.cfg (the unitchecker protocol), and
+	// that invocation must fall through to unitchecker.Main, or the re-exec
+	// below would recurse into go vet with a cfg file as its pattern.
+	if len(args) > 0 && (args[0] == "-json" || args[0] == "-github") {
+		mode := strings.TrimPrefix(args[0], "-")
+		rest := args[1:]
+		if len(rest) == 0 {
+			os.Exit(runAnnotated(mode, []string{"./..."}))
+		}
+		if patterns := packagePatterns(rest); patterns != nil {
+			os.Exit(runAnnotated(mode, patterns))
+		}
+	} else if patterns := packagePatterns(args); patterns != nil {
 		os.Exit(runGoVet(patterns))
 	}
-	unitchecker.Main(lint.Analyzers()...)
+	unitchecker.Main(append(lint.Analyzers(), lint.Stock()...)...)
 }
 
 // packagePatterns reports the arguments as package patterns when torq-lint
@@ -63,4 +92,148 @@ func runGoVet(patterns []string) int {
 		return 1
 	}
 	return 0
+}
+
+// finding is one diagnostic in the machine-readable output.
+type finding struct {
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Col      int    `json:"col"`
+	Analyzer string `json:"analyzer"`
+	Message  string `json:"message"`
+}
+
+// runAnnotated re-execs through `go vet -json -vettool=self`, parses the
+// diagnostic stream, and emits it as flat JSON or GitHub Actions ::error
+// annotations.
+func runAnnotated(mode string, patterns []string) int {
+	self, err := os.Executable()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "torq-lint:", err)
+		return 2
+	}
+	cmd := exec.Command("go", append([]string{"vet", "-json", "-vettool=" + self}, patterns...)...)
+	var out bytes.Buffer
+	cmd.Stdout = &out
+	cmd.Stderr = &out
+	runErr := cmd.Run()
+
+	findings, parseErr := parseVetJSON(out.Bytes())
+	if parseErr != nil || (runErr != nil && len(findings) == 0) {
+		// The build itself failed (type error, bad pattern): relay raw output.
+		os.Stderr.Write(out.Bytes())
+		if parseErr != nil {
+			fmt.Fprintln(os.Stderr, "torq-lint:", parseErr)
+		}
+		return 2
+	}
+
+	switch mode {
+	case "json":
+		encoded, err := json.MarshalIndent(findings, "", "  ")
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "torq-lint:", err)
+			return 2
+		}
+		os.Stdout.Write(append(encoded, '\n'))
+	case "github":
+		for _, f := range findings {
+			fmt.Printf("::error file=%s,line=%d,col=%d,title=torq-lint(%s)::%s\n",
+				f.File, f.Line, f.Col, f.Analyzer, githubEscape(f.Message))
+		}
+		fmt.Fprintf(os.Stderr, "torq-lint: %d finding(s)\n", len(findings))
+	}
+	if len(findings) > 0 {
+		return 1
+	}
+	return 0
+}
+
+// parseVetJSON consumes `go vet -json` output: `# pkg` comment lines
+// interleaved with JSON objects of shape
+// {"pkgpath": {"analyzer": [{"posn": "file:line:col", "message": "..."}]}}.
+func parseVetJSON(raw []byte) ([]finding, error) {
+	var jsonBuf bytes.Buffer
+	sc := bufio.NewScanner(bytes.NewReader(raw))
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<24)
+	for sc.Scan() {
+		if strings.HasPrefix(sc.Text(), "#") {
+			continue
+		}
+		jsonBuf.WriteString(sc.Text())
+		jsonBuf.WriteByte('\n')
+	}
+	type vetDiag struct {
+		Posn    string `json:"posn"`
+		Message string `json:"message"`
+	}
+	findings := []finding{} // non-nil: a clean run is [], not null
+	cwd, _ := os.Getwd()
+	dec := json.NewDecoder(&jsonBuf)
+	for dec.More() {
+		var unit map[string]map[string][]vetDiag
+		if err := dec.Decode(&unit); err != nil {
+			return nil, fmt.Errorf("parsing go vet -json output: %v", err)
+		}
+		//torq:allow maprange -- findings are sorted by position below
+		for _, byAnalyzer := range unit {
+			//torq:allow maprange -- findings are sorted by position below
+			for analyzer, diags := range byAnalyzer {
+				for _, d := range diags {
+					f := finding{Analyzer: analyzer, Message: d.Message}
+					f.File, f.Line, f.Col = splitPosn(d.Posn)
+					if cwd != "" {
+						if rel, err := filepath.Rel(cwd, f.File); err == nil && !strings.HasPrefix(rel, "..") {
+							f.File = rel
+						}
+					}
+					findings = append(findings, f)
+				}
+			}
+		}
+	}
+	sort.Slice(findings, func(i, j int) bool {
+		a, b := findings[i], findings[j]
+		if a.File != b.File {
+			return a.File < b.File
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		if a.Col != b.Col {
+			return a.Col < b.Col
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return findings, nil
+}
+
+// splitPosn parses "file:line:col" (column optional) from the right, so
+// paths containing colons stay intact.
+func splitPosn(posn string) (file string, line, col int) {
+	rest := posn
+	if i := strings.LastIndex(rest, ":"); i >= 0 {
+		if n, err := strconv.Atoi(rest[i+1:]); err == nil {
+			col = n
+			rest = rest[:i]
+		}
+	}
+	if i := strings.LastIndex(rest, ":"); i >= 0 {
+		if n, err := strconv.Atoi(rest[i+1:]); err == nil {
+			line = n
+			rest = rest[:i]
+		}
+	}
+	if line == 0 { // "file:line" without a column
+		line, col = col, 0
+	}
+	return rest, line, col
+}
+
+// githubEscape applies the workflow-command data escaping rules.
+func githubEscape(s string) string {
+	s = strings.ReplaceAll(s, "%", "%25")
+	s = strings.ReplaceAll(s, "\r", "%0D")
+	s = strings.ReplaceAll(s, "\n", "%0A")
+	return s
 }

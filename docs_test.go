@@ -131,6 +131,13 @@ func TestLintSuiteDocumentedAndFixtured(t *testing.T) {
 			t.Errorf("analyzer %s has no fixture under %s (err=%v) — each analyzer keeps a broken fixture proving it fires", a.Name, dir, err)
 		}
 	}
+	// The bundled stock vet passes keep no fixtures of their own (upstream
+	// owns those), but the architecture doc must still say they ship.
+	for _, a := range lint.Stock() {
+		if !strings.Contains(string(arch), "`"+a.Name+"`") {
+			t.Errorf("docs/ARCHITECTURE.md does not mention bundled stock analyzer `%s`", a.Name)
+		}
+	}
 }
 
 // TestInternalPackagesDocumented walks every internal/ package and rejects

@@ -1,0 +1,131 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"golang.org/x/tools/go/analysis"
+	"golang.org/x/tools/go/analysis/passes/inspect"
+	"golang.org/x/tools/go/ast/inspector"
+)
+
+// AtomicMix flags mixed atomic/plain access: any variable (usually a struct
+// counter field) that is passed by address to a sync/atomic function anywhere
+// in the package may not also be read or written plainly. A torn or stale
+// plain access does not fail parity — it silently corrupts the FTDC series
+// and scheduler statistics built on those counters — so the mix is a build
+// error. Typed atomic.Int64-family fields are immune by construction (the
+// value is unexported; the bundled copylocks analyzer catches copies), which
+// is why the repository's own telemetry uses them; this analyzer guards the
+// function-style holdouts and anything a refactor regresses to.
+//
+// Test files are exempt: the join-then-inspect pattern (atomic updates while
+// goroutines run, plain reads after Wait) is legitimate there and proven by
+// the race-detector CI job instead.
+var AtomicMix = &analysis.Analyzer{
+	Name:     "atomicmix",
+	Doc:      "flag plain reads/writes of variables that are updated through sync/atomic elsewhere in the package",
+	Requires: []*analysis.Analyzer{inspect.Analyzer},
+	Flags:    newPackagesFlag("atomicmix", "repro"),
+	Run:      runAtomicMix,
+}
+
+func runAtomicMix(pass *analysis.Pass) (interface{}, error) {
+	if !pkgMatch(pass.Pkg.Path(), packagesFlag(pass)) {
+		return nil, nil
+	}
+	ins := pass.ResultOf[inspect.Analyzer].(*inspector.Inspector)
+	allow := buildAllowIndex(pass.Fset, pass.Files)
+	isTest := func(pos token.Pos) bool {
+		return strings.HasSuffix(pass.Fset.Position(pos).Filename, "_test.go")
+	}
+
+	// Pass 1: every &v handed to a sync/atomic Add/Load/Store/Swap/CAS marks
+	// v atomic; the idents inside those call arguments are exempt from pass 2.
+	atomicVars := make(map[*types.Var]token.Pos) // first atomic site, for the message
+	exempt := make(map[token.Pos]bool)
+	ins.Preorder([]ast.Node{(*ast.CallExpr)(nil)}, func(n ast.Node) {
+		call := n.(*ast.CallExpr)
+		fn := calleeFunc(pass.TypesInfo, call)
+		if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "sync/atomic" {
+			return
+		}
+		if !atomicAddrFunc(fn.Name()) || len(call.Args) == 0 || isTest(call.Pos()) {
+			return
+		}
+		ast.Inspect(call.Args[0], func(c ast.Node) bool {
+			if id, ok := c.(*ast.Ident); ok {
+				exempt[id.Pos()] = true
+			}
+			return true
+		})
+		if v := atomicTarget(pass.TypesInfo, call.Args[0]); v != nil {
+			if _, seen := atomicVars[v]; !seen {
+				atomicVars[v] = call.Pos()
+			}
+		}
+	})
+	if len(atomicVars) == 0 {
+		allow.reportStale(pass, "atomicmix", true)
+		return nil, nil
+	}
+
+	// Pass 2: any other use of an atomic variable is a plain access.
+	ins.Preorder([]ast.Node{(*ast.Ident)(nil)}, func(n ast.Node) {
+		id := n.(*ast.Ident)
+		v, ok := pass.TypesInfo.Uses[id].(*types.Var)
+		if !ok || exempt[id.Pos()] || isTest(id.Pos()) {
+			return
+		}
+		first, isAtomic := atomicVars[v]
+		if !isAtomic {
+			return
+		}
+		if allow.allowed(pass.Fset, id.Pos(), "atomicmix") {
+			return
+		}
+		pass.Reportf(id.Pos(), "%s is accessed through sync/atomic (first at %s) but read/written plainly here: a torn access corrupts the value without failing parity — use atomic ops, a typed atomic.*, or //torq:allow atomicmix -- reason",
+			v.Name(), pass.Fset.Position(first))
+	})
+	allow.reportStale(pass, "atomicmix", true)
+	return nil, nil
+}
+
+// atomicAddrFunc reports whether the sync/atomic function's first parameter
+// is the address of the word it operates on.
+func atomicAddrFunc(name string) bool {
+	for _, prefix := range []string{"Add", "Load", "Store", "Swap", "CompareAndSwap"} {
+		if rest, ok := strings.CutPrefix(name, prefix); ok && rest != "" {
+			return true
+		}
+	}
+	return false
+}
+
+// atomicTarget resolves &expr to the variable whose address feeds the atomic
+// op, looking through parens and index expressions (&counts[i] marks counts).
+func atomicTarget(info *types.Info, arg ast.Expr) *types.Var {
+	ue, ok := ast.Unparen(arg).(*ast.UnaryExpr)
+	if !ok || ue.Op != token.AND {
+		return nil
+	}
+	x := ast.Unparen(ue.X)
+	for {
+		ix, ok := x.(*ast.IndexExpr)
+		if !ok {
+			break
+		}
+		x = ast.Unparen(ix.X)
+	}
+	switch x := x.(type) {
+	case *ast.Ident:
+		v, _ := info.Uses[x].(*types.Var)
+		return v
+	case *ast.SelectorExpr:
+		v, _ := info.Uses[x.Sel].(*types.Var)
+		return v
+	}
+	return nil
+}

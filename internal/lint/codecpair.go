@@ -1,0 +1,494 @@
+package lint
+
+import (
+	"flag"
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"golang.org/x/tools/go/analysis"
+)
+
+// CodecPair proves the wire codec symmetric: for every encodeX/decodeX pair
+// (the frame codecs in internal/dist/frame.go) it extracts the ordered
+// sequence of primitive codec calls — u8/bool/u16/u32/u64/int/str/f64s/
+// optF64s, with loops preserved as loop(...) groups and same-package helpers
+// like encodeDigest inlined — from both functions and diffs the two
+// sequences. A decoder that reads fields in a different order, with a
+// different width, or skips one is a build error long before the golden-byte
+// tests run.
+//
+// The same sequences are cross-checked against the machine-readable
+// `frame-layouts` block in docs/PROTOCOL.md, drift-gated both ways: a codec
+// pair without a layout row, a layout row without a codec pair, and any
+// disagreement between code and spec are all findings. The spec location
+// defaults to <module root>/docs/PROTOCOL.md and is overridden with
+// -codecpair.protocol (the fixtures do).
+var CodecPair = &analysis.Analyzer{
+	Name:  "codecpair",
+	Doc:   "check encodeX/decodeX pairs read exactly the fields written, in order, matching the PROTOCOL.md frame layouts",
+	Flags: newCodecPairFlags(),
+	Run:   runCodecPair,
+}
+
+func newCodecPairFlags() flag.FlagSet {
+	fs := flag.NewFlagSet("codecpair", flag.ExitOnError)
+	fs.String("packages", "repro/internal/dist", "comma-separated import-path prefixes to check (\"*\" for all)")
+	fs.String("protocol", "", "path to the frame-layouts spec (default: <module root>/docs/PROTOCOL.md)")
+	return *fs
+}
+
+// codecPrims are the primitive read/write methods whose call order is the
+// wire layout. Matching is by method name on a same-package receiver, so the
+// encoder's enc methods and the decoder's dec methods align by name.
+var codecPrims = map[string]bool{
+	"u8": true, "bool": true, "u16": true, "u32": true, "u64": true,
+	"int": true, "str": true, "f64s": true, "optF64s": true,
+}
+
+// seqTok is one element of an extracted layout sequence: a primitive name or
+// a structural marker ("loop(", "if(", "|", ")").
+type seqTok struct {
+	name string
+	pos  token.Pos
+}
+
+func runCodecPair(pass *analysis.Pass) (interface{}, error) {
+	if !pkgMatch(pass.Pkg.Path(), packagesFlag(pass)) {
+		return nil, nil
+	}
+	allow := buildAllowIndex(pass.Fset, pass.Files)
+	report := func(pos token.Pos, format string, args ...interface{}) {
+		if !allow.allowed(pass.Fset, pos, "codecpair") {
+			pass.Reportf(pos, format, args...)
+		}
+	}
+
+	x := &codecExtractor{
+		info:  pass.TypesInfo,
+		pkg:   pass.Pkg,
+		decls: make(map[*types.Func]*ast.FuncDecl),
+		memo:  make(map[*types.Func][]seqTok),
+		busy:  make(map[*types.Func]bool),
+	}
+	// The codec surface is production code; _test.go helpers (round-trip
+	// drivers, fuzz shims) are not frame definitions.
+	encoders := make(map[string]*ast.FuncDecl)
+	decoders := make(map[string]*ast.FuncDecl)
+	for _, f := range pass.Files {
+		if strings.HasSuffix(pass.Fset.Position(f.Pos()).Filename, "_test.go") {
+			continue
+		}
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			if fn, ok := pass.TypesInfo.Defs[fd.Name].(*types.Func); ok {
+				x.decls[fn] = fd
+			}
+			if name, ok := codecName(fd.Name.Name, "encode", "Frame"); ok {
+				encoders[name] = fd
+			} else if name, ok := codecName(fd.Name.Name, "decode", "Into"); ok {
+				decoders[name] = fd
+			}
+		}
+	}
+	names := make([]string, 0, len(encoders))
+	for n := range encoders {
+		names = append(names, n)
+	}
+	//torq:allow maprange -- names are sorted before use
+	for n := range decoders {
+		if _, dup := encoders[n]; !dup {
+			names = append(names, n)
+		}
+	}
+	sort.Strings(names)
+
+	var pairs []string
+	for _, n := range names {
+		e, d := encoders[n], decoders[n]
+		switch {
+		case e == nil:
+			report(d.Name.Pos(), "decode%s has no matching encode%s: every frame codec is a pair", n, n)
+		case d == nil:
+			report(e.Name.Pos(), "encode%s has no matching decode%s: every frame codec is a pair", n, n)
+		default:
+			pairs = append(pairs, n)
+			x.comparePair(pass, n, e, d, report)
+		}
+	}
+	if len(pairs) > 0 {
+		checkProtocolLayouts(pass, x, pairs, encoders, decoders, report)
+	}
+	allow.reportStale(pass, "codecpair", false)
+	return nil, nil
+}
+
+// codecName strips prefix (and, when present, the trailing suffix — the
+// whole-frame encoders are encodeXFrame, the zero-alloc decoders decodeXInto)
+// from a function name, returning the frame type's CamelCase name.
+func codecName(fn, prefix, suffix string) (string, bool) {
+	rest, ok := strings.CutPrefix(fn, prefix)
+	if !ok || rest == "" || rest[0] < 'A' || rest[0] > 'Z' {
+		return "", false
+	}
+	if trimmed := strings.TrimSuffix(rest, suffix); trimmed != "" {
+		rest = trimmed
+	}
+	return rest, true
+}
+
+// frameSnakeName converts the CamelCase frame type to the snake_case name
+// the protocol document uses (HelloAck → hello_ack).
+func frameSnakeName(name string) string {
+	var b strings.Builder
+	for i, r := range name {
+		if r >= 'A' && r <= 'Z' {
+			if i > 0 {
+				b.WriteByte('_')
+			}
+			r += 'a' - 'A'
+		}
+		b.WriteRune(r)
+	}
+	return b.String()
+}
+
+func (x *codecExtractor) comparePair(pass *analysis.Pass, name string, e, d *ast.FuncDecl, report func(token.Pos, string, ...interface{})) {
+	es := x.declSeq(pass, e)
+	ds := x.declSeq(pass, d)
+	for i := 0; i < len(es) && i < len(ds); i++ {
+		if es[i].name == ds[i].name {
+			continue
+		}
+		report(ds[i].pos, "codec asymmetry in frame %q: %s writes %s at step %d but %s reads %s — the decoder must consume exactly the encoder's field sequence",
+			frameSnakeName(name), e.Name.Name, es[i].name, i+1, d.Name.Name, ds[i].name)
+		return
+	}
+	if len(es) != len(ds) {
+		report(d.Name.Pos(), "codec asymmetry in frame %q: %s writes %d fields but %s reads %d",
+			frameSnakeName(name), e.Name.Name, len(es), d.Name.Name, len(ds))
+	}
+}
+
+// checkProtocolLayouts cross-checks every codec pair against the
+// frame-layouts block: both directions are drift-gated.
+func checkProtocolLayouts(pass *analysis.Pass, x *codecExtractor, pairs []string, encoders, decoders map[string]*ast.FuncDecl, report func(token.Pos, string, ...interface{})) {
+	pkgPos := pass.Files[0].Name.Pos()
+	path := protocolPath(pass)
+	if path == "" {
+		report(pkgPos, "cannot locate docs/PROTOCOL.md above this package; point -codecpair.protocol at the spec")
+		return
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		report(pkgPos, "cannot read frame-layouts spec: %v", err)
+		return
+	}
+	rows, err := parseFrameLayouts(data)
+	if err != nil {
+		report(pkgPos, "%s: %v", path, err)
+		return
+	}
+
+	// Rows referenced from other rows (digest inside hello) are layout
+	// fragments, not frames; they still must name a codec pair or be
+	// referenced — anything else is spec drift.
+	referenced := make(map[string]bool)
+	//torq:allow maprange -- builds the referenced set, order-insensitive
+	for _, toks := range rows {
+		for _, t := range toks {
+			if _, isRow := rows[t]; isRow {
+				referenced[t] = true
+			}
+		}
+	}
+	matched := make(map[string]bool)
+	for _, name := range pairs {
+		frame := frameSnakeName(name)
+		if _, ok := rows[frame]; !ok {
+			report(encoders[name].Name.Pos(), "docs/PROTOCOL.md frame-layouts block has no row %q for codec pair encode%s/decode%s", frame, name, name)
+			continue
+		}
+		matched[frame] = true
+		exp, err := expandLayout(frame, rows, make(map[string]bool))
+		if err != nil {
+			report(encoders[name].Name.Pos(), "frame-layouts row %q: %v", frame, err)
+			continue
+		}
+		got := x.declSeq(pass, encoders[name])
+		compareLayout(frame, name, exp, got, encoders[name], report)
+	}
+	rowNames := make([]string, 0, len(rows))
+	for n := range rows {
+		rowNames = append(rowNames, n)
+	}
+	sort.Strings(rowNames)
+	for _, n := range rowNames {
+		if !matched[n] && !referenced[n] {
+			report(pkgPos, "frame-layouts row %q matches no encode/decode pair in this package — stale spec rows hide real drift", n)
+		}
+	}
+}
+
+func compareLayout(frame, name string, exp []string, got []seqTok, enc *ast.FuncDecl, report func(token.Pos, string, ...interface{})) {
+	n := len(exp)
+	if len(got) < n {
+		n = len(got)
+	}
+	for i := 0; i < n; i++ {
+		if exp[i] != got[i].name {
+			report(enc.Name.Pos(), "encode%s disagrees with docs/PROTOCOL.md layout %q at step %d: code writes %s, layout says %s",
+				name, frame, i+1, got[i].name, exp[i])
+			return
+		}
+	}
+	if len(exp) != len(got) {
+		report(enc.Name.Pos(), "encode%s disagrees with docs/PROTOCOL.md layout %q: code has %d steps, layout has %d",
+			name, frame, len(got), len(exp))
+	}
+}
+
+// protocolPath resolves the spec location: the -codecpair.protocol flag, or
+// docs/PROTOCOL.md under the module root found by walking up from the
+// package's own source files (works both under `go test` and as a vettool,
+// whose working directory is the build cache).
+func protocolPath(pass *analysis.Pass) string {
+	if v := pass.Analyzer.Flags.Lookup("protocol").Value.String(); v != "" {
+		return v
+	}
+	dir := filepath.Dir(pass.Fset.Position(pass.Files[0].Pos()).Filename)
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return filepath.Join(dir, "docs", "PROTOCOL.md")
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return ""
+		}
+		dir = parent
+	}
+}
+
+// parseFrameLayouts extracts the ```frame-layouts fenced block: one
+// `name: tokens` row per line, tokens being primitives, loop(...) groups,
+// and references to other rows.
+func parseFrameLayouts(data []byte) (map[string][]string, error) {
+	rows := make(map[string][]string)
+	in := false
+	for _, line := range strings.Split(string(data), "\n") {
+		t := strings.TrimSpace(line)
+		switch {
+		case strings.HasPrefix(t, "```"):
+			if in {
+				in = false
+			} else if strings.TrimSpace(strings.TrimPrefix(t, "```")) == "frame-layouts" {
+				in = true
+			}
+		case in && t != "" && !strings.HasPrefix(t, "#"):
+			name, rest, ok := strings.Cut(t, ":")
+			if !ok {
+				return nil, fmt.Errorf("frame-layouts row %q is not `name: tokens`", t)
+			}
+			rows[strings.TrimSpace(name)] = tokenizeLayout(rest)
+		}
+	}
+	if len(rows) == 0 {
+		return nil, fmt.Errorf("no ```frame-layouts block found — codecpair needs the machine-readable per-frame layout rows")
+	}
+	return rows, nil
+}
+
+func tokenizeLayout(s string) []string {
+	s = strings.ReplaceAll(s, "(", "( ")
+	s = strings.ReplaceAll(s, ")", " ) ")
+	var out []string
+	for _, f := range strings.Fields(s) {
+		if f == "(" && len(out) > 0 {
+			out[len(out)-1] += "("
+			continue
+		}
+		out = append(out, f)
+	}
+	return out
+}
+
+// expandLayout resolves row references (hello ends in digest) into a flat
+// token sequence comparable to an extracted codec sequence.
+func expandLayout(name string, rows map[string][]string, busy map[string]bool) ([]string, error) {
+	if busy[name] {
+		return nil, fmt.Errorf("layout reference cycle through %q", name)
+	}
+	busy[name] = true
+	defer delete(busy, name)
+	toks, ok := rows[name]
+	if !ok {
+		return nil, fmt.Errorf("layout row %q is not defined", name)
+	}
+	var out []string
+	for _, t := range toks {
+		if codecPrims[t] || t == ")" || t == "|" || strings.HasSuffix(t, "(") {
+			out = append(out, t)
+			continue
+		}
+		sub, err := expandLayout(t, rows, busy)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, sub...)
+	}
+	return out, nil
+}
+
+// codecExtractor walks codec bodies collecting primitive-call sequences,
+// inlining same-package helper calls (encodeDigest, appendResultEntry) and
+// preserving loops as loop(...) groups; memoized per function.
+type codecExtractor struct {
+	info  *types.Info
+	pkg   *types.Package
+	decls map[*types.Func]*ast.FuncDecl
+	memo  map[*types.Func][]seqTok
+	busy  map[*types.Func]bool
+}
+
+func (x *codecExtractor) declSeq(pass *analysis.Pass, fd *ast.FuncDecl) []seqTok {
+	fn, _ := pass.TypesInfo.Defs[fd.Name].(*types.Func)
+	if fn == nil {
+		return nil
+	}
+	return x.funcSeq(fn)
+}
+
+func (x *codecExtractor) funcSeq(fn *types.Func) []seqTok {
+	if s, ok := x.memo[fn]; ok {
+		return s
+	}
+	if x.busy[fn] {
+		return nil // recursion: the cycle's primitives are found on its own frame
+	}
+	x.busy[fn] = true
+	var out []seqTok
+	if decl := x.decls[fn]; decl != nil && decl.Body != nil {
+		x.walk(decl.Body, &out)
+	}
+	x.busy[fn] = false
+	x.memo[fn] = out
+	return out
+}
+
+// walk appends n's primitive sequence to out. Loops and branches group their
+// bodies in markers; calls either emit a primitive token, inline a
+// same-package callee, or contribute nothing.
+func (x *codecExtractor) walk(n ast.Node, out *[]seqTok) {
+	switch n := n.(type) {
+	case nil:
+		return
+	case *ast.ForStmt:
+		if n.Init != nil {
+			x.walk(n.Init, out)
+		}
+		if n.Cond != nil {
+			x.walk(n.Cond, out)
+		}
+		var body []seqTok
+		x.walk(n.Body, &body)
+		if n.Post != nil {
+			x.walk(n.Post, &body)
+		}
+		x.group("loop(", n.For, body, out)
+		return
+	case *ast.RangeStmt:
+		x.walk(n.X, out)
+		var body []seqTok
+		x.walk(n.Body, &body)
+		x.group("loop(", n.For, body, out)
+		return
+	case *ast.IfStmt:
+		if n.Init != nil {
+			x.walk(n.Init, out)
+		}
+		x.walk(n.Cond, out)
+		var thenSeq, elseSeq []seqTok
+		x.walk(n.Body, &thenSeq)
+		if n.Else != nil {
+			x.walk(n.Else, &elseSeq)
+		}
+		if len(thenSeq)+len(elseSeq) == 0 {
+			return
+		}
+		*out = append(*out, seqTok{"if(", n.If})
+		*out = append(*out, thenSeq...)
+		*out = append(*out, seqTok{"|", n.If})
+		*out = append(*out, elseSeq...)
+		*out = append(*out, seqTok{")", n.If})
+		return
+	case *ast.SwitchStmt, *ast.TypeSwitchStmt, *ast.SelectStmt:
+		// Data-dependent dispatch: keep the primitives, grouped, so a
+		// symmetric switch on both sides still matches.
+		var body []seqTok
+		x.walkChildren(n, &body)
+		x.group("switch(", n.Pos(), body, out)
+		return
+	case *ast.FuncLit:
+		return // runs elsewhere, if at all
+	case *ast.CallExpr:
+		x.call(n, out)
+		return
+	}
+	x.walkChildren(n, out)
+}
+
+// walkChildren visits n's children in source order, re-dispatching structural
+// nodes through walk.
+func (x *codecExtractor) walkChildren(root ast.Node, out *[]seqTok) {
+	ast.Inspect(root, func(c ast.Node) bool {
+		if c == nil || c == root {
+			return true
+		}
+		switch c.(type) {
+		case *ast.ForStmt, *ast.RangeStmt, *ast.IfStmt, *ast.SwitchStmt,
+			*ast.TypeSwitchStmt, *ast.SelectStmt, *ast.FuncLit, *ast.CallExpr:
+			x.walk(c, out)
+			return false
+		}
+		return true
+	})
+}
+
+func (x *codecExtractor) group(open string, pos token.Pos, body []seqTok, out *[]seqTok) {
+	if len(body) == 0 {
+		return
+	}
+	*out = append(*out, seqTok{open, pos})
+	*out = append(*out, body...)
+	*out = append(*out, seqTok{")", pos})
+}
+
+func (x *codecExtractor) call(c *ast.CallExpr, out *[]seqTok) {
+	x.walk(c.Fun, out)
+	for _, a := range c.Args {
+		x.walk(a, out)
+	}
+	fn := calleeFunc(x.info, c)
+	if fn == nil {
+		return
+	}
+	// Primitive methods first: enc.bool wraps u8 internally, dec.str wraps
+	// u32+take — the wire layout is the primitive named, not its plumbing.
+	if codecPrims[fn.Name()] && fn.Signature().Recv() != nil {
+		*out = append(*out, seqTok{fn.Name(), c.Pos()})
+		return
+	}
+	if fn.Pkg() != nil && fn.Pkg() == x.pkg {
+		if sub := x.funcSeq(fn); len(sub) > 0 {
+			*out = append(*out, sub...)
+		}
+	}
+}

@@ -51,6 +51,7 @@ func runDetRange(pass *analysis.Pass) (interface{}, error) {
 		}
 		pass.Reportf(rs.For, "range over map has nondeterministic iteration order: sort the keys first, or //torq:allow maprange -- reason")
 	})
+	allow.reportStale(pass, "maprange", false)
 	return nil, nil
 }
 

@@ -3,40 +3,46 @@ package lint
 import (
 	"go/ast"
 	"go/token"
+	"sort"
 	"strings"
 
 	"golang.org/x/tools/go/analysis"
 )
 
-// The //torq: directive namespace. Two function directives mark contract
+// The //torq: directive namespace. Three function directives mark contract
 // surfaces, and one line directive grants audited exceptions:
 //
 //	//torq:hotpath              (doc comment) function must be allocation-free
 //	//torq:nolock               (doc comment) function must be atomics-only
+//	//torq:ordered-merge        (doc comment) function must merge in index order
 //	//torq:allow <rule> -- why  (on or above a line) suppress one rule there
 //
 // Directive comments follow the Go convention: no space after //, so plain
 // prose mentioning "torq:" is never parsed as a directive.
 const (
-	dirHotpath = "hotpath"
-	dirNolock  = "nolock"
-	dirAllow   = "allow"
+	dirHotpath      = "hotpath"
+	dirNolock       = "nolock"
+	dirOrderedMerge = "ordered-merge"
+	dirAllow        = "allow"
 )
 
 // allowRules are the rule names //torq:allow may name. Each corresponds to
 // the analyzer that honors the exception.
 var allowRules = map[string]bool{
-	"floateq":  true, // floatbits
-	"maprange": true, // detrange
-	"nondet":   true, // nondet
-	"hotalloc": true, // hotalloc
-	"nolock":   true, // nolocktelemetry
+	"floateq":    true, // floatbits
+	"maprange":   true, // detrange
+	"nondet":     true, // nondet
+	"hotalloc":   true, // hotalloc
+	"nolock":     true, // nolocktelemetry
+	"codecpair":  true, // codecpair
+	"atomicmix":  true, // atomicmix
+	"mergeorder": true, // mergeorder
 }
 
 // directive is one parsed //torq: comment.
 type directive struct {
 	pos  token.Pos
-	name string // "hotpath", "nolock", "allow", or unrecognized text
+	name string // "hotpath", "nolock", "ordered-merge", "allow", or unrecognized text
 	arg  string // first argument (the rule name, for allow)
 	rest string // anything after the argument
 }
@@ -77,12 +83,19 @@ func hasFuncDirective(decl *ast.FuncDecl, name string) bool {
 
 // allowIndex records, per rule, the source lines where a //torq:allow
 // comment suppresses findings: the directive's own line (trailing comment)
-// and the line after it (comment-above idiom).
-type allowIndex map[string]map[allowKey]bool
+// and the line after it (comment-above idiom). Each directive is one
+// allowEntry shared by both line keys, so a suppression through either key
+// marks the directive used — the stale-allow check reports the rest.
+type allowIndex map[string]map[allowKey]*allowEntry
 
 type allowKey struct {
 	file string
 	line int
+}
+
+type allowEntry struct {
+	pos  token.Pos
+	used bool
 }
 
 // buildAllowIndex scans every comment in files for //torq:allow directives.
@@ -98,25 +111,58 @@ func buildAllowIndex(fset *token.FileSet, files []*ast.File) allowIndex {
 				p := fset.Position(d.pos)
 				m := idx[d.arg]
 				if m == nil {
-					m = make(map[allowKey]bool)
+					m = make(map[allowKey]*allowEntry)
 					idx[d.arg] = m
 				}
-				m[allowKey{p.Filename, p.Line}] = true
-				m[allowKey{p.Filename, p.Line + 1}] = true
+				e := &allowEntry{pos: d.pos}
+				m[allowKey{p.Filename, p.Line}] = e
+				m[allowKey{p.Filename, p.Line + 1}] = e
 			}
 		}
 	}
 	return idx
 }
 
-// allowed reports whether rule findings at pos are suppressed.
+// allowed reports whether rule findings at pos are suppressed, marking the
+// suppressing directive as used.
 func (idx allowIndex) allowed(fset *token.FileSet, pos token.Pos, rule string) bool {
 	m := idx[rule]
 	if m == nil {
 		return false
 	}
 	p := fset.Position(pos)
-	return m[allowKey{p.Filename, p.Line}]
+	e := m[allowKey{p.Filename, p.Line}]
+	if e == nil {
+		return false
+	}
+	e.used = true
+	return true
+}
+
+// reportStale flags every //torq:allow directive for rule that suppressed
+// nothing during this pass: a refactor that fixed the finding must also drop
+// the waiver, or the annotation rots into misdocumentation. Each analyzer
+// calls this for the rules it owns, after its own traversal consulted
+// allowed() for every candidate finding. Analyzers that exempt _test.go
+// files never consult allows there, so they pass skipTestFiles.
+func (idx allowIndex) reportStale(pass *analysis.Pass, rule string, skipTestFiles bool) {
+	seen := make(map[token.Pos]bool)
+	var stale []token.Pos
+	//torq:allow maprange -- positions are sorted below before reporting
+	for _, e := range idx[rule] {
+		if e.used || seen[e.pos] {
+			continue
+		}
+		seen[e.pos] = true
+		if skipTestFiles && strings.HasSuffix(pass.Fset.Position(e.pos).Filename, "_test.go") {
+			continue
+		}
+		stale = append(stale, e.pos)
+	}
+	sort.Slice(stale, func(i, j int) bool { return stale[i] < stale[j] })
+	for _, pos := range stale {
+		pass.Reportf(pos, "stale //torq:allow %s: no %s diagnostic is suppressed here — the finding is gone, drop the waiver", rule, rule)
+	}
 }
 
 // TorqDirective validates the //torq: namespace: unknown directives,
@@ -145,7 +191,7 @@ func runTorqDirective(pass *analysis.Pass) (interface{}, error) {
 					continue
 				}
 				switch d.name {
-				case dirHotpath, dirNolock:
+				case dirHotpath, dirNolock, dirOrderedMerge:
 					if !funcDocs[cg] {
 						pass.Reportf(d.pos, "//torq:%s must be in a function's doc comment", d.name)
 					} else if d.arg != "" {
@@ -163,7 +209,7 @@ func runTorqDirective(pass *analysis.Pass) (interface{}, error) {
 				case "":
 					pass.Reportf(d.pos, "bare //torq: directive")
 				default:
-					pass.Reportf(d.pos, "unknown //torq: directive %q (known: hotpath, nolock, allow)", d.name)
+					pass.Reportf(d.pos, "unknown //torq: directive %q (known: hotpath, nolock, ordered-merge, allow)", d.name)
 				}
 			}
 		}

@@ -33,14 +33,39 @@
 //   - torqdirective: validates the //torq: directive namespace itself —
 //     unknown or misplaced directives are errors, so an annotation typo
 //     cannot silently disable a rule.
+//   - codecpair: proves every encodeX/decodeX frame codec in internal/dist
+//     symmetric by extracting and diffing the two primitive-call sequences
+//     (loops preserved as groups, same-package helpers inlined), and
+//     cross-checks both against the machine-readable frame-layouts block in
+//     docs/PROTOCOL.md — a codec pair without a spec row, a spec row without
+//     a codec pair, and any code/spec disagreement are all findings.
+//   - atomicmix: a variable passed to sync/atomic anywhere in a package may
+//     not also be read or written plainly — a torn access corrupts counters
+//     without failing parity. Test files are exempt (join-then-inspect is
+//     proven by the race job); typed atomic.* values are immune by
+//     construction.
+//   - mergeorder: functions annotated //torq:ordered-merge (the dist and
+//     sharded dTheta/diagT/z merges, curriculum bin residuals) must
+//     accumulate via index-ordered loops only — map ranges, channel
+//     receives/ranges, select, and go statements are errors, because float
+//     addition in arrival order breaks worker-count bit-identity.
+//
+// Stock() additionally bundles the standard vet passes atomic, copylocks,
+// lostcancel, and unusedresult into the vettool; they ship without fixtures
+// or invariant rows (upstream owns their tests), but copylocks is what backs
+// atomicmix's typed-atomic exemption.
 //
 // # Invariants
 //
 // Every deliberate exception is visible in the source: a rule is only
 // silenced by a `//torq:allow <rule>` comment on (or immediately above) the
 // offending line, and torqdirective rejects allow comments for rules that
-// do not exist. The suite must run clean on this repository — CI enforces
-// `go vet -vettool=torq-lint ./...` — and each analyzer must keep a
+// do not exist. An allow that suppresses nothing is itself a finding
+// ("stale allow"), so waivers cannot outlive the code they excused. The
+// suite must run clean on this repository — CI enforces
+// `go vet -vettool=torq-lint ./...` and surfaces findings as GitHub
+// annotations via `torq-lint -github` (`-json` emits the same list as a
+// machine-readable array) — and each analyzer must keep a
 // deliberately-broken fixture under testdata/src/<analyzer>/ (the fixture
 // gate fails if one is deleted), so the rules are pinned from both sides.
 package lint

@@ -67,6 +67,7 @@ func runFloatBits(pass *analysis.Pass) (interface{}, error) {
 		}
 		pass.Reportf(be.OpPos, "%s on floating-point operands: use math.Float64bits for bit-identity, a tolerance for parity, or //torq:allow floateq -- reason", be.Op)
 	})
+	allow.reportStale(pass, "floateq", false)
 	return nil, nil
 }
 

@@ -53,6 +53,7 @@ func runHotAlloc(pass *analysis.Pass) (interface{}, error) {
 		}
 		checkHotBody(pass, decl, report)
 	})
+	allow.reportStale(pass, "hotalloc", false)
 	return nil, nil
 }
 

@@ -1,0 +1,78 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"golang.org/x/tools/go/analysis"
+	"golang.org/x/tools/go/analysis/passes/inspect"
+	"golang.org/x/tools/go/ast/inspector"
+)
+
+// MergeOrder makes the bit-identity family's merge-order invariant a
+// vet-time property: a function annotated //torq:ordered-merge (the
+// dist/sharded dTheta/diagT/z merges) must accumulate shard or chunk results
+// only via loops indexed by shard/chunk id — float addition does not
+// commute bitwise, so merging in arrival order silently breaks "same seed ⇒
+// bit-identical gradients for every worker count". Inside an annotated body:
+//
+//   - no range over a map (iteration order is randomized)
+//   - no range over a channel, channel receive, or select (arrival order)
+//   - no go statements (the merge loop itself must stay sequential;
+//     the parallel compute phase belongs before the annotated merge)
+//
+// The check is body-local like hotalloc: the annotation marks exactly the
+// code whose loop structure is the proof. Deliberate exceptions carry
+// //torq:allow mergeorder -- reason.
+var MergeOrder = &analysis.Analyzer{
+	Name:     "mergeorder",
+	Doc:      "check //torq:ordered-merge functions accumulate in shard/chunk-index order, never arrival order",
+	Requires: []*analysis.Analyzer{inspect.Analyzer},
+	Run:      runMergeOrder,
+}
+
+func runMergeOrder(pass *analysis.Pass) (interface{}, error) {
+	ins := pass.ResultOf[inspect.Analyzer].(*inspector.Inspector)
+	allow := buildAllowIndex(pass.Fset, pass.Files)
+	report := func(pos token.Pos, format string, args ...interface{}) {
+		if !allow.allowed(pass.Fset, pos, "mergeorder") {
+			pass.Reportf(pos, "//torq:ordered-merge function: "+format, args...)
+		}
+	}
+	ins.Preorder([]ast.Node{(*ast.FuncDecl)(nil)}, func(n ast.Node) {
+		decl := n.(*ast.FuncDecl)
+		if decl.Body == nil || !hasFuncDirective(decl, dirOrderedMerge) {
+			return
+		}
+		checkMergeBody(pass, decl, report)
+	})
+	allow.reportStale(pass, "mergeorder", false)
+	return nil, nil
+}
+
+func checkMergeBody(pass *analysis.Pass, decl *ast.FuncDecl, report func(token.Pos, string, ...interface{})) {
+	info := pass.TypesInfo
+	ast.Inspect(decl.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.RangeStmt:
+			if t := info.TypeOf(n.X); t != nil {
+				switch t.Underlying().(type) {
+				case *types.Map:
+					report(n.For, "ranges over a map — iteration order is randomized; index results by shard/chunk id and loop in id order")
+				case *types.Chan:
+					report(n.For, "ranges over a channel — that is arrival order; collect into an id-indexed slice first, then merge by index")
+				}
+			}
+		case *ast.UnaryExpr:
+			if n.Op == token.ARROW {
+				report(n.Pos(), "receives from a channel — merge input must come from an id-indexed structure, not arrival order")
+			}
+		case *ast.SelectStmt:
+			report(n.Select, "selects on channels — selection order is nondeterministic")
+		case *ast.GoStmt:
+			report(n.Pos(), "starts a goroutine — the merge itself must stay sequential in shard/chunk-id order (parallelize the compute phase, not the merge)")
+		}
+		return true
+	})
+}

@@ -106,6 +106,7 @@ func runNoLock(pass *analysis.Pass) (interface{}, error) {
 			}
 		}
 	}
+	c.allow.reportStale(pass, "nolock", false)
 	return nil, nil
 }
 

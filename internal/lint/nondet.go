@@ -79,6 +79,7 @@ func runNonDet(pass *analysis.Pass) (interface{}, error) {
 		}
 		pass.Reportf(call.Pos(), "%s.%s in a numeric package leaks nondeterminism into trajectories: thread a seeded source/explicit value through, or //torq:allow nondet -- reason", path, fn.Name())
 	})
+	allow.reportStale(pass, "nondet", true)
 	return nil, nil
 }
 

@@ -1,0 +1,66 @@
+// Package atomicmix is the torq-lint fixture for the atomicmix analyzer:
+// variables touched through sync/atomic anywhere in the package may not also
+// be read or written plainly.
+package atomicmix
+
+import "sync/atomic"
+
+type stats struct {
+	hits   int64
+	misses int64
+	safe   atomic.Int64 // typed atomic: immune by construction
+}
+
+func (s *stats) bump() {
+	atomic.AddInt64(&s.hits, 1)
+	atomic.AddInt64(&s.misses, 1)
+	s.safe.Add(1)
+}
+
+func (s *stats) plainRead() int64 {
+	return s.hits // want "hits is accessed through sync/atomic"
+}
+
+func (s *stats) plainWrite() {
+	s.misses = 0 // want "misses is accessed through sync/atomic"
+}
+
+func (s *stats) atomicRead() int64 {
+	return atomic.LoadInt64(&s.hits) // atomic everywhere: clean
+}
+
+func (s *stats) typedRead() int64 {
+	return s.safe.Load() // typed atomic: clean
+}
+
+var total uint64
+
+func addTotal(n uint64) {
+	atomic.AddUint64(&total, n)
+}
+
+func snapshotTotal() uint64 {
+	//torq:allow atomicmix -- fixture: all writers joined before the snapshot
+	return total
+}
+
+var slots [4]int64
+
+func bumpSlot(i int) {
+	atomic.AddInt64(&slots[i], 1) // index through the array: marks slots
+}
+
+func readSlot(i int) int64 {
+	return slots[i] // want "slots is accessed through sync/atomic"
+}
+
+var lone int64
+
+func loneAtomic() int64 {
+	return atomic.LoadInt64(&lone)
+}
+
+func staleWaiver() int64 {
+	//torq:allow atomicmix -- obsolete: this read became atomic // want "stale //torq:allow atomicmix"
+	return atomic.LoadInt64(&lone)
+}

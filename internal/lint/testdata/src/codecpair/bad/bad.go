@@ -1,0 +1,118 @@
+// Package codecbad is the broken half of the codecpair fixture: a seeded
+// encoder/decoder field-order mismatch, an orphaned encoder, a pair that
+// drifted from its LAYOUTS.md row, a ghost layout row, plus the audited and
+// stale //torq:allow cases.
+package codecbad // want "frame-layouts row \"ghost\" matches no encode/decode pair"
+
+import "encoding/binary"
+
+type enc struct{ b []byte }
+
+func (e *enc) u8(v byte)    { e.b = append(e.b, v) }
+func (e *enc) u16(v uint16) { e.b = binary.LittleEndian.AppendUint16(e.b, v) }
+func (e *enc) u32(v uint32) { e.b = binary.LittleEndian.AppendUint32(e.b, v) }
+func (e *enc) str(s string) { e.u16(uint16(len(s))); e.b = append(e.b, s...) }
+func (e *enc) bool(v bool) {
+	if v {
+		e.u8(1)
+	} else {
+		e.u8(0)
+	}
+}
+
+type dec struct {
+	b   []byte
+	off int
+}
+
+func (d *dec) u8() byte { v := d.b[d.off]; d.off++; return v }
+func (d *dec) u16() uint16 {
+	v := binary.LittleEndian.Uint16(d.b[d.off:])
+	d.off += 2
+	return v
+}
+func (d *dec) u32() uint32 {
+	v := binary.LittleEndian.Uint32(d.b[d.off:])
+	d.off += 4
+	return v
+}
+func (d *dec) str() string {
+	n := int(d.u16())
+	s := string(d.b[d.off : d.off+n])
+	d.off += n
+	return s
+}
+func (d *dec) bool() bool { return d.u8() != 0 }
+
+// Seeded field-order mismatch: the encoder writes u16 then str, the decoder
+// reads them swapped.
+func encodeThing(v uint16, s string) []byte {
+	var e enc
+	e.u16(v)
+	e.str(s)
+	return e.b
+}
+
+func decodeThing(b []byte) (uint16, string) {
+	d := dec{b: b}
+	s := d.str() // want "codec asymmetry in frame \"thing\": encodeThing writes u16 at step 1 but decodeThing reads str"
+	v := d.u16()
+	return v, s
+}
+
+// Orphaned encoder: no decodeOrphan anywhere.
+func encodeOrphan(v byte) []byte { // want "encodeOrphan has no matching decodeOrphan"
+	var e enc
+	e.u8(v)
+	return e.b
+}
+
+// Symmetric pair whose width drifted from the LAYOUTS.md row (spec says u16).
+func encodeCount(n uint32) []byte { // want "encodeCount disagrees with docs/PROTOCOL.md layout \"count\" at step 1: code writes u32, layout says u16"
+	var e enc
+	e.u32(n)
+	return e.b
+}
+
+func decodeCount(b []byte) uint32 {
+	d := dec{b: b}
+	return d.u32()
+}
+
+// Length mismatch: the decoder stops one field short.
+func encodeTail(a, b byte) []byte {
+	var e enc
+	e.u8(a)
+	e.u8(b)
+	return e.b
+}
+
+func decodeTail(b []byte) byte { // want "codec asymmetry in frame \"tail\": encodeTail writes 2 fields but decodeTail reads 1"
+	d := dec{b: b}
+	return d.u8()
+}
+
+// Audited asymmetry: the waiver on the mismatching read suppresses it.
+func encodeMasked(v byte) []byte {
+	var e enc
+	e.u8(v)
+	return e.b
+}
+
+func decodeMasked(b []byte) bool {
+	d := dec{b: b}
+	return d.bool() //torq:allow codecpair -- audited: bool reads the same u8 the encoder wrote
+}
+
+// Clean pair carrying a waiver nothing needs anymore.
+func encodeClean(v uint16) []byte {
+	var e enc
+	e.u16(v)
+	return e.b
+}
+
+func decodeClean(b []byte) uint16 {
+	d := dec{b: b}
+	//torq:allow codecpair -- obsolete waiver, nothing fires below // want "stale //torq:allow codecpair"
+	return d.u16()
+}

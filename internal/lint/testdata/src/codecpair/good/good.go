@@ -1,0 +1,82 @@
+// Package codecgood is the clean half of the codecpair fixture: every
+// encodeX/decodeX pair is symmetric and matches the LAYOUTS.md rows, so the
+// analyzer must stay silent (the test runs it with RunExpectClean).
+package codecgood
+
+import "encoding/binary"
+
+type enc struct{ b []byte }
+
+func (e *enc) u8(v byte)    { e.b = append(e.b, v) }
+func (e *enc) u16(v uint16) { e.b = binary.LittleEndian.AppendUint16(e.b, v) }
+func (e *enc) u64(v uint64) { e.b = binary.LittleEndian.AppendUint64(e.b, v) }
+func (e *enc) int(v int)    { e.u64(uint64(int64(v))) }
+func (e *enc) str(s string) { e.u16(uint16(len(s))); e.b = append(e.b, s...) }
+
+type dec struct {
+	b   []byte
+	off int
+}
+
+func (d *dec) u8() byte { v := d.b[d.off]; d.off++; return v }
+func (d *dec) u16() uint16 {
+	v := binary.LittleEndian.Uint16(d.b[d.off:])
+	d.off += 2
+	return v
+}
+func (d *dec) u64() uint64 {
+	v := binary.LittleEndian.Uint64(d.b[d.off:])
+	d.off += 8
+	return v
+}
+func (d *dec) int() int { return int(int64(d.u64())) }
+func (d *dec) str() string {
+	n := int(d.u16())
+	s := string(d.b[d.off : d.off+n])
+	d.off += n
+	return s
+}
+
+type point struct{ X, Y int }
+
+type header struct {
+	Version uint16
+	Name    string
+	Spans   []int
+	Origin  point
+	Tag     uint64
+}
+
+func encodePoint(e *enc, p point) {
+	e.int(p.X)
+	e.int(p.Y)
+}
+
+func decodePoint(d *dec) point {
+	return point{X: d.int(), Y: d.int()}
+}
+
+func encodeHeader(m header) []byte {
+	var e enc
+	e.u16(m.Version)
+	e.str(m.Name)
+	e.u8(byte(len(m.Spans)))
+	for _, s := range m.Spans {
+		e.int(s)
+	}
+	encodePoint(&e, m.Origin)
+	e.u64(m.Tag)
+	return e.b
+}
+
+func decodeHeader(b []byte) header {
+	d := dec{b: b}
+	m := header{Version: d.u16(), Name: d.str()}
+	n := int(d.u8())
+	for i := 0; i < n; i++ {
+		m.Spans = append(m.Spans, d.int())
+	}
+	m.Origin = decodePoint(&d)
+	m.Tag = d.u64()
+	return m
+}

@@ -39,3 +39,12 @@ func allowed(m map[string]int) int {
 	}
 	return n
 }
+
+func staleWaiver(xs []int) int {
+	n := 0
+	//torq:allow maprange -- obsolete: the range below is over a slice now // want "stale //torq:allow maprange"
+	for range xs {
+		n++
+	}
+	return n
+}

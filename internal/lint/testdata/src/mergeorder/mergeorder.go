@@ -1,0 +1,98 @@
+// Package mergeorder is the torq-lint fixture for the mergeorder analyzer:
+// //torq:ordered-merge functions must accumulate in shard/chunk-index order,
+// never map-range, channel-arrival, or goroutine-interleaved order.
+package mergeorder
+
+// mergeGood accumulates strictly in shard-index order: clean.
+//
+//torq:ordered-merge
+func mergeGood(parts [][]float64, out []float64) {
+	for s := 0; s < len(parts); s++ {
+		for i, v := range parts[s] {
+			out[i] += v
+		}
+	}
+}
+
+//torq:ordered-merge
+func mergeFromMap(parts map[int][]float64, out []float64) {
+	for _, p := range parts { // want "ranges over a map"
+		for i, v := range p {
+			out[i] += v
+		}
+	}
+}
+
+//torq:ordered-merge
+func mergeFromChan(ch chan []float64, out []float64, n int) {
+	for j := 0; j < n; j++ {
+		p := <-ch // want "receives from a channel"
+		for i, v := range p {
+			out[i] += v
+		}
+	}
+}
+
+//torq:ordered-merge
+func mergeRangeChan(ch chan []float64, out []float64) {
+	for p := range ch { // want "ranges over a channel"
+		for i, v := range p {
+			out[i] += v
+		}
+	}
+}
+
+//torq:ordered-merge
+func mergeSelect(a, b chan float64) float64 {
+	select { // want "selects on channels"
+	case v := <-a: // want "receives from a channel"
+		return v
+	case v := <-b: // want "receives from a channel"
+		return v
+	}
+}
+
+//torq:ordered-merge
+func mergeSpawns(parts [][]float64, out []float64) {
+	done := make(chan struct{})
+	go func() { // want "starts a goroutine"
+		for i, v := range parts[0] {
+			out[i] += v
+		}
+		close(done)
+	}()
+	<-done // want "receives from a channel"
+}
+
+// mergeWaived carries an audited exception.
+//
+//torq:ordered-merge
+func mergeWaived(parts map[int][]float64, out []float64) {
+	//torq:allow mergeorder -- fixture: values are disjoint row blocks, order vacuous
+	for _, p := range parts {
+		for i, v := range p {
+			out[i] += v
+		}
+	}
+}
+
+// mergeStale fixed its map range but kept the waiver.
+//
+//torq:ordered-merge
+func mergeStale(parts [][]float64, out []float64) {
+	//torq:allow mergeorder -- obsolete: the loop is index-ordered now // want "stale //torq:allow mergeorder"
+	for s := range parts {
+		for i, v := range parts[s] {
+			out[i] += v
+		}
+	}
+}
+
+// unannotated functions may merge however they like.
+func unannotated(parts map[int][]float64, out []float64) {
+	for _, p := range parts {
+		for i, v := range p {
+			out[i] += v
+		}
+	}
+}

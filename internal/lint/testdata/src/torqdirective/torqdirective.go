@@ -24,6 +24,16 @@ func misplaced() {
 	_ = x
 }
 
+//torq:ordered-merge
+func merge() {
+	_ = x
+}
+
+func misplacedMerge() {
+	//torq:ordered-merge // want "must be in a function's doc comment"
+	_ = x
+}
+
 func badAllow(a, b float64) bool {
 	//torq:allow nosuchrule -- reason // want "unknown rule"
 	//torq:allow floateq missing separator // want "reason must follow a -- separator"

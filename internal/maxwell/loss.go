@@ -223,6 +223,8 @@ func weightedMSESubset(tp *ad.Tape, res ad.Value, idx []int, w []float64) ad.Val
 // bit-identical for every worker bound and scheduler mode, so the
 // curriculum weights (and with EngineSharded, the whole training loop) stay
 // worker-count-independent.
+//
+//torq:ordered-merge
 func binResiduals(c *Collocation, rs ...ad.Value) []float64 {
 	out := make([]float64, c.Bins)
 	datas := make([][]float64, len(rs))

@@ -98,6 +98,7 @@ func runDistPass(spec *PassSpec) []ShardResult {
 	return res
 }
 
+//torq:ordered-merge
 func (distEngine) Forward(p *PQC, ws *Workspace, angles []float64, angleTans [][]float64, theta []float64) (z []float64, ztans [][]float64) {
 	prog, _, z, ztans, _ := prepForward(p, ws, angles, angleTans, theta)
 	// Partition the forward with the BACKWARD pass's block size, not the
@@ -130,6 +131,7 @@ func (distEngine) Forward(p *PQC, ws *Workspace, angles []float64, angleTans [][
 	return z, ztans
 }
 
+//torq:ordered-merge
 func (distEngine) Backward(p *PQC, ws *Workspace, gz []float64, gztans [][]float64, dAngles []float64, dAngleTans [][]float64, dTheta []float64) {
 	prog := p.Program() // always level 3, like the sharded engine
 	spec := &PassSpec{

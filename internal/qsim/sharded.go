@@ -32,6 +32,7 @@ func (shardedEngine) Forward(p *PQC, ws *Workspace, angles []float64, angleTans 
 	return z, ztans
 }
 
+//torq:ordered-merge
 func (shardedEngine) Backward(p *PQC, ws *Workspace, gz []float64, gztans [][]float64, dAngles []float64, dAngleTans [][]float64, dTheta []float64) {
 	prog := p.Program() // always level 3 for the sharded engine
 	n := ws.n
