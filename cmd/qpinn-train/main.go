@@ -18,7 +18,9 @@ import (
 	"repro/internal/core"
 	"repro/internal/ftdc"
 	"repro/internal/maxwell"
+	"repro/internal/obs"
 	"repro/internal/qsim"
+	"repro/internal/trace"
 )
 
 func main() {
@@ -44,11 +46,13 @@ func main() {
 		ftdcDump   = flag.String("ftdc-dump", "", "record flight-data telemetry and write the capture here at exit (and on SIGUSR1)")
 		ftdcEvery  = flag.Duration("ftdc-interval", 0, "telemetry sampling period (0 = 100ms)")
 		autotune   = flag.Bool("autotune", os.Getenv("TORQ_AUTOTUNE") != "", "let the recorder re-size par chunk grouping from observed steal ratios (also TORQ_AUTOTUNE=1); gradients stay bit-identical for every setting")
+		debugAddr  = flag.String("debug-addr", "", "serve the live observability plane (/metrics, /trace, /ftdc, /healthz, /debug/pprof) on this address and enable span tracing; results stay bit-identical")
 	)
 	flag.Parse()
 
-	if *ftdcDump != "" || *autotune {
-		rec := ftdc.New(ftdc.Options{Interval: *ftdcEvery})
+	var rec *ftdc.Recorder
+	if *ftdcDump != "" || *autotune || *debugAddr != "" {
+		rec = ftdc.New(ftdc.Options{Interval: *ftdcEvery})
 		ftdc.StandardSources(rec)
 		if *autotune {
 			rec.EnableAutoTune()
@@ -63,6 +67,16 @@ func main() {
 				}
 			}()
 		}
+	}
+	if *debugAddr != "" {
+		trace.SetEnabled(true)
+		srv, err := obs.Start(*debugAddr, obs.Options{Recorder: rec})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		defer srv.Close()
+		fmt.Fprintf(os.Stderr, "qpinn-train: observability plane on http://%s\n", srv.Addr)
 	}
 
 	var c maxwell.Case

@@ -13,7 +13,9 @@ import (
 	"repro/internal/dist"
 	"repro/internal/experiments"
 	"repro/internal/ftdc"
+	"repro/internal/obs"
 	"repro/internal/qsim"
+	"repro/internal/trace"
 )
 
 func main() {
@@ -23,6 +25,7 @@ func main() {
 	ftdcDump := flag.String("ftdc-dump", "", "record flight-data telemetry and write the capture here at exit (and on SIGUSR1)")
 	ftdcEvery := flag.Duration("ftdc-interval", 0, "telemetry sampling period (0 = 100ms)")
 	autotune := flag.Bool("autotune", os.Getenv("TORQ_AUTOTUNE") != "", "let the recorder re-size par chunk grouping from observed steal ratios (also TORQ_AUTOTUNE=1); gradients stay bit-identical for every setting")
+	debugAddr := flag.String("debug-addr", "", "serve the live observability plane (/metrics, /trace, /ftdc, /healthz, /debug/pprof) on this address and enable span tracing; results stay bit-identical")
 	flag.Parse()
 	o := experiments.Options{Preset: experiments.Smoke, Out: os.Stdout}
 	if *preset == "paper" {
@@ -38,8 +41,9 @@ func main() {
 		dist.Configure(dist.Options{Workers: *distWorkers})
 		defer dist.Shutdown()
 	}
-	if *ftdcDump != "" || *autotune {
-		rec := ftdc.New(ftdc.Options{Interval: *ftdcEvery})
+	var rec *ftdc.Recorder
+	if *ftdcDump != "" || *autotune || *debugAddr != "" {
+		rec = ftdc.New(ftdc.Options{Interval: *ftdcEvery})
 		ftdc.StandardSources(rec)
 		if *autotune {
 			rec.EnableAutoTune()
@@ -54,6 +58,16 @@ func main() {
 				}
 			}()
 		}
+	}
+	if *debugAddr != "" {
+		trace.SetEnabled(true)
+		srv, err := obs.Start(*debugAddr, obs.Options{Recorder: rec})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		defer srv.Close()
+		fmt.Fprintf(os.Stderr, "torq-bench: observability plane on http://%s\n", srv.Addr)
 	}
 	if err := experiments.Table2(o); err != nil {
 		fmt.Fprintln(os.Stderr, err)

@@ -1,12 +1,15 @@
 // torq-ftdc decodes flight-data-recorder captures written by torq-bench or
-// qpinn-train (-ftdc-dump flag, or SIGUSR1 while running).
+// qpinn-train (-ftdc-dump flag, SIGUSR1 while running, or the debug plane's
+// /ftdc endpoint).
 //
 //	torq-ftdc -summary capture.ftdc   # digest + per-worker straggler check
+//	torq-ftdc -json capture.ftdc      # the same digest, machine-readable
 //	torq-ftdc -csv capture.ftdc       # full sample matrix for spreadsheets
 //	torq-ftdc -series dist. capture.ftdc  # only series with a name prefix
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -20,9 +23,10 @@ import (
 func main() {
 	csvOut := flag.Bool("csv", false, "print every sample as CSV (time in unix ns, one column per series)")
 	summary := flag.Bool("summary", false, "print the capture digest (default when no mode is given)")
+	jsonOut := flag.Bool("json", false, "print the capture digest as JSON (sorted series, stable field order)")
 	series := flag.String("series", "", "restrict CSV columns to series whose name has this prefix")
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: torq-ftdc [-csv|-summary] [-series prefix] <capture>\n")
+		fmt.Fprintf(os.Stderr, "usage: torq-ftdc [-csv|-summary|-json] [-series prefix] <capture>\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -39,8 +43,69 @@ func main() {
 		printCSV(samples, *series)
 		return
 	}
+	if *jsonOut {
+		printJSON(samples)
+		return
+	}
 	_ = summary
 	printSummary(samples)
+}
+
+// The JSON shapes mirror torq-lint's -json conventions: stable field order,
+// sorted entries, non-nil empty arrays, two-space indentation.
+type jsonMetric struct {
+	Name  string `json:"name"`
+	First int64  `json:"first"`
+	Last  int64  `json:"last"`
+	Min   int64  `json:"min"`
+	Max   int64  `json:"max"`
+	Delta int64  `json:"delta"`
+}
+
+type jsonWorker struct {
+	ID             int   `json:"id"`
+	Shards         int64 `json:"shards"`
+	Batches        int64 `json:"batches"`
+	MeanShardLatNS int64 `json:"mean_shard_lat_ns"`
+	Straggler      bool  `json:"straggler"`
+}
+
+type jsonSummary struct {
+	Samples     int          `json:"samples"`
+	StartUnixNS int64        `json:"start_unix_ns"`
+	EndUnixNS   int64        `json:"end_unix_ns"`
+	Metrics     []jsonMetric `json:"metrics"`
+	Workers     []jsonWorker `json:"workers"`
+}
+
+func printJSON(samples []ftdc.Sample) {
+	sum := ftdc.Summarize(samples)
+	out := jsonSummary{
+		Samples: sum.Samples,
+		Metrics: []jsonMetric{},
+		Workers: []jsonWorker{},
+	}
+	if sum.Samples > 0 {
+		out.StartUnixNS = sum.Start.UnixNano()
+		out.EndUnixNS = sum.End.UnixNano()
+	}
+	for _, m := range sum.Metrics { // already sorted by name
+		out.Metrics = append(out.Metrics, jsonMetric{
+			Name: m.Name, First: m.First, Last: m.Last, Min: m.Min, Max: m.Max, Delta: m.Delta(),
+		})
+	}
+	for _, w := range sum.Workers { // already sorted by id
+		out.Workers = append(out.Workers, jsonWorker{
+			ID: w.ID, Shards: w.Shards, Batches: w.Batches,
+			MeanShardLatNS: w.MeanShardLat.Nanoseconds(), Straggler: w.Straggler,
+		})
+	}
+	b, err := json.MarshalIndent(out, "", "  ")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "torq-ftdc: %v\n", err)
+		os.Exit(1)
+	}
+	os.Stdout.Write(append(b, '\n'))
 }
 
 func printCSV(samples []ftdc.Sample, prefix string) {

@@ -16,6 +16,7 @@ import (
 	"time"
 
 	"repro/internal/qsim"
+	"repro/internal/trace"
 )
 
 // Options configures the coordinator's worker set. Every zero-valued field
@@ -151,6 +152,7 @@ type worker struct {
 	arena f64Arena
 	smBuf []shardMsg
 	rmBuf []resultMsg
+	spBuf []trace.SpanRec
 }
 
 // kill tears the transport down (idempotent, safe from timeout callbacks):
@@ -162,6 +164,7 @@ func (w *worker) kill() {
 	w.dead.Store(true)
 	w.killOnce.Do(func() {
 		xstats.workerKills.Add(1)
+		markWorkerDead(w.id)
 		if w.raw != nil {
 			w.raw.Close()
 		}
@@ -717,8 +720,18 @@ func (backend) RunPass(spec *qsim.PassSpec) ([]qsim.ShardResult, error) {
 	}
 
 	sched := newPassSched(ns, o.batchShards(), live, owner)
+	// Trace context rides the broadcast: the engine's pass-root span (opened
+	// by qsim around this RunPass) parents the transport spans here, and its
+	// id crosses the wire so worker-side shard spans stitch under the same
+	// tree. Both are zero when tracing is off.
+	traceCtx := trace.ContextID()
+	var passSpan uint64
+	if traceCtx != 0 {
+		passSpan = trace.CurrentPass()
+	}
 	pm := encodePass(passMsg{
-		Pass: pass, FwdPass: fwdPass, Backward: spec.Backward, Retain: retain,
+		Pass: pass, FwdPass: fwdPass, Trace: traceCtx, Span: passSpan,
+		Backward: spec.Backward, Retain: retain,
 		Active: spec.Active, Theta: spec.Theta,
 	})
 
@@ -727,7 +740,7 @@ func (backend) RunPass(spec *qsim.PassSpec) ([]qsim.ShardResult, error) {
 		wg.Add(1)
 		go func(w *worker) {
 			defer wg.Done()
-			c.workerRun(w, o, spec, pass, pm, sched, results, fwd)
+			c.workerRun(w, o, spec, pass, passSpan, pm, sched, results, fwd)
 		}(w)
 	}
 	wg.Wait()
@@ -746,10 +759,13 @@ func (backend) RunPass(spec *qsim.PassSpec) ([]qsim.ShardResult, error) {
 // blocks writing reply k would wedge; here the receiver keeps draining. The
 // flights channel carries each in-flight batch from sender to receiver and
 // its capacity bounds the pipeline depth.
-func (c *coordinator) workerRun(w *worker, o Options, spec *qsim.PassSpec, pass uint64, pm []byte, sched *passSched, results []qsim.ShardResult, fwd *fwdPassInfo) {
+func (c *coordinator) workerRun(w *worker, o Options, spec *qsim.PassSpec, pass, passSpan uint64, pm []byte, sched *passSched, results []qsim.ShardResult, fwd *fwdPassInfo) {
+	bcast := trace.Begin(trace.KBroadcast, passSpan)
+	bcast.Worker = int32(w.id)
 	stop := c.guard(w)
 	err := w.send(fPass, pm)
 	stop()
+	bcast.End()
 	if err != nil {
 		w.kill()
 		sched.wake()
@@ -758,10 +774,12 @@ func (c *coordinator) workerRun(w *worker, o Options, spec *qsim.PassSpec, pass 
 	// A flight is one in-service batch; the send timestamp turns the
 	// receiver's FIFO drain into a per-batch round-trip latency measurement
 	// (queue wait included — a straggler backs its own pipeline up, which is
-	// exactly the signal the dump's outlier check keys on).
+	// exactly the signal the dump's outlier check keys on). The batch span
+	// covers the same interval, ended by the receiver when the reply lands.
 	type flight struct {
 		shards []int
 		sent   time.Time
+		span   trace.Span
 	}
 	flights := make(chan flight, o.pipelineDepth())
 	var wg sync.WaitGroup
@@ -786,6 +804,7 @@ func (c *coordinator) workerRun(w *worker, o Options, spec *qsim.PassSpec, pass 
 				continue
 			}
 			observeBatch(w.id, len(shards), time.Since(f.sent).Nanoseconds())
+			f.span.End()
 			if fwd != nil {
 				// Each shard completes exactly once per pass, so these
 				// writes never contend across receivers.
@@ -805,14 +824,16 @@ func (c *coordinator) workerRun(w *worker, o Options, spec *qsim.PassSpec, pass 
 		}
 		w.inflight.Add(int32(len(shards)))
 		xstats.queueDepth.Add(int64(len(shards)))
-		if err := c.sendBatch(w, spec, pass, shards); err != nil {
+		bsp := trace.Begin(trace.KBatch, passSpan)
+		bsp.Worker = int32(w.id)
+		if err := c.sendBatch(w, spec, pass, bsp.ID, shards); err != nil {
 			w.kill()
 			xstats.queueDepth.Add(int64(-len(shards)))
 			sched.giveBack(shards)
 			sched.wake()
 			break
 		}
-		flights <- flight{shards: shards, sent: time.Now()}
+		flights <- flight{shards: shards, sent: time.Now(), span: bsp}
 	}
 	close(flights)
 	wg.Wait()
@@ -821,7 +842,7 @@ func (c *coordinator) workerRun(w *worker, o Options, spec *qsim.PassSpec, pass 
 // sendBatch encodes the shards' input rows into the worker's frame buffer
 // and ships them as one fShardBatch frame. Row arrays alias the pass spec —
 // nothing is copied until the encoder serializes it.
-func (c *coordinator) sendBatch(w *worker, spec *qsim.PassSpec, pass uint64, shards []int) error {
+func (c *coordinator) sendBatch(w *worker, spec *qsim.PassSpec, pass, span uint64, shards []int) error {
 	nq := spec.NQ
 	sms := w.smBuf[:0]
 	for _, s := range shards {
@@ -845,7 +866,7 @@ func (c *coordinator) sendBatch(w *worker, spec *qsim.PassSpec, pass uint64, sha
 		sms = append(sms, sm)
 	}
 	w.smBuf = sms
-	w.ebuf = encodeShardBatchFrame(w.ebuf, pass, sms)
+	w.ebuf = encodeShardBatchFrame(w.ebuf, pass, span, sms)
 	// The timeout covers the send too — a full pipe buffer against a wedged
 	// worker blocks the write exactly like a withheld reply blocks the read.
 	xstats.bytesOut.Add(int64(len(w.ebuf)))
@@ -874,7 +895,7 @@ func (c *coordinator) recvBatch(w *worker, spec *qsim.PassSpec, pass uint64, sha
 	default:
 		return fmt.Errorf("unexpected reply type %d", typ)
 	}
-	w.rmBuf, err = decodeResultBatchInto(body, &w.arena, w.rmBuf[:0])
+	w.rmBuf, w.spBuf, err = decodeResultBatchInto(body, &w.arena, w.rmBuf[:0], w.spBuf[:0])
 	if err != nil {
 		return err
 	}
@@ -890,6 +911,14 @@ func (c *coordinator) recvBatch(w *worker, spec *qsim.PassSpec, pass uint64, sha
 		if err := validateResult(spec, s, rm, &results[s]); err != nil {
 			return err
 		}
+	}
+	// Stitch the worker's spans into the local ring: the worker cannot know
+	// its coordinator-side id, so it is stamped here. Empty on untraced
+	// passes — the loop is free.
+	for i := range w.spBuf {
+		r := w.spBuf[i]
+		r.Worker = int32(w.id)
+		trace.Ingest(r)
 	}
 	return nil
 }

@@ -7,6 +7,7 @@ import (
 	"math"
 
 	"repro/internal/qsim"
+	"repro/internal/trace"
 )
 
 // The wire format is length-prefixed binary frames, little-endian throughout:
@@ -34,7 +35,9 @@ import (
 // handshake with any other version refuses the session.
 // Version 2: passMsg gained FwdPass/Retain (forward-state affinity) and the
 // batch frames fShardBatch/fResultBatch joined the protocol.
-const ProtoVersion uint16 = 2
+// Version 3: trace context — passMsg gained Trace/Span, shard batches carry
+// a batch-span id, and result batches return the worker's span records.
+const ProtoVersion uint16 = 3
 
 // maxFrame bounds a frame's wire size; anything larger is a corrupt stream.
 const maxFrame = 1 << 30
@@ -420,9 +423,18 @@ func decodeHelloAck(b []byte) (helloAckMsg, error) {
 // forward-state cache: Retain asks a forward pass to snapshot its shard
 // states, and FwdPass names the forward pass a backward pass pairs with
 // (zero when unpaired — the worker then drops any cached states).
+// The trace-context fields piggyback on the broadcast: Trace is the
+// coordinator's trace context id (nonzero exactly when the pass is traced —
+// the worker gates its per-shard span recording on it, so a traced
+// coordinator traces its whole fleet regardless of worker environments), and
+// Span is the coordinator's pass-root span id, the parent under which the
+// worker's spans are stitched when no batch span applies. Both are zero on
+// untraced passes.
 type passMsg struct {
 	Pass     uint64
 	FwdPass  uint64
+	Trace    uint64
+	Span     uint64
 	Backward bool
 	Retain   bool
 	Active   [qsim.MaxTangents]bool
@@ -433,6 +445,8 @@ func encodePass(m passMsg) []byte {
 	var e enc
 	e.u64(m.Pass)
 	e.u64(m.FwdPass)
+	e.u64(m.Trace)
+	e.u64(m.Span)
 	e.bool(m.Backward)
 	e.bool(m.Retain)
 	var mask byte
@@ -448,7 +462,7 @@ func encodePass(m passMsg) []byte {
 
 func decodePass(b []byte) (passMsg, error) {
 	d := dec{b: b}
-	m := passMsg{Pass: d.u64(), FwdPass: d.u64(), Backward: d.bool(), Retain: d.bool()}
+	m := passMsg{Pass: d.u64(), FwdPass: d.u64(), Trace: d.u64(), Span: d.u64(), Backward: d.bool(), Retain: d.bool()}
 	mask := d.u8()
 	for k := 0; k < qsim.MaxTangents; k++ {
 		m.Active[k] = mask&(1<<k) != 0
@@ -579,11 +593,16 @@ func finishFrame(b []byte, typ byte) []byte {
 //torq:hotpath
 func frameBody(frame []byte) []byte { return frame[5:] }
 
+// span is the coordinator's batch-span id (0 untraced): the parent the
+// worker's per-shard spans hang under, so a batch's shard spans stitch into
+// the coordinator's tree at the round trip that carried them.
+//
 //torq:hotpath
-func encodeShardBatchFrame(buf []byte, pass uint64, shards []shardMsg) []byte {
+func encodeShardBatchFrame(buf []byte, pass, span uint64, shards []shardMsg) []byte {
 	e := enc{b: buf[:0]}
 	e.beginFrame()
 	e.u64(pass)
+	e.u64(span)
 	e.u32(uint32(len(shards)))
 	for i := range shards {
 		m := &shards[i]
@@ -601,9 +620,10 @@ func encodeShardBatchFrame(buf []byte, pass uint64, shards []shardMsg) []byte {
 }
 
 //torq:hotpath
-func decodeShardBatchInto(b []byte, a *f64Arena, dst []shardMsg) ([]shardMsg, error) {
+func decodeShardBatchInto(b []byte, a *f64Arena, dst []shardMsg) ([]shardMsg, uint64, error) {
 	d := dec{b: b, arena: a}
 	pass := d.u64()
+	span := d.u64()
 	n := int(d.u32())
 	if n > maxFrame/16 {
 		d.fail("batch size %d exceeds frame bound", n)
@@ -620,7 +640,41 @@ func decodeShardBatchInto(b []byte, a *f64Arena, dst []shardMsg) ([]shardMsg, er
 		}
 		dst = append(dst, m)
 	}
-	return dst, d.done()
+	return dst, span, d.done()
+}
+
+// encodeSpan/decodeSpan carry one completed worker span back to the
+// coordinator inside a result batch's span section. Worker is deliberately
+// not on the wire: workers do not know their coordinator-side ids, so the
+// coordinator stamps it at ingest.
+func encodeSpan(e *enc, r *trace.SpanRec) {
+	e.u64(r.ID)
+	e.u64(r.Parent)
+	e.u8(byte(r.Kind))
+	e.u32(uint32(r.Shard))
+	e.int(int(r.Start))
+	e.int(int(r.End))
+}
+
+func decodeSpan(d *dec, r *trace.SpanRec) {
+	r.ID = d.u64()
+	r.Parent = d.u64()
+	r.Kind = trace.Kind(d.u8())
+	r.Shard = int32(d.u32())
+	r.Start = int64(d.int())
+	r.End = int64(d.int())
+}
+
+// appendSpanSection closes a result batch with the worker's span records
+// for the batch — always present, empty (count 0) on untraced passes, so
+// the frame layout is direction- and trace-independent.
+//
+//torq:hotpath
+func appendSpanSection(e *enc, spans []trace.SpanRec) {
+	e.u32(uint32(len(spans)))
+	for i := range spans {
+		encodeSpan(e, &spans[i])
+	}
 }
 
 // beginResultBatchFrame / appendResultEntry / finishFrame stream a result
@@ -655,16 +709,17 @@ func appendResultEntry(e *enc, m *resultMsg) {
 }
 
 //torq:hotpath
-func encodeResultBatchFrame(buf []byte, pass uint64, backward bool, results []resultMsg) []byte {
+func encodeResultBatchFrame(buf []byte, pass uint64, backward bool, results []resultMsg, spans []trace.SpanRec) []byte {
 	e := beginResultBatchFrame(buf, pass, backward, len(results))
 	for i := range results {
 		appendResultEntry(&e, &results[i])
 	}
+	appendSpanSection(&e, spans)
 	return finishFrame(e.b, fResultBatch)
 }
 
 //torq:hotpath
-func decodeResultBatchInto(b []byte, a *f64Arena, dst []resultMsg) ([]resultMsg, error) {
+func decodeResultBatchInto(b []byte, a *f64Arena, dst []resultMsg, sdst []trace.SpanRec) ([]resultMsg, []trace.SpanRec, error) {
 	d := dec{b: b, arena: a}
 	pass := d.u64()
 	backward := d.bool()
@@ -686,7 +741,17 @@ func decodeResultBatchInto(b []byte, a *f64Arena, dst []resultMsg) ([]resultMsg,
 		m.DiagT = d.optF64s()
 		dst = append(dst, m)
 	}
-	return dst, d.done()
+	ns := int(d.u32())
+	if ns > maxFrame/32 {
+		d.fail("span count %d exceeds frame bound", ns)
+	}
+	sdst = sdst[:0]
+	for i := 0; i < ns && d.err == nil; i++ {
+		var r trace.SpanRec
+		decodeSpan(&d, &r)
+		sdst = append(sdst, r)
+	}
+	return dst, sdst, d.done()
 }
 
 type errorMsg struct{ Msg string }

@@ -11,6 +11,7 @@ import (
 	"testing"
 
 	"repro/internal/qsim"
+	"repro/internal/trace"
 )
 
 // TestFrameRoundTrip checks the length-prefixed framing itself.
@@ -98,6 +99,7 @@ func TestCodecRoundTripProperty(t *testing.T) {
 
 		pm := passMsg{
 			Pass: rng.Uint64(), FwdPass: rng.Uint64(),
+			Trace: rng.Uint64(), Span: rng.Uint64(),
 			Backward: rng.Intn(2) == 1, Retain: rng.Intn(2) == 1,
 			Theta: randFloats(rng, rng.Intn(40)),
 		}
@@ -111,6 +113,7 @@ func TestCodecRoundTripProperty(t *testing.T) {
 		}
 		// NaN breaks DeepEqual on purpose; compare bit patterns instead.
 		if gotP.Pass != pm.Pass || gotP.FwdPass != pm.FwdPass || gotP.Backward != pm.Backward ||
+			gotP.Trace != pm.Trace || gotP.Span != pm.Span ||
 			gotP.Retain != pm.Retain || gotP.Active != pm.Active || !bitsEqual(gotP.Theta, pm.Theta) {
 			t.Fatalf("pass round trip: got %+v want %+v", gotP, pm)
 		}
@@ -181,37 +184,64 @@ func TestBatchCodecRoundTrip(t *testing.T) {
 			})
 		}
 
-		encBuf = encodeShardBatchFrame(encBuf, pass, shards)
+		span := rng.Uint64()
+		encBuf = encodeShardBatchFrame(encBuf, pass, span, shards)
 		for _, a := range []*f64Arena{nil, &arena} {
 			if a != nil {
 				a.reset()
 			}
-			got, err := decodeShardBatchInto(frameBody(encBuf), a, nil)
-			if err != nil || !reflect.DeepEqual(got, shards) {
-				t.Fatalf("shard batch round trip (arena=%v): err %v\n got %+v\nwant %+v", a != nil, err, got, shards)
+			got, gotSpan, err := decodeShardBatchInto(frameBody(encBuf), a, nil)
+			if err != nil || gotSpan != span || !reflect.DeepEqual(got, shards) {
+				t.Fatalf("shard batch round trip (arena=%v): err %v span %x want %x\n got %+v\nwant %+v", a != nil, err, gotSpan, span, got, shards)
 			}
 		}
 
-		encBuf = encodeResultBatchFrame(encBuf, pass, backward, results)
+		// Worker is not on the wire (the coordinator stamps it at ingest), so
+		// the fixture spans leave it zero.
+		var spans []trace.SpanRec
+		for i := 0; i < rng.Intn(4); i++ {
+			spans = append(spans, trace.SpanRec{
+				ID: rng.Uint64(), Parent: rng.Uint64(), Kind: trace.Kind(rng.Intn(8)),
+				Shard: int32(rng.Intn(100) - 1), Start: rng.Int63(), End: rng.Int63(),
+			})
+		}
+		encBuf = encodeResultBatchFrame(encBuf, pass, backward, results, spans)
 		for _, a := range []*f64Arena{nil, &arena} {
 			if a != nil {
 				a.reset()
 			}
-			got, err := decodeResultBatchInto(frameBody(encBuf), a, nil)
+			got, gotSpans, err := decodeResultBatchInto(frameBody(encBuf), a, nil, nil)
 			if err != nil || !reflect.DeepEqual(got, results) {
 				t.Fatalf("result batch round trip (arena=%v): err %v\n got %+v\nwant %+v", a != nil, err, got, results)
+			}
+			if len(gotSpans) != len(spans) {
+				t.Fatalf("result batch spans: got %d want %d", len(gotSpans), len(spans))
+			}
+			for i := range spans {
+				if gotSpans[i] != spans[i] {
+					t.Fatalf("span %d round trip: got %+v want %+v", i, gotSpans[i], spans[i])
+				}
 			}
 		}
 	}
 
 	// Truncation must fail cleanly at every cut.
-	full := frameBody(encodeShardBatchFrame(nil, 9, []shardMsg{
+	full := frameBody(encodeShardBatchFrame(nil, 9, 0, []shardMsg{
 		{Pass: 9, Shard: 1, Angles: []float64{1, 2}},
 		{Pass: 9, Shard: 2, Angles: []float64{3}},
 	}))
 	for cut := 0; cut < len(full); cut++ {
-		if _, err := decodeShardBatchInto(full[:cut], nil, nil); err == nil {
+		if _, _, err := decodeShardBatchInto(full[:cut], nil, nil); err == nil {
 			t.Fatalf("batch truncation at %d of %d accepted", cut, len(full))
+		}
+	}
+	// The result batch's trailing span section must truncate cleanly too.
+	fullR := frameBody(encodeResultBatchFrame(nil, 9, true,
+		[]resultMsg{{Pass: 9, Shard: 1, Backward: true, DAngles: []float64{1}}},
+		[]trace.SpanRec{{ID: 3, Parent: 2, Kind: trace.KShard, Shard: 1, Start: 10, End: 20}}))
+	for cut := 0; cut < len(fullR); cut++ {
+		if _, _, err := decodeResultBatchInto(fullR[:cut], nil, nil, nil); err == nil {
+			t.Fatalf("result batch truncation at %d of %d accepted", cut, len(fullR))
 		}
 	}
 }
@@ -233,16 +263,33 @@ func TestFrameCodecSteadyStateAllocs(t *testing.T) {
 		})
 	}
 
+	var results []resultMsg
+	var spans []trace.SpanRec
+	for i := 0; i < 8; i++ {
+		results = append(results, resultMsg{
+			Pass: 3, Shard: uint32(i), Backward: true,
+			DAngles: randFloats(rng, rows),
+			DTheta:  randFloats(rng, 12),
+		})
+		spans = append(spans, trace.SpanRec{
+			ID: uint64(100 + i), Parent: 7, Kind: trace.KShard,
+			Shard: int32(i), Start: int64(i * 1000), End: int64(i*1000 + 500),
+		})
+	}
+
 	var (
-		encBuf  []byte
-		rdBuf   []byte
-		arena   f64Arena
-		decoded []shardMsg
-		wire    bytes.Buffer
-		reader  bytes.Reader
+		encBuf   []byte
+		rdBuf    []byte
+		arena    f64Arena
+		decoded  []shardMsg
+		rdecoded []resultMsg
+		sdecoded []trace.SpanRec
+		rarena   f64Arena
+		wire     bytes.Buffer
+		reader   bytes.Reader
 	)
 	cycle := func() {
-		encBuf = encodeShardBatchFrame(encBuf, 3, shards)
+		encBuf = encodeShardBatchFrame(encBuf, 3, 7, shards)
 		wire.Reset()
 		if _, err := wire.Write(encBuf); err != nil {
 			t.Fatal(err)
@@ -253,9 +300,25 @@ func TestFrameCodecSteadyStateAllocs(t *testing.T) {
 			t.Fatalf("read frame: type %d err %v", typ, err)
 		}
 		arena.reset()
-		decoded, err = decodeShardBatchInto(body, &arena, decoded[:0])
+		decoded, _, err = decodeShardBatchInto(body, &arena, decoded[:0])
 		if err != nil || len(decoded) != len(shards) {
 			t.Fatalf("decode: %d entries err %v", len(decoded), err)
+		}
+
+		encBuf = encodeResultBatchFrame(encBuf, 3, true, results, spans)
+		wire.Reset()
+		if _, err := wire.Write(encBuf); err != nil {
+			t.Fatal(err)
+		}
+		reader.Reset(wire.Bytes())
+		typ, body, err = readFrameInto(&reader, &rdBuf)
+		if err != nil || typ != fResultBatch {
+			t.Fatalf("read result frame: type %d err %v", typ, err)
+		}
+		rarena.reset()
+		rdecoded, sdecoded, err = decodeResultBatchInto(body, &rarena, rdecoded[:0], sdecoded[:0])
+		if err != nil || len(rdecoded) != len(results) || len(sdecoded) != len(spans) {
+			t.Fatalf("decode result: %d entries %d spans err %v", len(rdecoded), len(sdecoded), err)
 		}
 	}
 	cycle() // warm every buffer to steady state
@@ -289,7 +352,7 @@ func BenchmarkFrameBatchRoundTrip(b *testing.B) {
 	)
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
-		encBuf = encodeShardBatchFrame(encBuf, 3, shards)
+		encBuf = encodeShardBatchFrame(encBuf, 3, 7, shards)
 		wire.Reset()
 		if _, err := wire.Write(encBuf); err != nil {
 			b.Fatal(err)
@@ -300,7 +363,7 @@ func BenchmarkFrameBatchRoundTrip(b *testing.B) {
 			b.Fatal(err)
 		}
 		arena.reset()
-		decoded, err = decodeShardBatchInto(body, &arena, decoded[:0])
+		decoded, _, err = decodeShardBatchInto(body, &arena, decoded[:0])
 		if err != nil || len(decoded) != len(shards) {
 			b.Fatalf("decode: %d entries err %v", len(decoded), err)
 		}
@@ -341,6 +404,8 @@ func TestCodecGoldenBytes(t *testing.T) {
 	pass := passMsg{
 		Pass:     0x0102030405060708,
 		FwdPass:  0x1112131415161718,
+		Trace:    0x2122232425262728,
+		Span:     0x3132333435363738,
 		Backward: true,
 		Retain:   true,
 		Active:   [qsim.MaxTangents]bool{true, false, true},
@@ -355,26 +420,40 @@ func TestCodecGoldenBytes(t *testing.T) {
 		},
 		GZ: []float64{-2},
 	}
-	batch := encodeShardBatchFrame(nil, 2, []shardMsg{
+	batch := encodeShardBatchFrame(nil, 2, 0x4142434445464748, []shardMsg{
 		{Pass: 2, Shard: 1, Angles: []float64{0.25}},
 		{Pass: 2, Shard: 3, Angles: []float64{0.75}, GZ: []float64{-2}},
 	})
+	rbatch := encodeResultBatchFrame(nil, 2, true,
+		[]resultMsg{{Pass: 2, Shard: 1, Backward: true, DAngles: []float64{0.25}, DTheta: []float64{1}}},
+		[]trace.SpanRec{{ID: 0x5152535455565758, Parent: 0x6162636465666768,
+			Kind: trace.KShard, Shard: 1, Start: 0x0A0B0C0D, End: 0x0A0B0C0E}})
 	cases := []struct {
 		name string
 		got  []byte
 		want string
 	}{
 		{"pass", encodePass(pass),
-			"0807060504030201181716151413121101010502000000000000000000f03f000000000000e0bf"},
+			"080706050403020118171615141312112827262524232221383736353433323101010502000000000000000000f03f000000000000e0bf"},
 		{"shard", encodeShard(shard),
 			"02000000000000000100000002000000000000000000d03f000000000000e83f0101000000000000000000f83f000100000000010100000000000000000000c0000000"},
 		// The batch encoder emits a complete frame: u32 length (type byte +
-		// 70-byte payload = 0x47) and the fShardBatch type lead the bytes.
+		// 78-byte payload = 0x4f) and the fShardBatch type lead the bytes; the
+		// batch-span id sits between the pass id and the entry count.
 		{"shardBatch", batch,
-			"4700000007" +
-				"020000000000000002000000" +
+			"4f00000007" +
+				"0200000000000000" + "4847464544434241" + "02000000" +
 				"0100000001000000000000000000d03f00000000000000" +
 				"0300000001000000000000000000e83f000000010100000000000000000000c0000000"},
+		// The result batch carries the worker's span section after the entries:
+		// u32 count then ID, Parent, Kind, Shard, Start, End per span.
+		{"resultBatch", rbatch,
+			"5d00000008" +
+				"0200000000000000" + "01" + "01000000" +
+				"0100000000000000" + "0101000000000000000000d03f" + "000000" + "0101000000000000000000f03f" + "00" +
+				"01000000" +
+				"5857565554535251" + "6867666564636261" + "06" + "01000000" +
+				"0d0c0b0a00000000" + "0e0c0b0a00000000"},
 	}
 	for _, c := range cases {
 		if got := hex.EncodeToString(c.got); got != c.want {

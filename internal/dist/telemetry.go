@@ -3,6 +3,7 @@ package dist
 import (
 	"fmt"
 	"math/bits"
+	"sort"
 	"sync/atomic"
 )
 
@@ -31,6 +32,7 @@ var xstats struct {
 	bytesOut, bytesIn            atomic.Int64
 	handshakes, workerKills      atomic.Int64
 	lat                          [latBuckets]atomic.Int64
+	latSumNS                     atomic.Int64 // total per-shard latency, the histogram's exact sum
 }
 
 // latNames precomputes the histogram series names so Collect never formats.
@@ -50,6 +52,7 @@ type workerStats struct {
 	shards  atomic.Int64
 	latNS   atomic.Int64
 	batches atomic.Int64
+	dead    atomic.Bool
 
 	nameShards, nameLatNS, nameBatches string
 }
@@ -103,6 +106,7 @@ func observeBatch(id, n int, latNS int64) {
 		b = latBuckets - 1
 	}
 	xstats.lat[b].Add(int64(n))
+	xstats.latSumNS.Add(latNS)
 	if id <= 0 || id >= maxWorkerSlots {
 		return
 	}
@@ -111,6 +115,78 @@ func observeBatch(id, n int, latNS int64) {
 		ws.latNS.Add(latNS)
 		ws.batches.Add(1)
 	}
+}
+
+// markWorkerDead flags a worker's telemetry slot when the coordinator tears
+// its transport down — the liveness bit behind WorkersHealth. Worker ids are
+// never reused, so a respawned worker opens a fresh, live slot.
+//
+//torq:nolock
+func markWorkerDead(id int) {
+	if id <= 0 || id >= maxWorkerSlots {
+		return
+	}
+	if ws := wslots.slots[id].Load(); ws != nil {
+		ws.dead.Store(true)
+	}
+}
+
+// WorkerHealth is one worker's liveness/service snapshot, the unit of the
+// debug plane's /healthz exposition.
+type WorkerHealth struct {
+	ID             int   `json:"id"`
+	Alive          bool  `json:"alive"`
+	Shards         int64 `json:"shards"`
+	Batches        int64 `json:"batches"`
+	MeanShardLatNS int64 `json:"mean_shard_lat_ns"`
+	Straggler      bool  `json:"straggler"`
+}
+
+// Straggler flagging mirrors the ftdc capture summary's rule: a worker is
+// flagged when its mean per-shard latency exceeds three times the pool's
+// lower-median mean, with a floor that keeps microsecond-scale noise from
+// flagging anything. Kept numerically identical so the live /healthz view
+// and the post-mortem dump summary never disagree about the same run.
+const (
+	healthStragglerFactor  = 3
+	healthStragglerFloorNS = 2_000_000 // 2ms
+)
+
+// WorkersHealth snapshots every registered worker in id order. Cold path —
+// it allocates and sorts; the debug HTTP plane calls it, never the sampling
+// goroutine.
+func WorkersHealth() []WorkerHealth {
+	max := wslots.maxID.Load()
+	out := make([]WorkerHealth, 0, max)
+	var lats []int64
+	for id := int64(1); id <= max && id < maxWorkerSlots; id++ {
+		ws := wslots.slots[id].Load()
+		if ws == nil {
+			continue
+		}
+		h := WorkerHealth{
+			ID:      int(id),
+			Alive:   !ws.dead.Load(),
+			Shards:  ws.shards.Load(),
+			Batches: ws.batches.Load(),
+		}
+		if h.Shards > 0 {
+			h.MeanShardLatNS = ws.latNS.Load() / h.Shards
+			lats = append(lats, h.MeanShardLatNS)
+		}
+		out = append(out, h)
+	}
+	if len(lats) >= 2 {
+		sorted := append([]int64(nil), lats...)
+		sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+		median := sorted[(len(sorted)-1)/2]
+		for i := range out {
+			m := out[i].MeanShardLatNS
+			out[i].Straggler = out[i].Shards > 0 &&
+				m > healthStragglerFactor*median && m > healthStragglerFloorNS
+		}
+	}
+	return out
 }
 
 // Collect emits the transport counters in the flat name → int64 form the
@@ -134,6 +210,7 @@ func Collect(emit func(name string, value int64)) {
 	emit("dist.bytes_in", xstats.bytesIn.Load())
 	emit("dist.handshakes", xstats.handshakes.Load())
 	emit("dist.worker_kills", xstats.workerKills.Load())
+	emit("dist.lat_sum_ns", xstats.latSumNS.Load())
 	for b := 0; b < latBuckets; b++ {
 		emit(latNames[b], xstats.lat[b].Load())
 	}
@@ -167,6 +244,7 @@ func ResetTelemetry() {
 	xstats.bytesIn.Store(0)
 	xstats.handshakes.Store(0)
 	xstats.workerKills.Store(0)
+	xstats.latSumNS.Store(0)
 	for b := range xstats.lat {
 		xstats.lat[b].Store(0)
 	}

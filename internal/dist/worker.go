@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"repro/internal/qsim"
+	"repro/internal/trace"
 )
 
 // failAfterEnv is a test/chaos hook: when set to n > 0, the worker process
@@ -56,6 +57,7 @@ type session struct {
 	ebuf  []byte
 	arena f64Arena
 	smBuf []shardMsg
+	spans []trace.SpanRec
 }
 
 // ServeConn speaks the worker side of the dist protocol over (r, w) until
@@ -185,25 +187,47 @@ func (s *session) shard(body []byte) error {
 func (s *session) shardBatch(body []byte) error {
 	s.arena.reset()
 	var err error
-	s.smBuf, err = decodeShardBatchInto(body, &s.arena, s.smBuf[:0])
+	var batchSpan uint64
+	s.smBuf, batchSpan, err = decodeShardBatchInto(body, &s.arena, s.smBuf[:0])
 	if err != nil {
 		return err
 	}
 	if len(s.smBuf) == 0 {
 		return errors.New("empty shard batch")
 	}
+	// Per-shard spans, gated on the coordinator's trace context rather than
+	// this process's own TORQ_TRACE: a traced coordinator traces its whole
+	// fleet. Each span parents under the batch span that carried the shard
+	// (falling back to the pass-root span), records locally — a worker's own
+	// -debug-addr /trace sees it — and rides the reply's span section back
+	// for coordinator-side stitching.
+	traced := s.pass.Trace != 0
+	parent := batchSpan
+	if parent == 0 {
+		parent = s.pass.Span
+	}
+	s.spans = s.spans[:0]
 	// Each entry serializes immediately after its shard runs — the runner's
 	// result arrays alias workspace buffers the next shard will overwrite.
 	e := beginResultBatchFrame(s.ebuf, s.pass.Pass, s.pass.Backward, len(s.smBuf))
 	for i := range s.smBuf {
 		var rm resultMsg
+		var sp trace.Span
+		if traced {
+			sp = trace.BeginForced(trace.KShard, parent)
+			sp.Shard = int32(s.smBuf[i].Shard)
+		}
 		err := s.runShard(&s.smBuf[i], &rm)
 		if err != nil {
 			s.ebuf = e.b
 			return err
 		}
+		if traced {
+			s.spans = append(s.spans, sp.Finish())
+		}
 		appendResultEntry(&e, &rm)
 	}
+	appendSpanSection(&e, s.spans)
 	s.ebuf = finishFrame(e.b, fResultBatch)
 	if _, err := s.w.Write(s.ebuf); err != nil {
 		return err

@@ -1,0 +1,52 @@
+package ftdc
+
+import (
+	"bytes"
+	"testing"
+)
+
+// TestWriteToIncludesOpenChunk pins the partial-chunk case: a capture whose
+// samples never filled one chunk (count < chunkSamples, so nothing was ever
+// rotated into the ring) must still serialize completely — WriteTo emits the
+// open chunk after the ring, and a capture downloaded mid-chunk from the
+// debug plane's /ftdc endpoint decodes to every sample taken so far.
+func TestWriteToIncludesOpenChunk(t *testing.T) {
+	r := New(Options{})
+	tick := int64(0)
+	r.AddSource(func(emit func(string, int64)) {
+		emit("t.count", tick)
+		tick++
+	})
+	const n = 5 // far below chunkSamples: the ring stays empty
+	for i := 0; i < n; i++ {
+		r.SampleNow()
+	}
+
+	var buf bytes.Buffer
+	if _, err := r.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	samples, err := Decode(buf.Bytes())
+	if err != nil {
+		t.Fatalf("partial-chunk capture does not decode: %v", err)
+	}
+	if len(samples) != n {
+		t.Fatalf("partial-chunk capture holds %d samples, want %d", len(samples), n)
+	}
+	for i, s := range samples {
+		if v, ok := s.Value("t.count"); !ok || v != int64(i) {
+			t.Fatalf("sample %d: t.count = %d, %v; want %d", i, v, ok, i)
+		}
+	}
+
+	// WriteTo must be a snapshot, not a drain: the open chunk keeps filling
+	// and a second capture sees both the old and the new samples.
+	r.SampleNow()
+	buf.Reset()
+	if _, err := r.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if samples, err = Decode(buf.Bytes()); err != nil || len(samples) != n+1 {
+		t.Fatalf("second capture: %d samples, err %v; want %d", len(samples), err, n+1)
+	}
+}

@@ -1,0 +1,105 @@
+//go:build unix
+
+package ftdc
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"syscall"
+	"testing"
+	"time"
+)
+
+// signalChildEnv tells a re-executed test binary to act as the long-running
+// process under test: start a recorder, arm DumpOnSignal, and block.
+const signalChildEnv = "TORQ_FTDC_SIGNAL_CHILD"
+
+// TestDumpOnSignal exercises the SIGUSR1 dump path end to end with a real
+// signal to a real process: the test re-executes itself as a child that
+// records and arms DumpOnSignal, sends it SIGUSR1, and checks the dump file
+// appears and decodes to a nonzero number of samples.
+func TestDumpOnSignal(t *testing.T) {
+	if path := os.Getenv(signalChildEnv); path != "" {
+		runSignalChild(path)
+		return // unreachable; runSignalChild blocks until killed
+	}
+
+	dump := filepath.Join(t.TempDir(), "sig.ftdc")
+	exe, err := os.Executable()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cmd := exec.Command(exe, "-test.run", "^TestDumpOnSignal$")
+	cmd.Env = append(os.Environ(), signalChildEnv+"="+dump)
+	cmd.Stderr = os.Stderr
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		cmd.Process.Kill()
+		cmd.Wait()
+	}()
+
+	// The child touches <dump>.ready once the signal handler is armed — a
+	// SIGUSR1 before signal.Notify would kill it (default disposition).
+	ready := dump + ".ready"
+	waitFor(t, 10*time.Second, "child never armed its signal handler", func() bool {
+		_, err := os.Stat(ready)
+		return err == nil
+	})
+
+	if err := cmd.Process.Signal(syscall.SIGUSR1); err != nil {
+		t.Fatal(err)
+	}
+	var samples int
+	waitFor(t, 10*time.Second, "no decodable dump with samples appeared", func() bool {
+		s, err := ReadFile(dump)
+		if err != nil || len(s) == 0 {
+			return false
+		}
+		if _, ok := s[len(s)-1].Value("child.ticks"); !ok {
+			return false
+		}
+		samples = len(s)
+		return true
+	})
+	if samples == 0 {
+		t.Fatal("dump decoded to zero samples")
+	}
+
+	// A second signal must overwrite with a fresh (equal or larger) capture.
+	if err := cmd.Process.Signal(syscall.SIGUSR1); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, 10*time.Second, "second SIGUSR1 produced no dump", func() bool {
+		s, err := ReadFile(dump)
+		return err == nil && len(s) >= samples
+	})
+}
+
+// runSignalChild is the re-executed child: sample fast, arm the handler,
+// signal readiness, block until the parent kills the process.
+func runSignalChild(path string) {
+	r := New(Options{Interval: 2 * time.Millisecond})
+	r.AddSource(func(emit func(string, int64)) { emit("child.ticks", 1) })
+	r.Start()
+	r.DumpOnSignal(path)
+	if f, err := os.Create(path + ".ready"); err == nil {
+		f.Close()
+	}
+	select {}
+}
+
+// waitFor polls cond until it holds or the deadline passes.
+func waitFor(t *testing.T, d time.Duration, msg string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(d)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	t.Fatal(msg)
+}

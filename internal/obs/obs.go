@@ -1,0 +1,318 @@
+// Package obs is the live observability plane: an HTTP debug server the
+// long-running commands expose behind their -debug-addr flag, serving
+//
+//   - /metrics  — Prometheus text exposition of every ftdc collector,
+//     including the dist per-shard latency log2 buckets re-shaped into a
+//     cumulative Prometheus histogram
+//   - /trace    — the span recorder's current window as Chrome trace-event
+//     JSON (loadable in Perfetto / chrome://tracing), worker spans stitched
+//     under their coordinator parents
+//   - /ftdc     — the live flight-data capture, downloadable mid-run in the
+//     same format DumpFile writes
+//   - /healthz  — per-worker liveness and straggler flags as JSON
+//   - /debug/pprof/* — the standard Go profiler endpoints
+//
+// Everything here is a cold read path: handlers snapshot lock-free counters
+// and the span ring, never touching coordinator or engine state, so scraping
+// a live training run cannot perturb it. The package registers nothing on
+// http.DefaultServeMux — each Server owns a private mux, so linking obs into
+// a binary that serves its own HTTP cannot leak debug endpoints.
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/dist"
+	"repro/internal/ftdc"
+	"repro/internal/qsim"
+	"repro/internal/trace"
+)
+
+// Options configures a debug server.
+type Options struct {
+	// Recorder backs /ftdc (live capture download) when non-nil; /ftdc
+	// answers 503 otherwise.
+	Recorder *ftdc.Recorder
+	// Sources are the collectors /metrics scrapes. Nil means the standard
+	// set (par scheduler, qsim engine timers, dist transport) — the same
+	// collectors ftdc.StandardSources attaches.
+	Sources []ftdc.Collector
+}
+
+func (o Options) sources() []ftdc.Collector {
+	if o.Sources != nil {
+		return o.Sources
+	}
+	return []ftdc.Collector{ftdc.CollectPar, qsim.CollectTelemetry, dist.Collect}
+}
+
+// Server is a running debug HTTP server.
+type Server struct {
+	// Addr is the bound listen address (useful with ":0" in tests).
+	Addr string
+	ln   net.Listener
+}
+
+// Start listens on addr and serves the debug plane until Close. The listener
+// is bound synchronously — a bad address fails here, not in the background.
+func Start(addr string, o Options) (*Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("obs: listen %s: %w", addr, err)
+	}
+	s := &Server{Addr: ln.Addr().String(), ln: ln}
+	go http.Serve(ln, Handler(o)) //nolint:errcheck // closes with the listener
+	return s, nil
+}
+
+// Close stops the server's listener.
+func (s *Server) Close() error { return s.ln.Close() }
+
+// Handler builds the debug mux — exposed separately so tests (or an embedder
+// with its own server) can mount the plane without a listener.
+func Handler(o Options) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		writeMetrics(w, o.sources())
+	})
+	mux.HandleFunc("/trace", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json; charset=utf-8")
+		writeChromeTrace(w, trace.Snapshot())
+	})
+	mux.HandleFunc("/ftdc", func(w http.ResponseWriter, r *http.Request) {
+		if o.Recorder == nil {
+			http.Error(w, "no ftdc recorder running (start with -ftdc-dump or -debug-addr)", http.StatusServiceUnavailable)
+			return
+		}
+		w.Header().Set("Content-Type", "application/octet-stream")
+		w.Header().Set("Content-Disposition", `attachment; filename="live.ftdc"`)
+		o.Recorder.WriteTo(w) //nolint:errcheck // client disconnects are fine
+	})
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json; charset=utf-8")
+		var samples uint64
+		if o.Recorder != nil {
+			samples = o.Recorder.Samples()
+		}
+		writeJSON(w, healthReply{
+			Tracing:      trace.Enabled(),
+			FTDCSamples:  samples,
+			Workers:      dist.WorkersHealth(),
+			GeneratedUTC: time.Now().UTC().Format(time.RFC3339Nano),
+		})
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+type healthReply struct {
+	Tracing      bool                `json:"tracing"`
+	FTDCSamples  uint64              `json:"ftdc_samples"`
+	Workers      []dist.WorkerHealth `json:"workers"`
+	GeneratedUTC string              `json:"generated_utc"`
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v) //nolint:errcheck
+}
+
+// metricLine is one converted sample: a Prometheus family name, optional
+// label pairs (already formatted), and the value.
+type metricLine struct {
+	family string
+	labels string
+	value  int64
+}
+
+// writeMetrics scrapes the collectors live and converts the flat
+// name → int64 series to Prometheus text exposition:
+//
+//   - dots become underscores under a torq_ prefix
+//     (dist.shards_done → torq_dist_shards_done)
+//   - per-worker series fold into one family with a worker label
+//     (dist.w3.shards → torq_dist_worker_shards{worker="3"})
+//   - the dist.lat_bNN log2 buckets re-shape into a cumulative
+//     torq_dist_shard_latency_seconds histogram with le bounds of 2^N µs,
+//     with dist.lat_sum_ns providing the exact _sum
+//
+// Families are emitted sorted so lines of one family stay grouped, as the
+// exposition format requires.
+func writeMetrics(w http.ResponseWriter, sources []ftdc.Collector) {
+	var lines []metricLine
+	var latBuckets [64]int64
+	latSeen := false
+	var latSumNS int64
+	emit := func(name string, v int64) {
+		if b, ok := bucketIndex(name); ok && b < len(latBuckets) {
+			latBuckets[b] += v
+			latSeen = true
+			return
+		}
+		if name == "dist.lat_sum_ns" {
+			latSumNS = v
+			return
+		}
+		if id, suffix, ok := workerSeries(name); ok {
+			lines = append(lines, metricLine{
+				family: "torq_dist_worker_" + flatten(suffix),
+				labels: `{worker="` + strconv.Itoa(id) + `"}`,
+				value:  v,
+			})
+			return
+		}
+		lines = append(lines, metricLine{family: "torq_" + flatten(name), value: v})
+	}
+	for _, c := range sources {
+		c(emit)
+	}
+	sort.SliceStable(lines, func(i, j int) bool {
+		if lines[i].family != lines[j].family {
+			return lines[i].family < lines[j].family
+		}
+		return lines[i].labels < lines[j].labels
+	})
+	for _, l := range lines {
+		fmt.Fprintf(w, "%s%s %d\n", l.family, l.labels, l.value)
+	}
+	if latSeen {
+		writeLatencyHistogram(w, &latBuckets, latSumNS)
+	}
+}
+
+// writeLatencyHistogram converts the log2 per-shard latency buckets (bucket
+// k counts shards in [2^(k-1), 2^k) µs) into the cumulative form Prometheus
+// expects: bucket k's upper bound is 2^k µs, expressed in seconds.
+func writeLatencyHistogram(w http.ResponseWriter, buckets *[64]int64, sumNS int64) {
+	max := 0
+	for b, v := range buckets {
+		if v != 0 {
+			max = b
+		}
+	}
+	fmt.Fprintf(w, "# TYPE torq_dist_shard_latency_seconds histogram\n")
+	var cum int64
+	for b := 0; b <= max; b++ {
+		cum += buckets[b]
+		le := strconv.FormatFloat(float64(uint64(1)<<uint(b))/1e6, 'g', -1, 64)
+		fmt.Fprintf(w, "torq_dist_shard_latency_seconds_bucket{le=%q} %d\n", le, cum)
+	}
+	fmt.Fprintf(w, "torq_dist_shard_latency_seconds_bucket{le=\"+Inf\"} %d\n", cum)
+	fmt.Fprintf(w, "torq_dist_shard_latency_seconds_sum %s\n",
+		strconv.FormatFloat(float64(sumNS)/1e9, 'g', -1, 64))
+	fmt.Fprintf(w, "torq_dist_shard_latency_seconds_count %d\n", cum)
+}
+
+func flatten(name string) string { return strings.ReplaceAll(name, ".", "_") }
+
+// bucketIndex parses the "dist.lat_bNN" histogram series names.
+func bucketIndex(name string) (int, bool) {
+	rest, ok := strings.CutPrefix(name, "dist.lat_b")
+	if !ok {
+		return 0, false
+	}
+	b, err := strconv.Atoi(rest)
+	if err != nil || b < 0 {
+		return 0, false
+	}
+	return b, true
+}
+
+// workerSeries parses "dist.w<id>.<suffix>" per-worker series names.
+func workerSeries(name string) (id int, suffix string, ok bool) {
+	rest, ok := strings.CutPrefix(name, "dist.w")
+	if !ok {
+		return 0, "", false
+	}
+	dot := strings.IndexByte(rest, '.')
+	if dot <= 0 {
+		return 0, "", false
+	}
+	id, err := strconv.Atoi(rest[:dot])
+	if err != nil {
+		return 0, "", false
+	}
+	return id, rest[dot+1:], true
+}
+
+// chromeEvent is one Chrome trace-event record ("X" complete events for
+// spans, "M" metadata events naming the process rows).
+type chromeEvent struct {
+	Name string         `json:"name"`
+	Cat  string         `json:"cat,omitempty"`
+	Ph   string         `json:"ph"`
+	TS   float64        `json:"ts"`            // microseconds
+	Dur  float64        `json:"dur,omitempty"` // microseconds
+	PID  int32          `json:"pid"`
+	TID  int32          `json:"tid"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+type chromeTrace struct {
+	TraceEvents     []chromeEvent `json:"traceEvents"`
+	DisplayTimeUnit string        `json:"displayTimeUnit"`
+}
+
+// writeChromeTrace renders the span window as Chrome trace-event JSON. Each
+// process row is one worker (pid 0 = the coordinator/local process); within
+// a row, shard spans land on a tid per shard index so concurrent shards
+// stack visibly, and everything else shares tid 0. Span and parent ids ride
+// in args, which is how the stitched tree stays navigable in Perfetto.
+func writeChromeTrace(w http.ResponseWriter, spans []trace.SpanRec) {
+	out := chromeTrace{TraceEvents: []chromeEvent{}, DisplayTimeUnit: "ns"}
+	procs := map[int32]bool{}
+	for _, s := range spans {
+		tid := int32(0)
+		if s.Kind == trace.KShard && s.Shard >= 0 {
+			tid = s.Shard + 1
+		}
+		args := map[string]any{
+			"span":   fmt.Sprintf("%016x", s.ID),
+			"parent": fmt.Sprintf("%016x", s.Parent),
+		}
+		if s.Shard >= 0 {
+			args["shard"] = s.Shard
+		}
+		out.TraceEvents = append(out.TraceEvents, chromeEvent{
+			Name: s.Kind.String(),
+			Cat:  "torq",
+			Ph:   "X",
+			TS:   float64(s.Start) / 1e3,
+			Dur:  float64(s.End-s.Start) / 1e3,
+			PID:  s.Worker,
+			TID:  tid,
+			Args: args,
+		})
+		procs[s.Worker] = true
+	}
+	var pids []int32
+	for pid := range procs {
+		pids = append(pids, pid)
+	}
+	sort.Slice(pids, func(i, j int) bool { return pids[i] < pids[j] })
+	for _, pid := range pids {
+		name := "coordinator"
+		if pid != 0 {
+			name = "worker " + strconv.Itoa(int(pid))
+		}
+		out.TraceEvents = append(out.TraceEvents, chromeEvent{
+			Name: "process_name", Ph: "M", PID: pid,
+			Args: map[string]any{"name": name},
+		})
+	}
+	writeJSON(w, out)
+}

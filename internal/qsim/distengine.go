@@ -1,6 +1,10 @@
 package qsim
 
-import "math"
+import (
+	"math"
+
+	"repro/internal/trace"
+)
 
 // This file is the qsim half of the multi-process executor: the
 // coordinator-side distEngine that partitions a pass into the same fixed
@@ -119,7 +123,9 @@ func (distEngine) Forward(p *PQC, ws *Workspace, angles []float64, angleTans [][
 		}
 	}
 	nq := ws.nq
-	for s, r := range runDistPass(spec) {
+	results := runDistPass(spec)
+	msp := trace.Begin(trace.KMerge, trace.CurrentPass())
+	for s, r := range results {
 		lo, hi := spec.Shard(s)
 		copy(z[lo*nq:hi*nq], r.Z)
 		for k := 0; k < MaxTangents; k++ {
@@ -128,6 +134,7 @@ func (distEngine) Forward(p *PQC, ws *Workspace, angles []float64, angleTans [][
 			}
 		}
 	}
+	msp.End()
 	return z, ztans
 }
 
@@ -149,6 +156,7 @@ func (distEngine) Backward(p *PQC, ws *Workspace, gz []float64, gztans [][]float
 		}
 	}
 	results := runDistPass(spec)
+	msp := trace.Begin(trace.KMerge, trace.CurrentPass())
 
 	// Per-sample gradients: each row belongs to exactly one shard, so the
 	// worker's zero-initialized partial adds back as the same value the
@@ -185,6 +193,7 @@ func (distEngine) Backward(p *PQC, ws *Workspace, gz []float64, gztans [][]float
 		}
 		reduceDiagNGrads(prog, acc, dTheta, ws.val.Dim)
 	}
+	msp.End()
 }
 
 // ShardRunner executes single shards of a circuit's level-3 program inside a

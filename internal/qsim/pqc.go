@@ -3,6 +3,8 @@ package qsim
 import (
 	"fmt"
 	"time"
+
+	"repro/internal/trace"
 )
 
 // PQC executes a data-encoded parametrized quantum circuit as a
@@ -34,6 +36,8 @@ type PQC struct {
 // the Pauli-Z expectations z (n×nq) and their tangents ztans[k] (nil where
 // the input tangent was nil). Returned slices are freshly allocated.
 func (p *PQC) Forward(ws *Workspace, angles []float64, angleTans [][]float64, theta []float64) (z []float64, ztans [][]float64) {
+	sp := trace.BeginPass(trace.KForward)
+	defer sp.End()
 	defer recordForward(time.Now()) //torq:allow nondet -- telemetry timing only, never feeds the numerics
 	return p.Eng.engine().Forward(p, ws, angles, angleTans, theta)
 }
@@ -43,6 +47,8 @@ func (p *PQC) Forward(ws *Workspace, angles []float64, angleTans [][]float64, th
 // dAngleTans[k] (n×nq, may be nil) and dTheta. Forward must have been called
 // on the same workspace; the workspace's states are destroyed.
 func (p *PQC) Backward(ws *Workspace, gz []float64, gztans [][]float64, dAngles []float64, dAngleTans [][]float64, dTheta []float64) {
+	sp := trace.BeginPass(trace.KBackward)
+	defer sp.End()
 	defer recordBackward(time.Now()) //torq:allow nondet -- telemetry timing only, never feeds the numerics
 	p.Eng.engine().Backward(p, ws, gz, gztans, dAngles, dAngleTans, dTheta)
 }
@@ -61,7 +67,9 @@ func (p *PQC) Program() *Program {
 		level = 2
 	}
 	if p.prog == nil || p.prog.circ != p.Circ || p.prog.level != level {
+		sp := trace.Begin(trace.KCompile, trace.CurrentPass())
 		p.prog = CompileProgramLevel(p.Circ, level)
+		sp.End()
 	}
 	return p.prog
 }
